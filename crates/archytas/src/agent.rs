@@ -1,0 +1,219 @@
+//! The agent loop.
+//!
+//! §2.2: "By implementing ReAct, an agent can decompose a user request
+//! into smaller steps, decide which tools to invoke for each step, provide
+//! corresponding input to those tools, and iterate until the task is
+//! complete." A failed tool invocation becomes an observation (the agent
+//! sees the error and keeps going), mirroring how LLM agents recover.
+
+use crate::error::{ArchytasError, ArchytasResult};
+use crate::planner::{PlannerDecision, Reasoner};
+use crate::react::{Action, ReactStep, ReactTrace};
+use crate::registry::ToolRegistry;
+use serde_json::Value;
+use std::sync::Arc;
+
+/// A ReAct agent: tools + a reasoner + a step budget.
+pub struct Agent {
+    registry: ToolRegistry,
+    reasoner: Arc<dyn Reasoner>,
+    max_steps: usize,
+}
+
+impl Agent {
+    pub fn new(registry: ToolRegistry, reasoner: Arc<dyn Reasoner>) -> Self {
+        Self {
+            registry,
+            reasoner,
+            max_steps: 16,
+        }
+    }
+
+    pub fn with_max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n.max(1);
+        self
+    }
+
+    pub fn registry(&self) -> &ToolRegistry {
+        &self.registry
+    }
+
+    /// Run the ReAct loop for one user goal.
+    pub fn run(&self, goal: &str) -> ArchytasResult<ReactTrace> {
+        let mut trace = ReactTrace {
+            goal: goal.to_string(),
+            ..Default::default()
+        };
+        for _ in 0..self.max_steps {
+            let decision = self.reasoner.decide(goal, &self.registry, &trace.steps)?;
+            match decision {
+                PlannerDecision::Finish { thought, answer } => {
+                    trace.steps.push(ReactStep {
+                        thought,
+                        action: None,
+                        observation: String::new(),
+                        data: Value::Null,
+                        failed: false,
+                    });
+                    trace.answer = answer;
+                    return Ok(trace);
+                }
+                PlannerDecision::Act {
+                    thought,
+                    tool,
+                    args,
+                } => {
+                    let (observation, data, failed) = match self.registry.get(&tool) {
+                        Ok(t) => match t.invoke(&args) {
+                            Ok(out) => (out.text, out.data, false),
+                            Err(e) => (format!("error: {e}"), Value::Null, true),
+                        },
+                        Err(e) => (format!("error: {e}"), Value::Null, true),
+                    };
+                    trace.steps.push(ReactStep {
+                        thought,
+                        action: Some(Action { tool, args }),
+                        observation,
+                        data,
+                        failed,
+                    });
+                }
+            }
+        }
+        Err(ArchytasError::MaxStepsExceeded(self.max_steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::KeywordReasoner;
+    use crate::tool::{ArgKind, ArgSpec, FnTool, ToolArgs, ToolOutput, ToolSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn registry() -> ToolRegistry {
+        let mut r = ToolRegistry::new();
+        r.register(Arc::new(FnTool::new(
+            ToolSpec::new("load_dataset", "Load an input dataset for processing.")
+                .with_arg(ArgSpec::new("name", ArgKind::Str, "Dataset name"))
+                .with_example("load the papers dataset"),
+            |a: &ToolArgs| {
+                Ok(ToolOutput::text(format!(
+                    "loaded dataset {}",
+                    a["name"].as_str().unwrap_or("?")
+                )))
+            },
+        )));
+        r.register(Arc::new(FnTool::new(
+            ToolSpec::new(
+                "filter_records",
+                "Filter records with a natural language predicate.",
+            )
+            .with_arg(ArgSpec::new("predicate", ArgKind::Str, "The condition"))
+            .with_example("filter for papers about some topic"),
+            |_: &ToolArgs| Ok(ToolOutput::text("12 records remain")),
+        )));
+        r
+    }
+
+    #[test]
+    fn multi_step_decomposition() {
+        let agent = Agent::new(registry(), Arc::new(KeywordReasoner::new()));
+        let trace = agent
+            .run(r#"load the dataset "demo" and then filter for "cancer" records"#)
+            .unwrap();
+        assert_eq!(trace.tools_used(), vec!["load_dataset", "filter_records"]);
+        assert_eq!(trace.action_count(), 2);
+        assert!(trace.answer.contains("loaded dataset demo"));
+        assert!(trace.answer.contains("12 records remain"));
+    }
+
+    #[test]
+    fn failed_tool_becomes_observation() {
+        let mut r = registry();
+        r.register(Arc::new(FnTool::new(
+            ToolSpec::new("explode", "Always fails when you try to explode something.")
+                .with_example("explode the thing"),
+            |_: &ToolArgs| {
+                Err(ArchytasError::ToolFailed {
+                    tool: "explode".into(),
+                    reason: "boom".into(),
+                })
+            },
+        )));
+        let agent = Agent::new(r, Arc::new(KeywordReasoner::new()));
+        let trace = agent.run("explode the thing").unwrap();
+        assert_eq!(trace.action_count(), 1);
+        assert!(trace.steps[0].failed);
+        assert!(trace.steps[0].observation.contains("boom"));
+        // The loop still finished.
+        assert!(!trace.answer.is_empty());
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        // A reasoner that never finishes.
+        struct Looper;
+        impl Reasoner for Looper {
+            fn decide(
+                &self,
+                _g: &str,
+                _r: &ToolRegistry,
+                _h: &[ReactStep],
+            ) -> ArchytasResult<PlannerDecision> {
+                Ok(PlannerDecision::Act {
+                    thought: "again".into(),
+                    tool: "load_dataset".into(),
+                    args: ToolArgs::new(),
+                })
+            }
+        }
+        let agent = Agent::new(registry(), Arc::new(Looper)).with_max_steps(3);
+        assert_eq!(agent.run("loop"), Err(ArchytasError::MaxStepsExceeded(3)));
+    }
+
+    #[test]
+    fn unknown_tool_from_reasoner_is_observed_not_fatal() {
+        struct Wrong {
+            calls: AtomicUsize,
+        }
+        impl Reasoner for Wrong {
+            fn decide(
+                &self,
+                _g: &str,
+                _r: &ToolRegistry,
+                _h: &[ReactStep],
+            ) -> ArchytasResult<PlannerDecision> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Ok(PlannerDecision::Act {
+                        thought: "try ghost".into(),
+                        tool: "ghost".into(),
+                        args: ToolArgs::new(),
+                    })
+                } else {
+                    Ok(PlannerDecision::Finish {
+                        thought: "give up".into(),
+                        answer: "done".into(),
+                    })
+                }
+            }
+        }
+        let agent = Agent::new(
+            registry(),
+            Arc::new(Wrong {
+                calls: AtomicUsize::new(0),
+            }),
+        );
+        let trace = agent.run("whatever").unwrap();
+        assert!(trace.steps[0].failed);
+        assert!(trace.steps[0].observation.contains("unknown tool"));
+        assert_eq!(trace.answer, "done");
+    }
+
+    #[test]
+    fn trace_goal_recorded() {
+        let agent = Agent::new(registry(), Arc::new(KeywordReasoner::new()));
+        let trace = agent.run(r#"load the dataset "x""#).unwrap();
+        assert_eq!(trace.goal, r#"load the dataset "x""#);
+    }
+}

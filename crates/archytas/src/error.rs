@@ -1,0 +1,42 @@
+//! Error types for the agent framework.
+
+use thiserror::Error;
+
+/// Framework errors.
+#[derive(Clone, Debug, Error, PartialEq, Eq)]
+pub enum ArchytasError {
+    #[error("unknown tool: {0}")]
+    UnknownTool(String),
+    #[error("tool {tool}: bad arguments: {reason}")]
+    BadArguments { tool: String, reason: String },
+    #[error("tool {tool} failed: {reason}")]
+    ToolFailed { tool: String, reason: String },
+    #[error("template error: {0}")]
+    Template(String),
+    #[error("agent exceeded {0} reasoning steps")]
+    MaxStepsExceeded(usize),
+    #[error("reasoner error: {0}")]
+    Reasoner(String),
+}
+
+pub type ArchytasResult<T> = Result<T, ArchytasError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert_eq!(
+            ArchytasError::UnknownTool("x".into()).to_string(),
+            "unknown tool: x"
+        );
+        assert!(ArchytasError::BadArguments {
+            tool: "t".into(),
+            reason: "r".into()
+        }
+        .to_string()
+        .contains("bad arguments"));
+        assert!(ArchytasError::MaxStepsExceeded(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,38 @@
+//! # archytas — ReAct agent framework
+//!
+//! Reproduction of the Archytas toolbox (paper §2.2): "a toolbox for
+//! enabling LLM agents to interact with various tools in order to solve
+//! tasks more effectively, following the ReAct (Reason & Action) paradigm.
+//! It is similar in functionality to existing solutions like LangChain, but
+//! focuses on providing a streamlined interface for tools."
+//!
+//! The pieces:
+//! * [`tool`] — the `@tool()` equivalent: a [`tool::Tool`] carries a
+//!   docstring, typed argument specs, and usage examples, all of which the
+//!   reasoner reads "as natural language" to decide when to use it;
+//! * [`template`] — the Jinja-style `{{variable}}` templating used inside
+//!   tool bodies (Figure 2);
+//! * [`react`] — the Thought → Action → Observation trace types;
+//! * [`planner`] — the reasoner interface plus a deterministic keyword
+//!   reasoner (substitution S3: the LLM brain is simulated by transparent
+//!   intent scoring so every demo run is reproducible);
+//! * [`agent`] — the loop that decomposes a user request into tool
+//!   invocations and iterates until the task is complete.
+
+pub mod agent;
+pub mod error;
+pub mod message;
+pub mod planner;
+pub mod react;
+pub mod registry;
+pub mod template;
+pub mod tool;
+
+pub use agent::Agent;
+pub use error::{ArchytasError, ArchytasResult};
+pub use message::{ChatMessage, Role};
+pub use planner::{KeywordReasoner, PlannerDecision, Reasoner};
+pub use react::{Action, ReactStep, ReactTrace};
+pub use registry::ToolRegistry;
+pub use template::render_template;
+pub use tool::{ArgKind, ArgSpec, FnTool, Tool, ToolOutput, ToolSpec};

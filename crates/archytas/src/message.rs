@@ -1,0 +1,72 @@
+//! Chat messages — the conversation state an agent maintains.
+
+use serde::{Deserialize, Serialize};
+
+/// Who authored a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    System,
+    User,
+    Assistant,
+    /// A tool observation fed back to the agent.
+    Tool,
+}
+
+/// One conversation message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    pub role: Role,
+    pub content: String,
+}
+
+impl ChatMessage {
+    pub fn system(content: impl Into<String>) -> Self {
+        Self {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    pub fn user(content: impl Into<String>) -> Self {
+        Self {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    pub fn assistant(content: impl Into<String>) -> Self {
+        Self {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+
+    pub fn tool(content: impl Into<String>) -> Self {
+        Self {
+            role: Role::Tool,
+            content: content.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_roles() {
+        assert_eq!(ChatMessage::system("s").role, Role::System);
+        assert_eq!(ChatMessage::user("u").role, Role::User);
+        assert_eq!(ChatMessage::assistant("a").role, Role::Assistant);
+        assert_eq!(ChatMessage::tool("t").role, Role::Tool);
+    }
+
+    #[test]
+    fn serializes() {
+        let m = ChatMessage::user("hello");
+        let j = serde_json::to_string(&m).unwrap();
+        assert!(j.contains("hello"));
+        let back: ChatMessage = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, m);
+    }
+}

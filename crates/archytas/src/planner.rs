@@ -1,0 +1,381 @@
+//! Reasoners — the agent's "brain".
+//!
+//! Substitution **S3** from DESIGN.md: in the real system an LLM reads the
+//! tool docstrings and decides, per ReAct, which tool to call next. Here
+//! the [`Reasoner`] trait abstracts that decision, and
+//! [`KeywordReasoner`] implements it deterministically: the user request is
+//! split into clauses, each clause is scored against every tool's
+//! name / docstring / examples (the exact text an LLM would attend to), and
+//! arguments are slot-filled from quoted spans and numbers. PalimpChat
+//! layers a domain-specific reasoner on top (see the `palimpchat` crate).
+
+use crate::error::ArchytasResult;
+use crate::react::ReactStep;
+use crate::registry::ToolRegistry;
+use crate::tool::{ArgKind, ToolArgs};
+use serde_json::Value;
+
+/// What the reasoner wants to do next.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlannerDecision {
+    /// Invoke a tool.
+    Act {
+        thought: String,
+        tool: String,
+        args: ToolArgs,
+    },
+    /// Stop and answer the user.
+    Finish { thought: String, answer: String },
+}
+
+/// The decision interface.
+pub trait Reasoner: Send + Sync {
+    fn decide(
+        &self,
+        goal: &str,
+        registry: &ToolRegistry,
+        history: &[ReactStep],
+    ) -> ArchytasResult<PlannerDecision>;
+}
+
+/// Split a request into sequential task clauses — the "decompose a user
+/// question into several tasks" behaviour of Figure 4.
+pub fn split_clauses(goal: &str) -> Vec<String> {
+    let mut clauses = vec![String::new()];
+    let lowered = goal.to_string();
+    let mut rest = lowered.as_str();
+    let separators = ["; ", " and then ", ", then ", " then ", ". "];
+    'outer: while !rest.is_empty() {
+        let mut first: Option<(usize, &str)> = None;
+        for sep in separators {
+            if let Some(pos) = rest.find(sep) {
+                if first.is_none_or(|(p, _)| pos < p) {
+                    first = Some((pos, sep));
+                }
+            }
+        }
+        match first {
+            Some((pos, sep)) => {
+                clauses
+                    .last_mut()
+                    .expect("non-empty")
+                    .push_str(&rest[..pos]);
+                clauses.push(String::new());
+                rest = &rest[pos + sep.len()..];
+            }
+            None => {
+                clauses.last_mut().expect("non-empty").push_str(rest);
+                break 'outer;
+            }
+        }
+    }
+    clauses
+        .into_iter()
+        .map(|c| c.trim().trim_end_matches('.').to_string())
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// Words of a text, lowercased, len > 2.
+fn words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() > 2)
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+/// Score how well `clause` matches a tool's metadata, the way an LLM reads
+/// docstrings: name tokens weigh most, examples next, docstring last.
+pub fn score_tool(clause: &str, spec: &crate::tool::ToolSpec) -> f64 {
+    let cw = words(clause);
+    if cw.is_empty() {
+        return 0.0;
+    }
+    let name_words = words(&spec.name.replace('_', " "));
+    let doc_words = words(&spec.docstring);
+    let example_words: Vec<String> = spec.examples.iter().flat_map(|e| words(e)).collect();
+    let mut score = 0.0;
+    for w in &cw {
+        if name_words.contains(w) {
+            score += 3.0;
+        }
+        if example_words.contains(w) {
+            score += 2.0;
+        }
+        if doc_words.contains(w) {
+            score += 1.0;
+        }
+    }
+    score / cw.len() as f64
+}
+
+/// Extract double-quoted spans from a clause.
+pub fn extract_quoted(clause: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = clause;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        match after.find('"') {
+            Some(end) => {
+                out.push(after[..end].to_string());
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Extract integer literals from a clause.
+pub fn extract_numbers(clause: &str) -> Vec<i64> {
+    clause
+        .split(|c: char| !c.is_ascii_digit() && c != '-')
+        .filter_map(|t| t.parse::<i64>().ok())
+        .collect()
+}
+
+/// Deterministic generic reasoner: one clause per step, best-scoring tool,
+/// slot-filled args.
+#[derive(Clone, Debug, Default)]
+pub struct KeywordReasoner {
+    /// Minimum score for a tool to be considered applicable.
+    pub min_score: f64,
+}
+
+impl KeywordReasoner {
+    pub fn new() -> Self {
+        Self { min_score: 0.15 }
+    }
+
+    fn fill_args(clause: &str, spec: &crate::tool::ToolSpec) -> ToolArgs {
+        let mut args = ToolArgs::new();
+        let mut quoted = extract_quoted(clause).into_iter();
+        let mut numbers = extract_numbers(clause).into_iter();
+        for a in &spec.args {
+            match a.kind {
+                ArgKind::Str => {
+                    if let Some(q) = quoted.next() {
+                        args.insert(a.name.clone(), Value::String(q));
+                    } else if a.required {
+                        // Fall back to the whole clause for the first
+                        // unfilled required string argument.
+                        args.insert(a.name.clone(), Value::String(clause.to_string()));
+                    }
+                }
+                ArgKind::Int => {
+                    if let Some(n) = numbers.next() {
+                        args.insert(a.name.clone(), Value::from(n));
+                    }
+                }
+                ArgKind::Float => {
+                    if let Some(n) = numbers.next() {
+                        args.insert(a.name.clone(), Value::from(n as f64));
+                    }
+                }
+                ArgKind::Bool => {}
+                ArgKind::StrList => {
+                    let items: Vec<Value> = quoted.by_ref().map(Value::String).collect();
+                    if !items.is_empty() {
+                        args.insert(a.name.clone(), Value::Array(items));
+                    }
+                }
+            }
+        }
+        args
+    }
+}
+
+impl Reasoner for KeywordReasoner {
+    fn decide(
+        &self,
+        goal: &str,
+        registry: &ToolRegistry,
+        history: &[ReactStep],
+    ) -> ArchytasResult<PlannerDecision> {
+        let clauses = split_clauses(goal);
+        let done = history.iter().filter(|s| s.action.is_some()).count();
+        if done >= clauses.len() {
+            let summary = history
+                .iter()
+                .filter(|s| s.action.is_some() && !s.failed)
+                .map(|s| s.observation.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ");
+            return Ok(PlannerDecision::Finish {
+                thought: "All tasks in the request have been handled.".into(),
+                answer: if summary.is_empty() {
+                    "Nothing to do.".into()
+                } else {
+                    summary
+                },
+            });
+        }
+        let clause = &clauses[done];
+        let mut best: Option<(f64, &crate::tool::ToolSpec)> = None;
+        for spec in registry.specs() {
+            let s = score_tool(clause, spec);
+            if best.is_none_or(|(bs, _)| s > bs) {
+                best = Some((s, spec));
+            }
+        }
+        match best {
+            Some((score, spec)) if score >= self.min_score => Ok(PlannerDecision::Act {
+                thought: format!(
+                    "Task {}/{}: {:?} looks like a job for the {} tool (score {score:.2}).",
+                    done + 1,
+                    clauses.len(),
+                    clause,
+                    spec.name
+                ),
+                tool: spec.name.clone(),
+                args: Self::fill_args(clause, spec),
+            }),
+            _ => Ok(PlannerDecision::Finish {
+                thought: format!("No registered tool matches {clause:?}."),
+                answer: format!(
+                    "I don't have a tool for {clause:?}; available tools: {}.",
+                    registry.names().join(", ")
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{ArgSpec, FnTool, ToolOutput, ToolSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn clause_splitting() {
+        assert_eq!(
+            split_clauses("load the papers and then filter for cancer; extract datasets"),
+            vec!["load the papers", "filter for cancer", "extract datasets"]
+        );
+        assert_eq!(split_clauses("single task"), vec!["single task"]);
+        assert_eq!(split_clauses(""), Vec::<String>::new());
+        assert_eq!(split_clauses("first. second."), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn quoted_and_numbers() {
+        assert_eq!(
+            extract_quoted(r#"filter for "colorectal cancer" and "tumors""#),
+            vec!["colorectal cancer", "tumors"]
+        );
+        assert_eq!(extract_quoted("no quotes"), Vec::<String>::new());
+        assert_eq!(extract_numbers("keep the top 5 of 100"), vec![5, 100]);
+    }
+
+    fn registry() -> ToolRegistry {
+        let mut r = ToolRegistry::new();
+        r.register(Arc::new(FnTool::new(
+            ToolSpec::new(
+                "load_dataset",
+                "Load an input dataset of files for processing.",
+            )
+            .with_arg(ArgSpec::new("name", ArgKind::Str, "Dataset name"))
+            .with_example("load the papers from a folder"),
+            |a: &ToolArgs| {
+                Ok(ToolOutput::text(format!(
+                    "loaded {}",
+                    a["name"].as_str().unwrap()
+                )))
+            },
+        )));
+        r.register(Arc::new(FnTool::new(
+            ToolSpec::new(
+                "filter_records",
+                "Filter records with a natural language predicate.",
+            )
+            .with_arg(ArgSpec::new("predicate", ArgKind::Str, "The condition"))
+            .with_example("filter for papers about cancer"),
+            |_: &ToolArgs| Ok(ToolOutput::text("filtered")),
+        )));
+        r
+    }
+
+    #[test]
+    fn scores_rank_matching_tool_higher() {
+        let r = registry();
+        let load = r.get("load_dataset").unwrap();
+        let filt = r.get("filter_records").unwrap();
+        let clause = "load the dataset of papers";
+        assert!(score_tool(clause, load.spec()) > score_tool(clause, filt.spec()));
+        let clause2 = "filter for papers about colorectal cancer";
+        assert!(score_tool(clause2, filt.spec()) > score_tool(clause2, load.spec()));
+    }
+
+    #[test]
+    fn decide_steps_through_clauses() {
+        let r = registry();
+        let reasoner = KeywordReasoner::new();
+        let goal =
+            r#"load the dataset "sigmod-demo" and then filter for "colorectal cancer" papers"#;
+        let d1 = reasoner.decide(goal, &r, &[]).unwrap();
+        let (tool1, args1) = match d1 {
+            PlannerDecision::Act { tool, args, .. } => (tool, args),
+            other => panic!("expected Act, got {other:?}"),
+        };
+        assert_eq!(tool1, "load_dataset");
+        assert_eq!(args1["name"], "sigmod-demo");
+
+        // Simulate the first step done.
+        let step = ReactStep {
+            thought: String::new(),
+            action: Some(crate::react::Action {
+                tool: tool1,
+                args: args1,
+            }),
+            observation: "loaded sigmod-demo".into(),
+            data: Value::Null,
+            failed: false,
+        };
+        let d2 = reasoner
+            .decide(goal, &r, std::slice::from_ref(&step))
+            .unwrap();
+        match d2 {
+            PlannerDecision::Act { tool, args, .. } => {
+                assert_eq!(tool, "filter_records");
+                assert_eq!(args["predicate"], "colorectal cancer");
+            }
+            other => panic!("expected Act, got {other:?}"),
+        }
+
+        // After both clauses: finish with a summary.
+        let step2 = ReactStep {
+            observation: "filtered".into(),
+            ..step.clone()
+        };
+        let d3 = reasoner.decide(goal, &r, &[step, step2]).unwrap();
+        match d3 {
+            PlannerDecision::Finish { answer, .. } => {
+                assert!(answer.contains("loaded sigmod-demo"));
+            }
+            other => panic!("expected Finish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_clause_finishes_gracefully() {
+        let r = registry();
+        let reasoner = KeywordReasoner::new();
+        let d = reasoner
+            .decide("perform quantum entanglement", &r, &[])
+            .unwrap();
+        match d {
+            PlannerDecision::Finish { answer, .. } => {
+                assert!(answer.contains("load_dataset"));
+            }
+            other => panic!("expected Finish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_goal_finishes() {
+        let r = registry();
+        let d = KeywordReasoner::new().decide("", &r, &[]).unwrap();
+        assert!(matches!(d, PlannerDecision::Finish { .. }));
+    }
+}

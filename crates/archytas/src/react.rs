@@ -1,0 +1,116 @@
+//! ReAct traces: Thought → Action → Observation sequences.
+//!
+//! Figure 4 shows the observable artifact: "the agent reasons and may
+//! decide to decompose a user question into several tasks required before
+//! execution." A [`ReactTrace`] records that decomposition.
+
+use crate::tool::ToolArgs;
+use serde_json::Value;
+
+/// One tool invocation the agent decided on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Action {
+    pub tool: String,
+    pub args: ToolArgs,
+}
+
+/// One Thought → Action → Observation cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReactStep {
+    /// The reasoning that led to the action.
+    pub thought: String,
+    /// The action taken (None on the terminal "finish" step).
+    pub action: Option<Action>,
+    /// What the tool returned (or the error text).
+    pub observation: String,
+    /// Structured data returned by the tool.
+    pub data: Value,
+    /// Whether the tool invocation failed.
+    pub failed: bool,
+}
+
+/// The full trace of one agent run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReactTrace {
+    pub goal: String,
+    pub steps: Vec<ReactStep>,
+    pub answer: String,
+}
+
+impl ReactTrace {
+    /// Number of tool invocations (excluding the finish step).
+    pub fn action_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.action.is_some()).count()
+    }
+
+    /// Names of the tools invoked, in order.
+    pub fn tools_used(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| s.action.as_ref().map(|a| a.tool.as_str()))
+            .collect()
+    }
+
+    /// Render the trace the way the chat UI shows it (Figure 4).
+    pub fn render(&self) -> String {
+        let mut s = format!("Goal: {}\n", self.goal);
+        for (i, step) in self.steps.iter().enumerate() {
+            s.push_str(&format!("Thought {}: {}\n", i + 1, step.thought));
+            if let Some(a) = &step.action {
+                s.push_str(&format!(
+                    "Action {}: {}({})\n",
+                    i + 1,
+                    a.tool,
+                    serde_json::to_string(&a.args).unwrap_or_default()
+                ));
+                s.push_str(&format!("Observation {}: {}\n", i + 1, step.observation));
+            }
+        }
+        s.push_str(&format!("Answer: {}\n", self.answer));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Map;
+
+    fn step(tool: Option<&str>) -> ReactStep {
+        ReactStep {
+            thought: "think".into(),
+            action: tool.map(|t| Action {
+                tool: t.into(),
+                args: Map::new(),
+            }),
+            observation: "obs".into(),
+            data: Value::Null,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn counts_and_tools() {
+        let trace = ReactTrace {
+            goal: "g".into(),
+            steps: vec![step(Some("a")), step(Some("b")), step(None)],
+            answer: "done".into(),
+        };
+        assert_eq!(trace.action_count(), 2);
+        assert_eq!(trace.tools_used(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn render_contains_thoughts_actions_answer() {
+        let trace = ReactTrace {
+            goal: "extract datasets".into(),
+            steps: vec![step(Some("create_schema"))],
+            answer: "pipeline built".into(),
+        };
+        let r = trace.render();
+        assert!(r.contains("Goal: extract datasets"));
+        assert!(r.contains("Thought 1"));
+        assert!(r.contains("Action 1: create_schema"));
+        assert!(r.contains("Answer: pipeline built"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Tool registry — the set of tools exposed to one agent.
+
+use crate::error::{ArchytasError, ArchytasResult};
+use crate::tool::{Tool, ToolSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Named collection of tools. Clones share the underlying tools.
+#[derive(Clone, Default)]
+pub struct ToolRegistry {
+    tools: BTreeMap<String, Arc<dyn Tool>>,
+}
+
+impl ToolRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tool under its spec name (replacing any previous one).
+    pub fn register(&mut self, tool: Arc<dyn Tool>) {
+        self.tools.insert(tool.spec().name.clone(), tool);
+    }
+
+    pub fn get(&self, name: &str) -> ArchytasResult<Arc<dyn Tool>> {
+        self.tools
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArchytasError::UnknownTool(name.to_string()))
+    }
+
+    pub fn specs(&self) -> Vec<&ToolSpec> {
+        self.tools.values().map(|t| t.spec()).collect()
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.tools.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+
+    /// Render the "tool manual" a real LLM agent would receive as context.
+    pub fn manual(&self) -> String {
+        let mut s = String::new();
+        for spec in self.specs() {
+            s.push_str(&format!("## {}\n{}\n", spec.name, spec.docstring));
+            if !spec.args.is_empty() {
+                s.push_str("Args:\n");
+                for a in &spec.args {
+                    s.push_str(&format!(
+                        "  - {}{}: {}\n",
+                        a.name,
+                        if a.required { "" } else { " (optional)" },
+                        a.description
+                    ));
+                }
+            }
+            for ex in &spec.examples {
+                s.push_str(&format!("Example: {ex}\n"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{ArgKind, ArgSpec, FnTool, ToolArgs, ToolOutput};
+
+    fn dummy(name: &str) -> Arc<dyn Tool> {
+        Arc::new(FnTool::new(
+            ToolSpec::new(name, format!("The {name} tool."))
+                .with_arg(ArgSpec::new("x", ArgKind::Str, "input"))
+                .with_example(format!("use {name} now")),
+            |_: &ToolArgs| Ok(ToolOutput::text("ok")),
+        ))
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut r = ToolRegistry::new();
+        r.register(dummy("alpha"));
+        r.register(dummy("beta"));
+        assert_eq!(r.len(), 2);
+        assert!(r.get("alpha").is_ok());
+        assert!(matches!(r.get("gamma"), Err(ArchytasError::UnknownTool(_))));
+        assert_eq!(r.names(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn replace_by_name() {
+        let mut r = ToolRegistry::new();
+        r.register(dummy("a"));
+        r.register(dummy("a"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn manual_includes_docstrings_args_examples() {
+        let mut r = ToolRegistry::new();
+        r.register(dummy("create_schema"));
+        let m = r.manual();
+        assert!(m.contains("## create_schema"));
+        assert!(m.contains("The create_schema tool."));
+        assert!(m.contains("- x: input"));
+        assert!(m.contains("Example: use create_schema now"));
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = ToolRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.manual().is_empty());
+    }
+}

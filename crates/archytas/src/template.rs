@@ -1,0 +1,488 @@
+//! Jinja-style templating.
+//!
+//! Figure 2: "a Jinja-based templated syntax can be used to inject run-time
+//! variables. Within the tool code, if a variable is expressed in round
+//! brackets as `{{variable}}`, the Archytas agent will fill the variable
+//! with a variable available at run-time."
+//!
+//! Supported subset:
+//! * `{{ var }}` — substitution (with dotted paths into objects:
+//!   `{{ user.name }}`);
+//! * filters: `{{ var | upper }}`, `lower`, `trim`, `json`, `length`,
+//!   `title`, `join` (arrays → comma-separated);
+//! * `{% if var %} … {% else %} … {% endif %}` — truthiness: null, false,
+//!   "", 0 and empty arrays are false;
+//! * `{% for x in items %} … {% endfor %}` — iteration over arrays, with
+//!   `{{ loop.index }}` (1-based).
+//!
+//! Unknown variables render as the empty string (matching Jinja's default
+//! lenient mode); syntax errors are reported as [`ArchytasError::Template`].
+
+use crate::error::{ArchytasError, ArchytasResult};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Variable bindings for a render.
+pub type Bindings = BTreeMap<String, Value>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Text(String),
+    /// Variable path + filter chain.
+    Var(Vec<String>, Vec<String>),
+    If {
+        path: Vec<String>,
+        then_body: Vec<Node>,
+        else_body: Vec<Node>,
+    },
+    For {
+        var: String,
+        path: Vec<String>,
+        body: Vec<Node>,
+    },
+}
+
+/// Render `template` with `vars`.
+pub fn render_template(template: &str, vars: &Bindings) -> ArchytasResult<String> {
+    let nodes = parse(template)?;
+    let mut out = String::new();
+    render_nodes(&nodes, vars, &mut out)?;
+    Ok(out)
+}
+
+// --- Parsing ---------------------------------------------------------------
+
+fn parse(template: &str) -> ArchytasResult<Vec<Node>> {
+    let mut tokens = tokenize(template)?;
+    let (nodes, rest) = parse_block(&mut tokens, None)?;
+    if let Some(tag) = rest {
+        return Err(ArchytasError::Template(format!("unexpected {{% {tag} %}}")));
+    }
+    Ok(nodes)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Text(String),
+    Expr(String),
+    Tag(String),
+}
+
+fn tokenize(template: &str) -> ArchytasResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut rest = template;
+    loop {
+        let next_expr = rest.find("{{");
+        let next_tag = rest.find("{%");
+        let (pos, is_expr) = match (next_expr, next_tag) {
+            (None, None) => {
+                if !rest.is_empty() {
+                    tokens.push(Token::Text(rest.to_string()));
+                }
+                break;
+            }
+            (Some(e), None) => (e, true),
+            (None, Some(t)) => (t, false),
+            (Some(e), Some(t)) => {
+                if e < t {
+                    (e, true)
+                } else {
+                    (t, false)
+                }
+            }
+        };
+        if pos > 0 {
+            tokens.push(Token::Text(rest[..pos].to_string()));
+        }
+        rest = &rest[pos..];
+        let (open, close) = if is_expr { ("{{", "}}") } else { ("{%", "%}") };
+        let end = rest[open.len()..]
+            .find(close)
+            .ok_or_else(|| ArchytasError::Template(format!("unclosed {open}")))?;
+        let inner = rest[open.len()..open.len() + end].trim().to_string();
+        tokens.push(if is_expr {
+            Token::Expr(inner)
+        } else {
+            Token::Tag(inner)
+        });
+        rest = &rest[open.len() + end + close.len()..];
+    }
+    tokens.reverse(); // consume from the back
+    Ok(tokens)
+}
+
+/// Parse until an end tag belonging to the enclosing construct; returns the
+/// consumed nodes and the terminating tag (if any).
+fn parse_block(
+    tokens: &mut Vec<Token>,
+    _enclosing: Option<&str>,
+) -> ArchytasResult<(Vec<Node>, Option<String>)> {
+    let mut nodes = Vec::new();
+    while let Some(tok) = tokens.pop() {
+        match tok {
+            Token::Text(t) => nodes.push(Node::Text(t)),
+            Token::Expr(e) => nodes.push(parse_expr(&e)?),
+            Token::Tag(tag) => {
+                if let Some(cond) = tag.strip_prefix("if ") {
+                    let path = parse_path(cond.trim())?;
+                    let (then_body, term) = parse_block(tokens, Some("if"))?;
+                    let (else_body, term) = match term.as_deref() {
+                        Some("else") => {
+                            let (e, t) = parse_block(tokens, Some("if"))?;
+                            (e, t)
+                        }
+                        other => (Vec::new(), other.map(|s| s.to_string())),
+                    };
+                    if term.as_deref() != Some("endif") {
+                        return Err(ArchytasError::Template("missing {% endif %}".into()));
+                    }
+                    nodes.push(Node::If {
+                        path,
+                        then_body,
+                        else_body,
+                    });
+                } else if let Some(rest_tag) = tag.strip_prefix("for ") {
+                    let spec = rest_tag.trim();
+                    let (var, path_str) = spec
+                        .split_once(" in ")
+                        .ok_or_else(|| ArchytasError::Template("for needs `x in xs`".into()))?;
+                    let (body, term) = parse_block(tokens, Some("for"))?;
+                    if term.as_deref() != Some("endfor") {
+                        return Err(ArchytasError::Template("missing {% endfor %}".into()));
+                    }
+                    nodes.push(Node::For {
+                        var: var.trim().to_string(),
+                        path: parse_path(path_str.trim())?,
+                        body,
+                    });
+                } else if tag == "else" || tag == "endif" || tag == "endfor" {
+                    return Ok((nodes, Some(tag)));
+                } else {
+                    return Err(ArchytasError::Template(format!("unknown tag {tag:?}")));
+                }
+            }
+        }
+    }
+    Ok((nodes, None))
+}
+
+fn parse_expr(e: &str) -> ArchytasResult<Node> {
+    let mut parts = e.split('|').map(str::trim);
+    let path = parse_path(parts.next().unwrap_or_default())?;
+    let filters: Vec<String> = parts.map(|f| f.to_string()).collect();
+    for f in &filters {
+        if !matches!(
+            f.as_str(),
+            "upper" | "lower" | "trim" | "json" | "length" | "title" | "join"
+        ) {
+            return Err(ArchytasError::Template(format!("unknown filter {f:?}")));
+        }
+    }
+    Ok(Node::Var(path, filters))
+}
+
+fn parse_path(s: &str) -> ArchytasResult<Vec<String>> {
+    if s.is_empty() {
+        return Err(ArchytasError::Template("empty variable".into()));
+    }
+    let path: Vec<String> = s.split('.').map(|p| p.trim().to_string()).collect();
+    if path.iter().any(|p| p.is_empty()) {
+        return Err(ArchytasError::Template(format!("bad path {s:?}")));
+    }
+    Ok(path)
+}
+
+// --- Rendering --------------------------------------------------------------
+
+fn lookup<'a>(vars: &'a Bindings, path: &[String]) -> Option<&'a Value> {
+    let mut current = vars.get(&path[0])?;
+    for seg in &path[1..] {
+        current = match current {
+            Value::Object(map) => map.get(seg)?,
+            Value::Array(arr) => arr.get(seg.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(current)
+}
+
+fn truthy(v: Option<&Value>) -> bool {
+    match v {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(Value::Number(n)) => n.as_f64().map(|f| f != 0.0).unwrap_or(true),
+        Some(Value::String(s)) => !s.is_empty(),
+        Some(Value::Array(a)) => !a.is_empty(),
+        Some(Value::Object(_)) => true,
+    }
+}
+
+fn to_display(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::String(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => n.to_string(),
+        other => serde_json::to_string(other).unwrap_or_default(),
+    }
+}
+
+fn render_nodes(nodes: &[Node], vars: &Bindings, out: &mut String) -> ArchytasResult<()> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Var(path, filters) => {
+                let mut s = lookup(vars, path).map(to_display).unwrap_or_default();
+                for f in filters {
+                    s = match f.as_str() {
+                        "upper" => s.to_uppercase(),
+                        "lower" => s.to_lowercase(),
+                        "trim" => s.trim().to_string(),
+                        "json" => {
+                            let v = lookup(vars, path).cloned().unwrap_or(Value::Null);
+                            serde_json::to_string(&v).unwrap_or_default()
+                        }
+                        "length" => match lookup(vars, path) {
+                            Some(Value::Array(a)) => a.len().to_string(),
+                            Some(Value::String(st)) => st.chars().count().to_string(),
+                            Some(Value::Object(o)) => o.len().to_string(),
+                            _ => "0".to_string(),
+                        },
+                        "title" => {
+                            let mut out = String::with_capacity(s.len());
+                            let mut cap = true;
+                            for ch in s.chars() {
+                                if cap && ch.is_alphabetic() {
+                                    out.extend(ch.to_uppercase());
+                                    cap = false;
+                                } else {
+                                    out.push(ch);
+                                    if ch.is_whitespace() {
+                                        cap = true;
+                                    }
+                                }
+                            }
+                            out
+                        }
+                        "join" => match lookup(vars, path) {
+                            Some(Value::Array(a)) => {
+                                a.iter().map(to_display).collect::<Vec<_>>().join(", ")
+                            }
+                            _ => s,
+                        },
+                        _ => unreachable!("filters validated at parse"),
+                    };
+                }
+                out.push_str(&s);
+            }
+            Node::If {
+                path,
+                then_body,
+                else_body,
+            } => {
+                if truthy(lookup(vars, path)) {
+                    render_nodes(then_body, vars, out)?;
+                } else {
+                    render_nodes(else_body, vars, out)?;
+                }
+            }
+            Node::For { var, path, body } => {
+                if let Some(Value::Array(items)) = lookup(vars, path) {
+                    for (i, item) in items.iter().enumerate() {
+                        let mut scope = vars.clone();
+                        scope.insert(var.clone(), item.clone());
+                        scope.insert(
+                            "loop".to_string(),
+                            serde_json::json!({ "index": i + 1, "first": i == 0 }),
+                        );
+                        render_nodes(body, &scope, out)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde_json::json;
+
+    fn vars(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn substitution() {
+        let v = vars(&[("schema_name", json!("Author"))]);
+        assert_eq!(
+            render_template("class_name = \"{{ schema_name }}\"", &v).unwrap(),
+            "class_name = \"Author\""
+        );
+    }
+
+    #[test]
+    fn missing_variable_is_empty() {
+        assert_eq!(
+            render_template("[{{ nope }}]", &Bindings::new()).unwrap(),
+            "[]"
+        );
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let v = vars(&[("user", json!({"name": "Ada", "org": {"id": 7}}))]);
+        assert_eq!(
+            render_template("{{ user.name }}/{{ user.org.id }}", &v).unwrap(),
+            "Ada/7"
+        );
+    }
+
+    #[test]
+    fn array_index_path() {
+        let v = vars(&[("xs", json!(["a", "b"]))]);
+        assert_eq!(render_template("{{ xs.1 }}", &v).unwrap(), "b");
+    }
+
+    #[test]
+    fn filters() {
+        let v = vars(&[("s", json!("  MiXeD  "))]);
+        assert_eq!(
+            render_template("{{ s | trim | lower }}", &v).unwrap(),
+            "mixed"
+        );
+        assert_eq!(
+            render_template("{{ s | upper | trim }}", &v).unwrap(),
+            "MIXED"
+        );
+        let v = vars(&[("xs", json!([1, 2]))]);
+        assert_eq!(render_template("{{ xs | json }}", &v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn extended_filters() {
+        let v = vars(&[("xs", json!(["a", "b", "c"])), ("s", json!("hello world"))]);
+        assert_eq!(render_template("{{ xs | length }}", &v).unwrap(), "3");
+        assert_eq!(render_template("{{ s | length }}", &v).unwrap(), "11");
+        assert_eq!(render_template("{{ xs | join }}", &v).unwrap(), "a, b, c");
+        assert_eq!(
+            render_template("{{ s | title }}", &v).unwrap(),
+            "Hello World"
+        );
+        assert_eq!(render_template("{{ missing | length }}", &v).unwrap(), "0");
+    }
+
+    #[test]
+    fn unknown_filter_errors() {
+        assert!(matches!(
+            render_template("{{ x | reverse }}", &Bindings::new()),
+            Err(ArchytasError::Template(_))
+        ));
+    }
+
+    #[test]
+    fn if_else() {
+        let t = "{% if flag %}yes{% else %}no{% endif %}";
+        assert_eq!(
+            render_template(t, &vars(&[("flag", json!(true))])).unwrap(),
+            "yes"
+        );
+        assert_eq!(
+            render_template(t, &vars(&[("flag", json!(false))])).unwrap(),
+            "no"
+        );
+        assert_eq!(render_template(t, &Bindings::new()).unwrap(), "no");
+        assert_eq!(
+            render_template(t, &vars(&[("flag", json!(""))])).unwrap(),
+            "no"
+        );
+        assert_eq!(
+            render_template(t, &vars(&[("flag", json!([1]))])).unwrap(),
+            "yes"
+        );
+    }
+
+    #[test]
+    fn if_without_else() {
+        let t = "{% if x %}on{% endif %}!";
+        assert_eq!(
+            render_template(t, &vars(&[("x", json!(1))])).unwrap(),
+            "on!"
+        );
+        assert_eq!(render_template(t, &Bindings::new()).unwrap(), "!");
+    }
+
+    #[test]
+    fn for_loop_with_index() {
+        // The create_schema tool pattern from Figure 2: iterate fields.
+        let v = vars(&[("fields", json!(["name", "email"]))]);
+        let t = "{% for f in fields %}{{ loop.index }}:{{ f }};{% endfor %}";
+        assert_eq!(render_template(t, &v).unwrap(), "1:name;2:email;");
+    }
+
+    #[test]
+    fn for_over_objects() {
+        let v = vars(&[("fs", json!([{"n": "a"}, {"n": "b"}]))]);
+        let t = "{% for f in fs %}{{ f.n }}{% endfor %}";
+        assert_eq!(render_template(t, &v).unwrap(), "ab");
+    }
+
+    #[test]
+    fn nested_constructs() {
+        let v = vars(&[("xs", json!([0, 1, 2]))]);
+        let t = "{% for x in xs %}{% if x %}{{ x }}{% else %}z{% endif %}{% endfor %}";
+        assert_eq!(render_template(t, &v).unwrap(), "z12");
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(render_template("{{ unclosed", &Bindings::new()).is_err());
+        assert!(render_template("{% if x %}no end", &Bindings::new()).is_err());
+        assert!(render_template("{% for x in %}{% endfor %}", &Bindings::new()).is_err());
+        assert!(render_template("{% endwhile %}", &Bindings::new()).is_err());
+        assert!(render_template("{% endfor %}", &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn figure2_tool_body_renders() {
+        let v = vars(&[
+            ("schema_name", json!("Author")),
+            ("schema_description", json!("Author info")),
+            ("field_names", json!(["name", "email", "affiliation"])),
+            (
+                "field_descriptions",
+                json!(["The author's name", "Email address", "Affiliation"]),
+            ),
+        ]);
+        let t = "class_name = \"{{ schema_name }}\"\n\
+                 doc = \"{{ schema_description }}\"\n\
+                 {% for f in field_names %}field {{ loop.index }}: {{ f }}\n{% endfor %}";
+        let out = render_template(t, &v).unwrap();
+        assert!(out.contains("class_name = \"Author\""));
+        assert!(out.contains("field 3: affiliation"));
+    }
+
+    proptest! {
+        #[test]
+        fn plain_text_round_trips(text in "[^{%]*") {
+            prop_assert_eq!(render_template(&text, &Bindings::new()).unwrap(), text);
+        }
+
+        #[test]
+        fn substitution_injects_value(name in "[a-z]{1,8}", val in "[a-zA-Z0-9 ]{0,20}") {
+            let v = vars(&[(&name, json!(val.clone()))]);
+            let t = format!("pre {{{{ {name} }}}} post");
+            prop_assert_eq!(render_template(&t, &v).unwrap(), format!("pre {val} post"));
+        }
+
+        #[test]
+        fn never_panics(template in "(?s).{0,80}") {
+            let _ = render_template(&template, &Bindings::new());
+        }
+    }
+}

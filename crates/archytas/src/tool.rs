@@ -1,0 +1,340 @@
+//! Tools — the `@tool()` equivalent.
+//!
+//! Paper §2.3: "All tools adhere to a similar pattern in terms of input and
+//! output. The general docstring of a tool summarizes what each tool
+//! accomplishes and when it is appropriate to use. The Args section of the
+//! docstring can be used to describe the input and output arguments [...]
+//! Providing a few examples of usage within the docstring proved to be the
+//! most efficient solution to improve the quality of the reasoning agent."
+//!
+//! A [`ToolSpec`] carries exactly that metadata; the deterministic reasoner
+//! scores it the way the LLM agent would read it.
+
+use crate::error::{ArchytasError, ArchytasResult};
+use serde_json::{Map, Value};
+
+/// Declared type of a tool argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArgKind {
+    Str,
+    Int,
+    Float,
+    Bool,
+    StrList,
+}
+
+/// One argument of a tool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgSpec {
+    pub name: String,
+    pub kind: ArgKind,
+    pub description: String,
+    pub required: bool,
+}
+
+impl ArgSpec {
+    pub fn new(name: impl Into<String>, kind: ArgKind, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            description: description.into(),
+            required: true,
+        }
+    }
+
+    pub fn optional(mut self) -> Self {
+        self.required = false;
+        self
+    }
+}
+
+/// Tool metadata — what the reasoning agent reads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ToolSpec {
+    /// Machine name, e.g. `create_schema`.
+    pub name: String,
+    /// The docstring: what the tool does and when to use it.
+    pub docstring: String,
+    pub args: Vec<ArgSpec>,
+    /// Example user requests this tool serves (docstring examples).
+    pub examples: Vec<String>,
+}
+
+impl ToolSpec {
+    pub fn new(name: impl Into<String>, docstring: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            docstring: docstring.into(),
+            args: Vec::new(),
+            examples: Vec::new(),
+        }
+    }
+
+    pub fn with_arg(mut self, arg: ArgSpec) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    pub fn with_example(mut self, ex: impl Into<String>) -> Self {
+        self.examples.push(ex.into());
+        self
+    }
+}
+
+/// Result of a tool invocation: text for the observation plus structured
+/// data for downstream tools.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ToolOutput {
+    pub text: String,
+    pub data: Value,
+}
+
+impl ToolOutput {
+    pub fn text(s: impl Into<String>) -> Self {
+        Self {
+            text: s.into(),
+            data: Value::Null,
+        }
+    }
+
+    pub fn with_data(mut self, data: Value) -> Self {
+        self.data = data;
+        self
+    }
+}
+
+/// Arguments passed to a tool.
+pub type ToolArgs = Map<String, Value>;
+
+/// A callable tool.
+pub trait Tool: Send + Sync {
+    fn spec(&self) -> &ToolSpec;
+
+    /// Invoke with validated arguments.
+    fn invoke(&self, args: &ToolArgs) -> ArchytasResult<ToolOutput>;
+}
+
+/// Validate and coerce `args` against a spec: required args present,
+/// values of the declared kind (numbers may arrive as numeric strings from
+/// slot extraction; they are coerced). Unknown arguments are rejected.
+pub fn validate_args(spec: &ToolSpec, args: &ToolArgs) -> ArchytasResult<ToolArgs> {
+    for key in args.keys() {
+        if !spec.args.iter().any(|a| &a.name == key) {
+            return Err(ArchytasError::BadArguments {
+                tool: spec.name.clone(),
+                reason: format!("unknown argument {key:?}"),
+            });
+        }
+    }
+    let mut out = ToolArgs::new();
+    for a in &spec.args {
+        match args.get(&a.name) {
+            None | Some(Value::Null) => {
+                if a.required {
+                    return Err(ArchytasError::BadArguments {
+                        tool: spec.name.clone(),
+                        reason: format!("missing required argument {:?}", a.name),
+                    });
+                }
+            }
+            Some(v) => {
+                out.insert(a.name.clone(), coerce(spec, a, v)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn coerce(spec: &ToolSpec, a: &ArgSpec, v: &Value) -> ArchytasResult<Value> {
+    let bad = |why: &str| ArchytasError::BadArguments {
+        tool: spec.name.clone(),
+        reason: format!("argument {:?}: {why}", a.name),
+    };
+    Ok(match (a.kind, v) {
+        (ArgKind::Str, Value::String(_)) => v.clone(),
+        (ArgKind::Str, other) => Value::String(match other {
+            Value::Number(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            _ => return Err(bad("expected string")),
+        }),
+        (ArgKind::Int, Value::Number(n)) if n.is_i64() => v.clone(),
+        (ArgKind::Int, Value::String(s)) => Value::from(
+            s.trim()
+                .parse::<i64>()
+                .map_err(|_| bad("expected integer"))?,
+        ),
+        (ArgKind::Int, _) => return Err(bad("expected integer")),
+        (ArgKind::Float, Value::Number(_)) => v.clone(),
+        (ArgKind::Float, Value::String(s)) => Value::from(
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| bad("expected number"))?,
+        ),
+        (ArgKind::Float, _) => return Err(bad("expected number")),
+        (ArgKind::Bool, Value::Bool(_)) => v.clone(),
+        (ArgKind::Bool, Value::String(s)) => match s.to_ascii_lowercase().as_str() {
+            "true" | "yes" => Value::Bool(true),
+            "false" | "no" => Value::Bool(false),
+            _ => return Err(bad("expected boolean")),
+        },
+        (ArgKind::Bool, _) => return Err(bad("expected boolean")),
+        (ArgKind::StrList, Value::Array(items)) => {
+            let mut list = Vec::with_capacity(items.len());
+            for it in items {
+                match it {
+                    Value::String(s) => list.push(Value::String(s.clone())),
+                    _ => return Err(bad("expected list of strings")),
+                }
+            }
+            Value::Array(list)
+        }
+        (ArgKind::StrList, Value::String(s)) => Value::Array(
+            s.split(',')
+                .map(|p| Value::String(p.trim().to_string()))
+                .collect(),
+        ),
+        (ArgKind::StrList, _) => return Err(bad("expected list of strings")),
+    })
+}
+
+/// A tool built from a closure — the `@tool()` decorator equivalent.
+pub struct FnTool<F> {
+    spec: ToolSpec,
+    f: F,
+}
+
+impl<F> FnTool<F>
+where
+    F: Fn(&ToolArgs) -> ArchytasResult<ToolOutput> + Send + Sync,
+{
+    pub fn new(spec: ToolSpec, f: F) -> Self {
+        Self { spec, f }
+    }
+}
+
+impl<F> Tool for FnTool<F>
+where
+    F: Fn(&ToolArgs) -> ArchytasResult<ToolOutput> + Send + Sync,
+{
+    fn spec(&self) -> &ToolSpec {
+        &self.spec
+    }
+
+    fn invoke(&self, args: &ToolArgs) -> ArchytasResult<ToolOutput> {
+        let validated = validate_args(&self.spec, args)?;
+        (self.f)(&validated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn spec() -> ToolSpec {
+        ToolSpec::new("create_schema", "Generate a new extraction schema.")
+            .with_arg(ArgSpec::new("schema_name", ArgKind::Str, "Name"))
+            .with_arg(ArgSpec::new("field_names", ArgKind::StrList, "Fields"))
+            .with_arg(ArgSpec::new("max_fields", ArgKind::Int, "Cap").optional())
+            .with_example("extract author information from a paper")
+    }
+
+    fn args(v: Value) -> ToolArgs {
+        v.as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn validate_accepts_good_args() {
+        let out = validate_args(
+            &spec(),
+            &args(json!({"schema_name": "Author", "field_names": ["name", "email"]})),
+        )
+        .unwrap();
+        assert_eq!(out["schema_name"], "Author");
+        assert_eq!(out["field_names"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_missing_required() {
+        let err = validate_args(&spec(), &args(json!({"schema_name": "A"}))).unwrap_err();
+        assert!(err.to_string().contains("field_names"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown() {
+        let err = validate_args(
+            &spec(),
+            &args(json!({"schema_name": "A", "field_names": [], "wat": 1})),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("wat"));
+    }
+
+    #[test]
+    fn optional_args_may_be_absent() {
+        let out = validate_args(
+            &spec(),
+            &args(json!({"schema_name": "A", "field_names": ["x"]})),
+        )
+        .unwrap();
+        assert!(!out.contains_key("max_fields"));
+    }
+
+    #[test]
+    fn coercions() {
+        let out = validate_args(
+            &spec(),
+            &args(json!({
+                "schema_name": 42,
+                "field_names": "a, b , c",
+                "max_fields": "7"
+            })),
+        )
+        .unwrap();
+        assert_eq!(out["schema_name"], "42");
+        assert_eq!(out["field_names"].as_array().unwrap().len(), 3);
+        assert_eq!(out["field_names"][1], "b");
+        assert_eq!(out["max_fields"], 7);
+    }
+
+    #[test]
+    fn bad_coercions_fail() {
+        assert!(validate_args(
+            &spec(),
+            &args(json!({"schema_name": "A", "field_names": ["x"], "max_fields": "many"})),
+        )
+        .is_err());
+        assert!(validate_args(
+            &spec(),
+            &args(json!({"schema_name": "A", "field_names": [1, 2]})),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fn_tool_invokes_with_validation() {
+        let tool = FnTool::new(spec(), |a: &ToolArgs| {
+            Ok(ToolOutput::text(format!(
+                "created {}",
+                a["schema_name"].as_str().unwrap()
+            )))
+        });
+        let out = tool
+            .invoke(&args(
+                json!({"schema_name": "Author", "field_names": ["n"]}),
+            ))
+            .unwrap();
+        assert_eq!(out.text, "created Author");
+        // Validation runs inside invoke.
+        assert!(tool.invoke(&args(json!({}))).is_err());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = spec();
+        assert_eq!(s.name, "create_schema");
+        assert_eq!(s.args.len(), 3);
+        assert_eq!(s.examples.len(), 1);
+        assert!(!s.args[2].required);
+    }
+}

@@ -1,0 +1,87 @@
+//! E11/E12 wall-clock ablations: cache on/off re-runs and the filter
+//! physical strategies.
+
+use bench::{demo_context, demo_plan, science_context, DEMO_DATASET};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::prelude::*;
+use pz_llm::protocol::Effort;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(10);
+    group.bench_function("rerun_no_cache", |b| {
+        b.iter(|| {
+            let (ctx, _) = demo_context();
+            let plan = demo_plan();
+            execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+            let o = execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+            black_box(o.records.len())
+        })
+    });
+    group.bench_function("rerun_with_cache", |b| {
+        b.iter(|| {
+            let (ctx, _) = demo_context();
+            let ctx = ctx.with_cache();
+            let plan = demo_plan();
+            execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+            let o = execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+            black_box(o.records.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_filter_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_strategy");
+    group.sample_size(10);
+    let strategies: Vec<(&str, PhysicalOp)> = vec![
+        (
+            "llm_standard",
+            PhysicalOp::LlmFilter {
+                predicate: pz_datagen::science::FILTER_PREDICATE.into(),
+                model: "gpt-4o".into(),
+                effort: Effort::Standard,
+            },
+        ),
+        (
+            "ensemble",
+            PhysicalOp::EnsembleFilter {
+                predicate: pz_datagen::science::FILTER_PREDICATE.into(),
+                models: vec!["gpt-4o".into(), "llama-3-70b".into(), "gpt-4o-mini".into()],
+                effort: Effort::Standard,
+            },
+        ),
+        (
+            "embedding",
+            PhysicalOp::EmbeddingFilter {
+                predicate: pz_datagen::science::FILTER_PREDICATE.into(),
+                model: "text-embedding-3-small".into(),
+                threshold: 0.30,
+            },
+        ),
+    ];
+    for (name, op) in strategies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (ctx, _) = science_context(30, 41);
+                let plan = PhysicalPlan {
+                    ops: vec![
+                        PhysicalOp::Scan {
+                            dataset: DEMO_DATASET.into(),
+                        },
+                        op.clone(),
+                    ],
+                };
+                let (records, _) =
+                    pz_core::exec::execute_plan(&ctx, &plan, ExecutionConfig::sequential())
+                        .unwrap();
+                black_box(records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_filter_strategies);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 bench: chat-turn handling — planning a multi-step utterance and a
+//! full ReAct turn through the tool suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palimpchat::planner::plan_tasks;
+use palimpchat::PalimpChat;
+use std::hint::black_box;
+
+const FIGURE4_UTTERANCE: &str =
+    "I'm interested in papers that are about colorectal cancer, and for these papers, \
+     extract whatever public dataset is used by the study";
+
+fn bench_planning(c: &mut Criterion) {
+    c.bench_function("plan_tasks_figure4", |b| {
+        b.iter(|| black_box(plan_tasks(black_box(FIGURE4_UTTERANCE)).len()))
+    });
+
+    let mut group = c.benchmark_group("chat_turn");
+    group.sample_size(20);
+    group.bench_function("load_dataset_turn", |b| {
+        b.iter(|| {
+            let mut chat = PalimpChat::new();
+            let resp = chat
+                .handle(black_box("load the dataset of scientific papers"))
+                .expect("turn");
+            black_box(resp.trace.action_count())
+        })
+    });
+    group.bench_function("figure4_turn", |b| {
+        b.iter(|| {
+            let mut chat = PalimpChat::new();
+            chat.handle("load the dataset of scientific papers")
+                .expect("turn");
+            let resp = chat.handle(black_box(FIGURE4_UTTERANCE)).expect("turn");
+            black_box(resp.trace.action_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

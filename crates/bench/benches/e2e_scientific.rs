@@ -1,0 +1,35 @@
+//! E1/E2 wall-clock bench: the full scientific-discovery pipeline
+//! (optimize + execute) on the 11-paper demo corpus.
+
+use bench::{demo_context, demo_plan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_scientific");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("max_quality", Policy::MaxQuality),
+        ("min_cost", Policy::MinCost),
+        ("min_time", Policy::MinTime),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (ctx, _) = demo_context();
+                let outcome = execute(
+                    &ctx,
+                    &demo_plan(),
+                    black_box(&policy),
+                    ExecutionConfig::sequential(),
+                )
+                .expect("pipeline runs");
+                black_box(outcome.records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

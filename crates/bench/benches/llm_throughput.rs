@@ -1,0 +1,54 @@
+//! Substrate bench: simulated-LLM call throughput for the three prompt
+//! kinds pipelines issue (filter, extract, embed). Wall-clock only — the
+//! virtual-latency accounting is free by design.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pz_llm::protocol::{extract_prompt, filter_prompt, Cardinality, FieldSpec};
+use pz_llm::{CompletionRequest, EmbeddingRequest, LlmClient, SimulatedLlm};
+use std::hint::black_box;
+
+const DOC: &str = "Title: Gene mutation profiles in colorectal cancer tumors\n\
+    Abstract: We study somatic mutation patterns in colorectal cancer tumor \
+    cells using public genomic cohorts across multiple hospitals and cohorts.\n\
+    Dataset: TCGA-COADREAD\n\
+    Description: Colorectal adenocarcinoma multi omics cohort\n\
+    URL: https://portal.gdc.cancer.gov/projects/TCGA-COADREAD\n";
+
+fn bench_llm(c: &mut Criterion) {
+    let sim = SimulatedLlm::with_defaults();
+    let mut group = c.benchmark_group("sim_llm");
+    group.throughput(Throughput::Elements(1));
+
+    let filter_req = CompletionRequest::new(
+        "gpt-4o",
+        filter_prompt("The papers are about colorectal cancer", DOC),
+    );
+    group.bench_function("filter_call", |b| {
+        b.iter(|| black_box(sim.complete(black_box(&filter_req)).unwrap().text.len()))
+    });
+
+    let fields = vec![
+        FieldSpec::new("name", "The dataset name"),
+        FieldSpec::new("description", "A short description"),
+        FieldSpec::new("url", "The public URL"),
+    ];
+    let extract_req = CompletionRequest::new(
+        "gpt-4o",
+        extract_prompt(&fields, Cardinality::OneToMany, DOC),
+    );
+    group.bench_function("extract_call", |b| {
+        b.iter(|| black_box(sim.complete(black_box(&extract_req)).unwrap().text.len()))
+    });
+
+    let embed_req = EmbeddingRequest {
+        model: "text-embedding-3-small".into(),
+        inputs: vec![DOC.to_string()],
+    };
+    group.bench_function("embed_call", |b| {
+        b.iter(|| black_box(sim.embed(black_box(&embed_req)).unwrap().vectors.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E4 bench: exhaustive enumeration vs Pareto-pruned enumeration as the
+//! number of semantic operators grows.
+
+use bench::chain_plan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pz_core::optimizer::cost::{estimate_plan, CostContext};
+use pz_core::optimizer::{enumerate, pareto};
+use pz_llm::Catalog;
+use std::hint::black_box;
+
+fn cost_ctx(catalog: &Catalog) -> CostContext {
+    CostContext {
+        catalog: catalog.clone(),
+        input_cardinality: 100.0,
+        avg_record_tokens: 3000.0,
+        build_cardinality: Default::default(),
+        calibration: None,
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let catalog = Catalog::builtin();
+    let ctx = cost_ctx(&catalog);
+    let mut group = c.benchmark_group("plan_enumeration");
+
+    for n in [1usize, 2, 3] {
+        let plan = chain_plan(n);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &plan, |b, plan| {
+            b.iter(|| {
+                let plans = enumerate::enumerate_plans(plan, &catalog, usize::MAX);
+                let best = plans
+                    .iter()
+                    .map(|p| estimate_plan(p, &ctx))
+                    .fold(f64::INFINITY, |acc, e| acc.min(e.cost_usd));
+                black_box(best)
+            })
+        });
+    }
+    for n in [1usize, 3, 5] {
+        let plan = chain_plan(n);
+        group.bench_with_input(BenchmarkId::new("pareto_dp", n), &plan, |b, plan| {
+            b.iter(|| black_box(pareto::enumerate_pareto(plan, &catalog, &ctx).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 bench: optimizer ranking time under each policy (enumeration +
+//! estimation + Pareto + choice, no execution).
+
+use bench::{demo_context, demo_plan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::optimizer::Optimizer;
+use pz_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let (ctx, _) = demo_context();
+    let plan = demo_plan();
+    let optimizer = Optimizer::default();
+    let mut group = c.benchmark_group("policy_sweep");
+    for (name, policy) in [
+        ("max_quality", Policy::MaxQuality),
+        ("min_cost", Policy::MinCost),
+        ("min_time", Policy::MinTime),
+        ("quality_at_cost", Policy::MaxQualityAtCost(0.05)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (chosen, est, _) = optimizer
+                    .optimize(black_box(&ctx), black_box(&plan), black_box(&policy))
+                    .expect("optimize");
+                black_box((chosen.ops.len(), est.cost_usd))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 bench: corpus-size and worker scaling of pipeline execution
+//! (wall-clock; the virtual-clock scaling table is in `repro --exp e8`).
+
+use bench::{demo_plan, science_context};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pz_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n in [11usize, 50] {
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("papers{n}"), format!("w{workers}")),
+                &(n, workers),
+                |b, &(n, workers)| {
+                    b.iter(|| {
+                        let (ctx, _) = science_context(n, 17);
+                        let outcome = execute(
+                            &ctx,
+                            &demo_plan(),
+                            &Policy::MinCost,
+                            ExecutionConfig::parallel(workers),
+                        )
+                        .expect("pipeline runs");
+                        black_box(outcome.records.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

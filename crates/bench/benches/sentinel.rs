@@ -1,0 +1,28 @@
+//! E9 bench: sentinel calibration cost as a function of sample size.
+
+use bench::{demo_plan, science_context};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pz_core::optimizer::sentinel::calibrate;
+use std::hint::black_box;
+
+fn bench_sentinel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sentinel");
+    group.sample_size(10);
+    for sample in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sample),
+            &sample,
+            |b, &sample| {
+                b.iter(|| {
+                    let (ctx, _) = science_context(40, 29);
+                    let calib = calibrate(&ctx, &demo_plan(), sample).expect("calibration");
+                    black_box(calib.quality.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sentinel);
+criterion_main!(benches);

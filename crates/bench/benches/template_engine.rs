@@ -1,0 +1,43 @@
+//! Substrate bench: the Archytas template engine on the Figure 2 tool body.
+
+use archytas::template::{render_template, Bindings};
+use criterion::{criterion_group, criterion_main, Criterion};
+use palimpchat::codegen::CREATE_SCHEMA_TEMPLATE;
+use serde_json::json;
+use std::hint::black_box;
+
+fn bench_template(c: &mut Criterion) {
+    let mut vars = Bindings::new();
+    vars.insert("schema_name".into(), json!("ClinicalData"));
+    vars.insert(
+        "schema_description".into(),
+        json!("A schema for extracting clinical data datasets from papers."),
+    );
+    vars.insert("field_names".into(), json!(["name", "description", "url"]));
+
+    c.bench_function("render_figure2_template", |b| {
+        b.iter(|| {
+            black_box(
+                render_template(black_box(CREATE_SCHEMA_TEMPLATE), black_box(&vars))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    let big_list: Vec<String> = (0..100).map(|i| format!("field_{i}")).collect();
+    let mut big_vars = vars.clone();
+    big_vars.insert("field_names".into(), json!(big_list));
+    c.bench_function("render_100_field_loop", |b| {
+        b.iter(|| {
+            black_box(
+                render_template(CREATE_SCHEMA_TEMPLATE, black_box(&big_vars))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_template);
+criterion_main!(benches);

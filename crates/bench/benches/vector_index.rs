@@ -1,0 +1,72 @@
+//! E10 bench: vector index search — exact flat scan vs IVF at several
+//! probe counts, and IVF build time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pz_vector::{FlatIndex, IvfConfig, IvfIndex, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn corpus(n: usize, dim: usize) -> Vec<(u64, Vec<f32>)> {
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..n)
+        .map(|i| {
+            (
+                i as u64,
+                (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_vector(c: &mut Criterion) {
+    let dim = 64;
+    let data = corpus(20_000, dim);
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    for (_, v) in &data {
+        flat.add(v);
+    }
+    let ivf = IvfIndex::build(
+        dim,
+        Metric::Cosine,
+        IvfConfig {
+            nlist: 64,
+            nprobe: 8,
+            ..Default::default()
+        },
+        &data,
+    );
+    let query = data[7].1.clone();
+
+    let mut group = c.benchmark_group("vector_search_20k");
+    group.bench_function("flat", |b| {
+        b.iter(|| black_box(flat.search(black_box(&query), 10).len()))
+    });
+    for nprobe in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("ivf", nprobe), &nprobe, |b, &np| {
+            b.iter(|| black_box(ivf.search_with_nprobe(black_box(&query), 10, np).len()))
+        });
+    }
+    group.finish();
+
+    let small = corpus(5_000, dim);
+    c.bench_function("ivf_build_5k", |b| {
+        b.iter(|| {
+            let idx = IvfIndex::build(
+                dim,
+                Metric::Cosine,
+                IvfConfig {
+                    nlist: 32,
+                    nprobe: 4,
+                    iterations: 5,
+                    ..Default::default()
+                },
+                black_box(&small),
+            );
+            black_box(idx.nlist())
+        })
+    });
+}
+
+criterion_group!(benches, bench_vector);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Interactive PalimpChat REPL.
+//!
+//! ```text
+//! $ cargo run -p palimpchat --bin palimpchat-repl
+//! you> load the dataset of scientific papers
+//! ...
+//! ```
+//!
+//! Type `:trace` to toggle the ReAct trace display, `:quit` to exit.
+
+use palimpchat::PalimpChat;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut chat = PalimpChat::new();
+    let mut show_trace = false;
+    let stdin = io::stdin();
+    println!(
+        "PalimpChat (reproduction) — declarative AI analytics through chat.\n\
+         Try: \"load the dataset of scientific papers\", then\n\
+         \"I'm interested in papers about colorectal cancer, and for these papers, \
+         extract whatever public dataset is used by the study\",\n\
+         then \"run the pipeline with maximum quality\". (:trace toggles traces, :quit exits)\n"
+    );
+    loop {
+        print!("you> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | "exit" => break,
+            ":trace" => {
+                show_trace = !show_trace;
+                println!("trace display: {}", if show_trace { "on" } else { "off" });
+                continue;
+            }
+            _ => {}
+        }
+        match chat.handle(line) {
+            Ok(resp) => {
+                if show_trace {
+                    println!("{}", resp.trace.render());
+                }
+                println!("palimpchat> {}\n", resp.reply);
+            }
+            Err(e) => println!("palimpchat> error: {e}\n"),
+        }
+    }
+    println!("bye.");
+}

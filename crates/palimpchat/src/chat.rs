@@ -1,0 +1,183 @@
+//! The conversation facade: one struct the REPL and the examples drive.
+
+use crate::planner::PalimpPlanner;
+use crate::session::{new_session, SessionHandle};
+use crate::tools::build_registry;
+use archytas::{Agent, ArchytasResult, ChatMessage, ReactTrace};
+use std::sync::Arc;
+
+/// The reply to one chat turn.
+#[derive(Clone, Debug)]
+pub struct ChatResponse {
+    /// The assistant's answer text.
+    pub reply: String,
+    /// The full ReAct trace behind it (Figure 4's panel).
+    pub trace: ReactTrace,
+}
+
+/// A PalimpChat conversation: agent + session + history.
+pub struct PalimpChat {
+    session: SessionHandle,
+    agent: Agent,
+    history: Vec<ChatMessage>,
+}
+
+impl Default for PalimpChat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PalimpChat {
+    /// Fresh session over the simulated substrate.
+    pub fn new() -> Self {
+        let session = new_session();
+        Self::with_session(session)
+    }
+
+    /// Build over an existing session (used by tests and examples that
+    /// pre-register data).
+    pub fn with_session(session: SessionHandle) -> Self {
+        let registry = build_registry(session.clone());
+        let agent = Agent::new(registry, Arc::new(PalimpPlanner::new())).with_max_steps(24);
+        Self {
+            session,
+            agent,
+            history: Vec::new(),
+        }
+    }
+
+    pub fn session(&self) -> &SessionHandle {
+        &self.session
+    }
+
+    pub fn history(&self) -> &[ChatMessage] {
+        &self.history
+    }
+
+    /// Handle one user turn: run the agent, record the conversation.
+    pub fn handle(&mut self, user_message: &str) -> ArchytasResult<ChatResponse> {
+        self.history.push(ChatMessage::user(user_message));
+        let trace = self.agent.run(user_message)?;
+        let reply = if trace.answer.is_empty() {
+            "Done.".to_string()
+        } else {
+            trace.answer.clone()
+        };
+        self.history.push(ChatMessage::assistant(reply.clone()));
+        Ok(ChatResponse { reply, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full §3 demonstration dialogue, end to end.
+    #[test]
+    fn scientific_discovery_dialogue() {
+        let mut chat = PalimpChat::new();
+
+        // Figure 3: set the input dataset.
+        let r1 = chat
+            .handle("Please load the dataset of scientific papers from my folder")
+            .unwrap();
+        assert_eq!(r1.trace.tools_used(), vec!["register_dataset"]);
+        assert!(r1.reply.contains("11 records"));
+
+        // Figure 4: one utterance → filter + schema + convert.
+        let r2 = chat
+            .handle(
+                "I'm interested in papers that are about colorectal cancer, and for these \
+                 papers, extract whatever public dataset is used by the study",
+            )
+            .unwrap();
+        assert_eq!(
+            r2.trace.tools_used(),
+            vec!["add_filter", "create_schema", "add_convert"]
+        );
+        assert!(
+            r2.trace.action_count() >= 3,
+            "decomposed into several tasks"
+        );
+
+        // Execute with MaxQuality (the demo's choice).
+        let r3 = chat
+            .handle("run the pipeline with maximum quality")
+            .unwrap();
+        assert_eq!(
+            r3.trace.tools_used(),
+            vec!["set_policy", "execute_pipeline"]
+        );
+        assert!(r3.reply.contains("output record"), "{}", r3.reply);
+
+        // Figure 5: statistics.
+        let r4 = chat
+            .handle("how much did the run cost and how long did it take?")
+            .unwrap();
+        assert!(r4.reply.contains("TOTAL"), "{}", r4.reply);
+
+        // Figure 6: export the generated code.
+        let r5 = chat
+            .handle("download the notebook with the generated code")
+            .unwrap();
+        assert!(r5.reply.contains("Execute(output, policy=policy)"));
+
+        // Session state reflects the whole dialogue.
+        let state = chat.session().lock();
+        let outcome = state.last_outcome.as_ref().unwrap();
+        assert!(
+            (4..=8).contains(&outcome.records.len()),
+            "{}",
+            outcome.records.len()
+        );
+        assert!(outcome.stats.total_cost_usd > 0.0);
+        assert_eq!(chat.history.len(), 10); // five user + five assistant turns
+    }
+
+    #[test]
+    fn unknown_request_gets_help_text() {
+        let mut chat = PalimpChat::new();
+        let r = chat.handle("what's the meaning of life?").unwrap();
+        assert_eq!(r.trace.action_count(), 0);
+        assert!(r.reply.contains("load datasets") || r.reply.contains("What would you like"));
+    }
+
+    #[test]
+    fn error_observation_surfaces_in_reply() {
+        let mut chat = PalimpChat::new();
+        // Running before loading anything: the tool fails, the agent
+        // reports it rather than crashing.
+        let r = chat.handle("run the pipeline").unwrap();
+        assert!(r.trace.steps.iter().any(|s| s.failed));
+        assert!(r.reply.contains("failed"), "{}", r.reply);
+    }
+
+    #[test]
+    fn classification_dialogue() {
+        let mut chat = PalimpChat::new();
+        chat.handle("load the legal discovery emails").unwrap();
+        let r = chat
+            .handle("categorize the emails into acme initech merger deal and office social staff")
+            .unwrap();
+        assert_eq!(r.trace.tools_used(), vec!["add_classify"]);
+        let r = chat.handle("run the pipeline with minimum cost").unwrap();
+        assert!(r.reply.contains("output record"), "{}", r.reply);
+        let state = chat.session().lock();
+        let outcome = state.last_outcome.as_ref().unwrap();
+        assert_eq!(outcome.records.len(), 12, "classification drops nothing");
+        assert!(outcome
+            .records
+            .iter()
+            .all(|rec| rec.fields.contains_key("category")));
+    }
+
+    #[test]
+    fn history_accumulates_roles() {
+        let mut chat = PalimpChat::new();
+        chat.handle("load the scientific papers dataset").unwrap();
+        assert_eq!(chat.history().len(), 2);
+        assert_eq!(chat.history()[0].role, archytas::Role::User);
+        assert_eq!(chat.history()[1].role, archytas::Role::Assistant);
+    }
+}

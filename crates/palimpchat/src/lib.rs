@@ -1,0 +1,33 @@
+//! # palimpchat — declarative and interactive AI analytics through chat
+//!
+//! The top of the stack (paper §2.3): "The PalimpChat interface integrates
+//! Palimpzest with Archytas by exposing a series of tools that the
+//! LLM-based agent can leverage. Essentially, these tools correspond to
+//! templated code snippets that can 1. perform fundamental Palimpzest
+//! operations (e.g., registering a dataset, generating schemas, filtering
+//! records) and 2. orchestrate entire pipelines of transformations."
+//!
+//! * [`session`] — the shared session state every tool mutates: registered
+//!   datasets, schemas, the pipeline under construction, the policy, the
+//!   last execution outcome, and the notebook;
+//! * [`tools`] — the Palimpzest tool suite (Figure 2's `create_schema` and
+//!   friends);
+//! * [`planner`] — the domain reasoner that turns a chat utterance into a
+//!   sequence of tool invocations (Figure 4);
+//! * [`notebook`] — the Beaker stand-in: cell model, state snapshots, JSON
+//!   export (substitution S5);
+//! * [`codegen`] — emits the final pipeline code (Figure 6);
+//! * [`chat`] — the conversation facade used by the REPL binary and the
+//!   examples.
+
+pub mod chat;
+pub mod codegen;
+pub mod notebook;
+pub mod planner;
+pub mod session;
+pub mod tools;
+
+pub use chat::{ChatResponse, PalimpChat};
+pub use notebook::{Cell, CellKind, Notebook};
+pub use planner::PalimpPlanner;
+pub use session::{SessionHandle, SessionState};

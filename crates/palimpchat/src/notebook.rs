@@ -1,0 +1,174 @@
+//! Notebook state — the Beaker stand-in (substitution S5).
+//!
+//! §2.3: Beaker "incorporates an AI agent that facilitates code generation
+//! and execution while maintaining awareness of the complete notebook
+//! state [...] along with comprehensive state management that allows users
+//! to restore previous notebook states." This module reproduces the
+//! functional core: an ordered cell list carrying every generated snippet,
+//! snapshot/restore, and a JSON export ("downloading a Jupyter notebook
+//! that contains all inputs and generated snippets of code", §3).
+
+use serde::{Deserialize, Serialize};
+
+/// What a cell contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellKind {
+    /// User/agent narration.
+    Markdown,
+    /// Generated pipeline code.
+    Code,
+    /// Execution output (records, statistics).
+    Output,
+}
+
+/// One notebook cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    pub kind: CellKind,
+    pub source: String,
+}
+
+/// The notebook: ordered cells plus saved snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Notebook {
+    pub cells: Vec<Cell>,
+    #[serde(skip)]
+    snapshots: Vec<Vec<Cell>>,
+}
+
+impl Notebook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push_markdown(&mut self, source: impl Into<String>) {
+        self.cells.push(Cell {
+            kind: CellKind::Markdown,
+            source: source.into(),
+        });
+    }
+
+    pub fn push_code(&mut self, source: impl Into<String>) {
+        self.cells.push(Cell {
+            kind: CellKind::Code,
+            source: source.into(),
+        });
+    }
+
+    pub fn push_output(&mut self, source: impl Into<String>) {
+        self.cells.push(Cell {
+            kind: CellKind::Output,
+            source: source.into(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Save the current state; returns the snapshot id.
+    pub fn snapshot(&mut self) -> usize {
+        self.snapshots.push(self.cells.clone());
+        self.snapshots.len() - 1
+    }
+
+    /// Restore a previous state. Returns false for unknown ids.
+    pub fn restore(&mut self, id: usize) -> bool {
+        match self.snapshots.get(id) {
+            Some(cells) => {
+                self.cells = cells.clone();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All code cells concatenated — the "final code generated" of Figure 6.
+    pub fn code(&self) -> String {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Code)
+            .map(|c| c.source.as_str())
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    }
+
+    /// Export as nbformat-flavoured JSON.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "nbformat": 4,
+            "nbformat_minor": 5,
+            "metadata": { "kernel": "palimpzest-rust" },
+            "cells": self.cells.iter().map(|c| {
+                serde_json::json!({
+                    "cell_type": match c.kind {
+                        CellKind::Markdown => "markdown",
+                        CellKind::Code => "code",
+                        CellKind::Output => "raw",
+                    },
+                    "source": c.source,
+                })
+            }).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_accumulate_in_order() {
+        let mut nb = Notebook::new();
+        nb.push_markdown("intro");
+        nb.push_code("let x = 1;");
+        nb.push_output("1 record");
+        assert_eq!(nb.len(), 3);
+        assert_eq!(nb.cells[0].kind, CellKind::Markdown);
+        assert_eq!(nb.cells[1].kind, CellKind::Code);
+        assert_eq!(nb.cells[2].kind, CellKind::Output);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut nb = Notebook::new();
+        nb.push_code("a");
+        let snap = nb.snapshot();
+        nb.push_code("b");
+        assert_eq!(nb.len(), 2);
+        assert!(nb.restore(snap));
+        assert_eq!(nb.len(), 1);
+        assert!(!nb.restore(99));
+    }
+
+    #[test]
+    fn code_concatenates_code_cells_only() {
+        let mut nb = Notebook::new();
+        nb.push_markdown("not code");
+        nb.push_code("line1");
+        nb.push_code("line2");
+        assert_eq!(nb.code(), "line1\n\nline2");
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let mut nb = Notebook::new();
+        nb.push_code("x");
+        let j = nb.to_json();
+        assert_eq!(j["nbformat"], 4);
+        assert_eq!(j["cells"][0]["cell_type"], "code");
+        assert_eq!(j["cells"][0]["source"], "x");
+    }
+
+    #[test]
+    fn empty_notebook() {
+        let nb = Notebook::new();
+        assert!(nb.is_empty());
+        assert_eq!(nb.code(), "");
+        assert_eq!(nb.to_json()["cells"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,761 @@
+//! The PalimpChat reasoner.
+//!
+//! Substitution S3 applied to the domain: where the real system lets an
+//! LLM read the tool docstrings and decide, this planner classifies each
+//! clause of the user's utterance into a Palimpzest intent and emits the
+//! corresponding tool invocations — including the Figure 4 behaviour where
+//! one request ("I'm interested in papers about colorectal cancer, and for
+//! these papers extract the datasets used") decomposes into several tool
+//! calls (`add_filter`, `create_schema`, `add_convert`).
+//!
+//! The planning function [`plan_tasks`] is pure and deterministic, so chat
+//! behaviour is exactly reproducible and directly testable.
+
+use archytas::planner::{extract_quoted, split_clauses, PlannerDecision, Reasoner};
+use archytas::react::ReactStep;
+use archytas::tool::ToolArgs;
+use archytas::{ArchytasResult, ToolRegistry};
+use serde_json::{json, Value};
+
+/// One planned tool invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedTask {
+    pub thought: String,
+    pub tool: String,
+    pub args: ToolArgs,
+}
+
+fn task(thought: impl Into<String>, tool: &str, args: Value) -> PlannedTask {
+    PlannedTask {
+        thought: thought.into(),
+        tool: tool.to_string(),
+        args: args.as_object().cloned().unwrap_or_default(),
+    }
+}
+
+/// Split an utterance into intent clauses. Extends the generic splitter
+/// with the demo's phrasing: "..., and for these papers, ..." and
+/// "... and extract ...".
+fn clauses(goal: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for clause in split_clauses(goal) {
+        let lowered = clause.to_lowercase();
+        if let Some(pos) = lowered.find(", and for these") {
+            let (a, b) = clause.split_at(pos);
+            out.push(a.trim().to_string());
+            out.push(
+                b.trim_start_matches(", ")
+                    .trim_start_matches("and ")
+                    .trim()
+                    .to_string(),
+            );
+        } else if let Some(pos) = lowered.find(" and extract") {
+            let (a, b) = clause.split_at(pos);
+            out.push(a.trim().to_string());
+            out.push(b.trim_start_matches(" and ").trim().to_string());
+        } else {
+            out.push(clause);
+        }
+    }
+    out.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+fn contains_any(hay: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| hay.contains(n))
+}
+
+/// A dollar or second budget mentioned in a clause ("under 0.5 dollars",
+/// "below $2", "in under 120 seconds").
+fn parse_budget(clause: &str) -> (Option<f64>, Option<f64>) {
+    let mut cost = None;
+    let mut time = None;
+    let tokens: Vec<&str> = clause.split_whitespace().collect();
+    for (i, t) in tokens.iter().enumerate() {
+        let raw = t.trim_start_matches('$').trim_end_matches([',', '.', ';']);
+        if let Ok(v) = raw.parse::<f64>() {
+            let next = tokens.get(i + 1).copied().unwrap_or("");
+            if t.starts_with('$') || next.starts_with("dollar") || next.starts_with("usd") {
+                cost = Some(v);
+            } else if next.starts_with("second") || next.starts_with("sec") {
+                time = Some(v);
+            }
+        }
+    }
+    (cost, time)
+}
+
+/// Normalize a field phrase to a valid field name: "dataset name" →
+/// `dataset_name`, "URL" → `url`.
+fn to_field_name(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(|w| w.to_lowercase())
+        .filter(|w| !matches!(w.as_str(), "the" | "a" | "an" | "its" | "their"))
+        .collect::<Vec<_>>()
+        .join("_")
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Parse the field list of an extraction clause, e.g.
+/// "extract the dataset name, description and url" → three fields.
+fn parse_fields(clause: &str) -> Vec<String> {
+    let lowered = clause.to_lowercase();
+    // Prefer an explicit "fields ..." list; else whatever follows "extract".
+    let tail = if let Some(pos) = lowered.find("fields") {
+        &clause[pos + "fields".len()..]
+    } else if let Some(pos) = lowered.find("extract") {
+        &clause[pos + "extract".len()..]
+    } else {
+        clause
+    };
+    // Cut trailing context ("... of each email", "... used by the study").
+    let mut tail = tail.trim();
+    for stop in [
+        " of each ",
+        " from each ",
+        " used by ",
+        " used in ",
+        " for every ",
+        " in the ",
+    ] {
+        if let Some(pos) = tail.to_lowercase().find(stop) {
+            tail = &tail[..pos];
+        }
+    }
+    let tail = tail
+        .trim_start_matches("the ")
+        .trim_start_matches("whatever ")
+        .trim_start_matches("all ");
+    tail.replace(" and ", ",")
+        .split(',')
+        .map(to_field_name)
+        .filter(|f| !f.is_empty() && f.len() < 40)
+        .collect()
+}
+
+/// Default descriptions for well-known fields (the demo's ClinicalData).
+fn describe_field(name: &str) -> String {
+    match name {
+        "name" | "dataset_name" => "The name of the dataset".into(),
+        "description" => "A short description of the content of the dataset".into(),
+        "url" => "The public URL where the dataset can be accessed".into(),
+        "sender" | "from" => "The email address of the sender".into(),
+        "recipient" | "to" => "The email address of the recipient".into(),
+        "date" => "The date of the message".into(),
+        "subject" => "The subject line".into(),
+        "address" => "The street address of the listing".into(),
+        "price" => "The listing price in dollars".into(),
+        "bedrooms" => "The number of bedrooms".into(),
+        other => format!("The {} of the record", other.replace('_', " ")),
+    }
+}
+
+/// Turn a filter clause into a clean predicate: prefer quoted text; strip
+/// conversational lead-ins otherwise.
+fn to_predicate(clause: &str) -> String {
+    if let Some(q) = extract_quoted(clause).into_iter().next() {
+        return q;
+    }
+    let lowered = clause.to_lowercase();
+    for lead in [
+        "i am interested in ",
+        "i'm interested in ",
+        "i am only interested in ",
+        "keep only ",
+        "only keep ",
+        "keep the ",
+        "filter for ",
+        "filter the ",
+        "filter ",
+        "find the ",
+        "find ",
+        "select ",
+        "show me ",
+    ] {
+        if let Some(pos) = lowered.find(lead) {
+            return capitalize(clause[pos + lead.len()..].trim());
+        }
+    }
+    capitalize(clause.trim())
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Classify one clause into zero or more tool invocations.
+fn plan_clause(clause: &str) -> Vec<PlannedTask> {
+    let lowered = clause.to_lowercase();
+
+    // 1. Dataset registration.
+    if contains_any(&lowered, &["load", "upload", "register", "open the"])
+        && contains_any(
+            &lowered,
+            &[
+                "dataset", "paper", "pdf", "folder", "file", "email", "listing", "data", "corpus",
+            ],
+        )
+    {
+        let source = if contains_any(&lowered, &["legal", "email", "discovery"]) {
+            "legal-demo"
+        } else if contains_any(&lowered, &["real estate", "listing", "housing", "estate"]) {
+            "realestate-demo"
+        } else {
+            "scientific-demo"
+        };
+        let mut args = json!({ "source": source });
+        if let Some(q) = extract_quoted(clause).into_iter().next() {
+            if q.starts_with('/') || q.contains('/') {
+                args = json!({ "source": format!("dir:{q}") });
+            } else {
+                args["name"] = json!(q);
+            }
+        }
+        return vec![task(
+            format!("The user wants data loaded; register_dataset with source '{source}'."),
+            "register_dataset",
+            args,
+        )];
+    }
+
+    // 2. Statistics (before the run intent: "how long did the run take"
+    // must not trigger a new execution).
+    if contains_any(
+        &lowered,
+        &[
+            "how much",
+            "how long",
+            "statistic",
+            "what was the cost",
+            "what did it cost",
+            "did the run cost",
+            "report the cost",
+            "execution stats",
+        ],
+    ) {
+        return vec![task(
+            "The user asks about execution cost/runtime; show the statistics.",
+            "show_statistics",
+            json!({}),
+        )];
+    }
+
+    // 3. Results.
+    if contains_any(
+        &lowered,
+        &["show", "display", "visualize", "list the", "see the"],
+    ) && contains_any(
+        &lowered,
+        &["result", "record", "output", "extracted", "dataset"],
+    ) {
+        return vec![task(
+            "The user wants to see the outputs; show the records.",
+            "show_records",
+            json!({}),
+        )];
+    }
+
+    // 4b. Notebook checkpoints (Beaker-style state management).
+    if contains_any(&lowered, &["checkpoint", "snapshot"]) {
+        if contains_any(&lowered, &["restore", "roll back", "rollback", "go back"]) {
+            let id = archytas::planner::extract_numbers(clause)
+                .into_iter()
+                .find(|n| *n >= 0)
+                .unwrap_or(0);
+            return vec![task(
+                format!("Restore the notebook to snapshot {id}."),
+                "restore_notebook",
+                json!({ "snapshot": id }),
+            )];
+        }
+        return vec![task(
+            "Save a notebook checkpoint.",
+            "snapshot_notebook",
+            json!({}),
+        )];
+    }
+
+    // 4. Export.
+    if contains_any(
+        &lowered,
+        &[
+            "export",
+            "download",
+            "notebook",
+            "save the code",
+            "generated code",
+        ],
+    ) {
+        return vec![task(
+            "The user wants the notebook; export it.",
+            "export_notebook",
+            json!({}),
+        )];
+    }
+
+    // 5. Reset.
+    if contains_any(
+        &lowered,
+        &["start over", "reset", "clear the pipeline", "undo"],
+    ) {
+        return vec![task(
+            "Start from a clean pipeline.",
+            "reset_pipeline",
+            json!({}),
+        )];
+    }
+
+    // 6b. Semantic top-k ("the 5 most relevant papers about X").
+    if contains_any(&lowered, &["most relevant", "most similar", "top "])
+        && !contains_any(&lowered, &["extract"])
+    {
+        let k = archytas::planner::extract_numbers(clause)
+            .into_iter()
+            .find(|n| (1..=1000).contains(n))
+            .unwrap_or(5);
+        let query = if let Some(pos) = lowered.find("about ") {
+            clause[pos + "about ".len()..].trim().to_string()
+        } else {
+            to_predicate(clause)
+        };
+        return vec![task(
+            format!("The user wants the top {k}; add a retrieval step."),
+            "add_retrieve",
+            json!({ "query": query, "k": k }),
+        )];
+    }
+
+    // 6c. Limit ("only process the first 3 papers").
+    if contains_any(&lowered, &["limit to", "first "])
+        && !archytas::planner::extract_numbers(clause).is_empty()
+        && contains_any(
+            &lowered,
+            &["record", "paper", "email", "listing", "result", "rows"],
+        )
+    {
+        let n = archytas::planner::extract_numbers(clause)
+            .into_iter()
+            .find(|n| *n > 0)
+            .unwrap_or(10);
+        return vec![task(
+            format!("Cap the pipeline at {n} records."),
+            "add_limit",
+            json!({ "n": n }),
+        )];
+    }
+
+    // 6. Policy + execution.
+    let wants_run = contains_any(&lowered, &["run", "execute", "process the", "go ahead"]);
+    let policy = if contains_any(
+        &lowered,
+        &[
+            "max quality",
+            "maximum quality",
+            "best quality",
+            "maximize quality",
+            "highest quality",
+        ],
+    ) {
+        Some("max_quality")
+    } else if contains_any(
+        &lowered,
+        &[
+            "min cost",
+            "minimum cost",
+            "cheapest",
+            "minimize cost",
+            "lowest cost",
+        ],
+    ) {
+        Some("min_cost")
+    } else if contains_any(
+        &lowered,
+        &[
+            "min time",
+            "fastest",
+            "minimize runtime",
+            "minimum runtime",
+            "minimize time",
+            "quick as possible",
+        ],
+    ) {
+        Some("min_time")
+    } else {
+        None
+    };
+    if policy.is_some() || wants_run {
+        let mut tasks = Vec::new();
+        if let Some(p) = policy {
+            let (cost, time) = parse_budget(&lowered);
+            let mut args = json!({ "policy": p });
+            if let Some(c) = cost {
+                args["cost_budget"] = json!(c);
+            }
+            if let Some(t) = time {
+                args["time_budget"] = json!(t);
+            }
+            tasks.push(task(
+                format!("The user stated an optimization goal: {p}."),
+                "set_policy",
+                args,
+            ));
+        }
+        if wants_run {
+            tasks.push(task(
+                "The pipeline is ready; execute it.",
+                "execute_pipeline",
+                json!({}),
+            ));
+        }
+        return tasks;
+    }
+
+    // 6d. Classification ("categorize the emails into X and Y").
+    if contains_any(
+        &lowered,
+        &["categorize", "classify", "bucket the", "tag the"],
+    ) {
+        if let Some(pos) = lowered.find(" into ") {
+            let tail = &clause[pos + " into ".len()..];
+            let labels: Vec<String> = tail
+                .replace(" and ", ",")
+                .split(',')
+                .map(|l| l.trim().trim_end_matches('.').to_string())
+                .filter(|l| !l.is_empty())
+                .collect();
+            if labels.len() >= 2 {
+                return vec![task(
+                    format!("Categorize records into {labels:?}."),
+                    "add_classify",
+                    json!({ "labels": labels, "output_field": "category" }),
+                )];
+            }
+        }
+    }
+
+    // 7. Extraction: create_schema + add_convert (the Figure 4 two-step).
+    if contains_any(&lowered, &["extract", "schema", "pull out"]) {
+        let mut fields = parse_fields(clause);
+        let about_datasets = contains_any(&lowered, &["dataset", "data source"]);
+        if fields.len() < 2 && about_datasets {
+            // The demo default: dataset mentions carry name/description/url.
+            fields = vec!["name".into(), "description".into(), "url".into()];
+        }
+        if fields.is_empty() {
+            fields = vec!["summary".into()];
+        }
+        let schema_name = if about_datasets {
+            "ClinicalData"
+        } else {
+            "ExtractedInfo"
+        };
+        let descriptions: Vec<String> = fields.iter().map(|f| describe_field(f)).collect();
+        let cardinality = if about_datasets || lowered.contains(" all ") {
+            "many"
+        } else {
+            "one"
+        };
+        return vec![
+            task(
+                format!(
+                    "The user wants structured extraction; create schema '{schema_name}' with fields {fields:?}."
+                ),
+                "create_schema",
+                json!({
+                    "schema_name": schema_name,
+                    "schema_description": format!("A schema for extracting {} from the records.", fields.join(", ")),
+                    "field_names": fields,
+                    "field_descriptions": descriptions,
+                }),
+            ),
+            task(
+                "Apply the new schema to the (filtered) records with a convert.",
+                "add_convert",
+                json!({ "schema_name": schema_name, "cardinality": cardinality }),
+            ),
+        ];
+    }
+
+    // 8. Filtering (the catch-all semantic intent).
+    if contains_any(
+        &lowered,
+        &[
+            "interested in",
+            "about",
+            "filter",
+            "only",
+            "keep",
+            "discuss",
+            "describe",
+            "mention",
+            "that are",
+            "which are",
+        ],
+    ) {
+        let predicate = to_predicate(clause);
+        return vec![task(
+            format!("The user narrows the data; add a filter for {predicate:?}."),
+            "add_filter",
+            json!({ "predicate": predicate }),
+        )];
+    }
+
+    Vec::new()
+}
+
+/// Plan the full utterance: concatenation of per-clause plans.
+pub fn plan_tasks(goal: &str) -> Vec<PlannedTask> {
+    clauses(goal).iter().flat_map(|c| plan_clause(c)).collect()
+}
+
+/// The reasoner: replays `plan_tasks(goal)` one action per ReAct step.
+#[derive(Clone, Debug, Default)]
+pub struct PalimpPlanner;
+
+impl PalimpPlanner {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Reasoner for PalimpPlanner {
+    fn decide(
+        &self,
+        goal: &str,
+        _registry: &ToolRegistry,
+        history: &[ReactStep],
+    ) -> ArchytasResult<PlannerDecision> {
+        let tasks = plan_tasks(goal);
+        let done = history.iter().filter(|s| s.action.is_some()).count();
+        if done < tasks.len() {
+            let t = tasks[done].clone();
+            return Ok(PlannerDecision::Act {
+                thought: t.thought,
+                tool: t.tool,
+                args: t.args,
+            });
+        }
+        if tasks.is_empty() {
+            return Ok(PlannerDecision::Finish {
+                thought: "The message does not map to any Palimpzest operation.".into(),
+                answer: "I can load datasets, build filters and extraction schemas, run the \
+                         pipeline under a quality/cost/runtime policy, and report statistics. \
+                         What would you like to do?"
+                    .into(),
+            });
+        }
+        let summary = history
+            .iter()
+            .filter(|s| s.action.is_some())
+            .map(|s| {
+                if s.failed {
+                    format!("(failed: {})", s.observation)
+                } else {
+                    s.observation.clone()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        Ok(PlannerDecision::Finish {
+            thought: format!("All {} planned action(s) are done.", tasks.len()),
+            answer: summary,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_load_request() {
+        let tasks = plan_tasks("please load the dataset of scientific papers from my folder");
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].tool, "register_dataset");
+        assert_eq!(tasks[0].args["source"], "scientific-demo");
+    }
+
+    #[test]
+    fn legal_and_realestate_sources_detected() {
+        assert_eq!(
+            plan_tasks("upload the legal discovery emails")[0].args["source"],
+            "legal-demo"
+        );
+        assert_eq!(
+            plan_tasks("load the real estate listings")[0].args["source"],
+            "realestate-demo"
+        );
+    }
+
+    #[test]
+    fn figure4_decomposition() {
+        // One utterance → filter + schema + convert (three tool calls).
+        let tasks = plan_tasks(
+            "I'm interested in papers that are about colorectal cancer, and for these papers, \
+             extract whatever public dataset is used by the study",
+        );
+        let tools: Vec<&str> = tasks.iter().map(|t| t.tool.as_str()).collect();
+        assert_eq!(tools, vec!["add_filter", "create_schema", "add_convert"]);
+        assert!(tasks[0].args["predicate"]
+            .as_str()
+            .unwrap()
+            .to_lowercase()
+            .contains("colorectal cancer"));
+        assert_eq!(tasks[1].args["schema_name"], "ClinicalData");
+        let fields: Vec<&str> = tasks[1].args["field_names"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(fields, vec!["name", "description", "url"]);
+        assert_eq!(tasks[2].args["cardinality"], "many");
+    }
+
+    #[test]
+    fn explicit_field_list_parsed() {
+        let tasks = plan_tasks("extract the sender, date and subject of each email");
+        assert_eq!(tasks[0].tool, "create_schema");
+        let fields: Vec<&str> = tasks[0].args["field_names"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(fields, vec!["sender", "date", "subject"]);
+        assert_eq!(tasks[1].args["cardinality"], "one");
+    }
+
+    #[test]
+    fn policy_and_run_in_one_clause() {
+        let tasks = plan_tasks("run the pipeline with maximum quality");
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].tool, "set_policy");
+        assert_eq!(tasks[0].args["policy"], "max_quality");
+        assert_eq!(tasks[1].tool, "execute_pipeline");
+    }
+
+    #[test]
+    fn cost_budget_parsed() {
+        let tasks = plan_tasks("maximize quality while staying under 0.5 dollars");
+        assert_eq!(tasks[0].tool, "set_policy");
+        assert_eq!(tasks[0].args["cost_budget"], 0.5);
+        let tasks = plan_tasks("best quality in under 120 seconds please");
+        assert_eq!(tasks[0].args["time_budget"], 120.0);
+    }
+
+    #[test]
+    fn stats_and_results_and_export() {
+        assert_eq!(
+            plan_tasks("how much did that cost?")[0].tool,
+            "show_statistics"
+        );
+        assert_eq!(
+            plan_tasks("how long did the run take?")[0].tool,
+            "show_statistics"
+        );
+        assert_eq!(
+            plan_tasks("show me the extracted records")[0].tool,
+            "show_records"
+        );
+        assert_eq!(
+            plan_tasks("download the notebook")[0].tool,
+            "export_notebook"
+        );
+        assert_eq!(plan_tasks("let's start over")[0].tool, "reset_pipeline");
+    }
+
+    #[test]
+    fn quoted_predicate_wins() {
+        let tasks = plan_tasks(r#"filter for "modern homes with a garden""#);
+        assert_eq!(tasks[0].args["predicate"], "modern homes with a garden");
+    }
+
+    #[test]
+    fn lead_in_phrases_stripped() {
+        let tasks = plan_tasks("I am interested in emails discussing the acme merger");
+        assert_eq!(
+            tasks[0].args["predicate"],
+            "Emails discussing the acme merger"
+        );
+    }
+
+    #[test]
+    fn unknown_message_plans_nothing() {
+        assert!(
+            plan_tasks("how is the weather today").is_empty() ||
+            // "about" may weakly fire the filter intent; either no plan or a
+            // single harmless filter is acceptable for nonsense input — but
+            // "how is the weather today" must not register datasets or run.
+            plan_tasks("how is the weather today").iter().all(|t| t.tool != "execute_pipeline")
+        );
+    }
+
+    #[test]
+    fn snapshot_intents() {
+        assert_eq!(
+            plan_tasks("save a checkpoint of the notebook")[0].tool,
+            "snapshot_notebook"
+        );
+        let t = plan_tasks("restore the notebook to snapshot 2");
+        assert_eq!(t[0].tool, "restore_notebook");
+        assert_eq!(t[0].args["snapshot"], 2);
+    }
+
+    #[test]
+    fn classify_intent() {
+        let tasks =
+            plan_tasks("categorize the emails into merger business, office chatter and other");
+        assert_eq!(tasks[0].tool, "add_classify");
+        let labels: Vec<&str> = tasks[0].args["labels"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(labels, vec!["merger business", "office chatter", "other"]);
+    }
+
+    #[test]
+    fn retrieve_and_limit_intents() {
+        let tasks = plan_tasks("find the 5 most relevant papers about gene therapy treatments");
+        assert_eq!(tasks[0].tool, "add_retrieve");
+        assert_eq!(tasks[0].args["k"], 5);
+        assert_eq!(tasks[0].args["query"], "gene therapy treatments");
+
+        let tasks = plan_tasks("only process the first 3 papers");
+        assert_eq!(tasks[0].tool, "add_limit");
+        assert_eq!(tasks[0].args["n"], 3);
+    }
+
+    #[test]
+    fn field_name_normalization() {
+        assert_eq!(to_field_name("dataset name"), "dataset_name");
+        assert_eq!(to_field_name(" URL "), "url");
+        assert_eq!(to_field_name("the price"), "price");
+    }
+
+    #[test]
+    fn multi_clause_sequencing() {
+        let tasks = plan_tasks(
+            "load the scientific papers; I'm interested in papers about colorectal cancer; \
+             run the pipeline with minimum cost",
+        );
+        let tools: Vec<&str> = tasks.iter().map(|t| t.tool.as_str()).collect();
+        assert_eq!(
+            tools,
+            vec![
+                "register_dataset",
+                "add_filter",
+                "set_policy",
+                "execute_pipeline"
+            ]
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Dataset tools: `register_dataset` (Figure 3) and `show_records`.
+
+use crate::session::SessionHandle;
+use archytas::tool::{ArgKind, ArgSpec, FnTool, Tool, ToolArgs, ToolOutput, ToolSpec};
+use archytas::ArchytasError;
+use pz_core::prelude::*;
+use serde_json::json;
+use std::sync::Arc;
+
+fn tool_err(tool: &str, e: impl std::fmt::Display) -> ArchytasError {
+    ArchytasError::ToolFailed {
+        tool: tool.into(),
+        reason: e.to_string(),
+    }
+}
+
+/// `register_dataset`: load one of the built-in demo corpora, or a local
+/// folder, as the session's input dataset.
+pub fn register_dataset_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "register_dataset",
+        "Register an input dataset so a pipeline can process it. Use this \
+         when the user wants to load, upload, or register data: a folder of \
+         PDF papers, emails, real estate listings, or a local directory \
+         path. Built-in sources: 'scientific-demo' (11 PDF papers about \
+         cancer research), 'legal-demo' (discovery emails), \
+         'realestate-demo' (housing listings). A 'dir:<path>' source loads \
+         every file in a local folder.",
+    )
+    .with_arg(ArgSpec::new("source", ArgKind::Str, "Which corpus to load"))
+    .with_arg(ArgSpec::new("name", ArgKind::Str, "Registry name for the dataset").optional())
+    .with_example("load the dataset of scientific papers from my folder")
+    .with_example("upload the collection of PDF papers");
+    Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
+        let source = args["source"].as_str().unwrap_or_default().to_string();
+        let mut state = session.lock();
+        let (default_name, schema, items): (&str, Schema, Vec<(String, String)>) =
+            match source.as_str() {
+                s if s.contains("legal") || s.contains("email") => {
+                    let (docs, _) = pz_datagen::legal::demo_corpus();
+                    (
+                        "legal-demo",
+                        Schema::text_file(),
+                        docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+                    )
+                }
+                s if s.contains("real") || s.contains("estate") || s.contains("listing") => {
+                    let (docs, _) = pz_datagen::realestate::demo_corpus();
+                    (
+                        "realestate-demo",
+                        Schema::text_file(),
+                        docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+                    )
+                }
+                s if s.starts_with("dir:") => {
+                    let dir = s.trim_start_matches("dir:").to_string();
+                    let name = args
+                        .get("name")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("local-dir")
+                        .to_string();
+                    state.ctx.registry.register(Arc::new(DirectorySource::new(
+                        name.clone(),
+                        Schema::pdf_file(),
+                        &dir,
+                    )));
+                    // Validate eagerly so bad paths fail at registration.
+                    let n = state
+                        .ctx
+                        .registry
+                        .get(&name)
+                        .and_then(|s| s.records(0))
+                        .map_err(|e| tool_err("register_dataset", e))?
+                        .len();
+                    state.dataset = Some(name.clone());
+                    state.notebook.push_code(format!(
+                        "dataset = pz.Dataset(source=\"{name}\", schema=PDFFile)"
+                    ));
+                    return Ok(ToolOutput::text(format!(
+                        "Registered dataset '{name}' from {dir} with {n} files (PDFFile schema)."
+                    ))
+                    .with_data(json!({ "name": name, "records": n })));
+                }
+                // Default: the scientific discovery corpus of §3.
+                _ => {
+                    let (docs, _) = pz_datagen::science::demo_corpus();
+                    (
+                        "scientific-demo",
+                        Schema::pdf_file(),
+                        docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+                    )
+                }
+            };
+        let name = args
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or(default_name)
+            .to_string();
+        let n = items.len();
+        let schema_name = schema.name.clone();
+        state
+            .ctx
+            .registry
+            .register(Arc::new(MemorySource::new(name.clone(), schema, items)));
+        state.dataset = Some(name.clone());
+        state.reset_pipeline();
+        state.notebook.push_code(format!(
+            "dataset = pz.Dataset(source=\"{name}\", schema={schema_name})"
+        ));
+        Ok(ToolOutput::text(format!(
+            "Registered dataset '{name}' with {n} records ({schema_name} schema). \
+             The native {schema_name} schema was chosen automatically from the file extensions."
+        ))
+        .with_data(json!({ "name": name, "records": n, "schema": schema_name })))
+    }))
+}
+
+/// `show_records`: display the output of the last execution.
+pub fn show_records_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "show_records",
+        "Show the output records of the most recent pipeline execution. Use \
+         when the user asks to see, list, display or visualize the results, \
+         records, outputs, or extracted items.",
+    )
+    .with_arg(ArgSpec::new("limit", ArgKind::Int, "Maximum records to show").optional())
+    .with_example("show me the extracted results");
+    Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
+        let state = session.lock();
+        let outcome = state
+            .last_outcome
+            .as_ref()
+            .ok_or_else(|| tool_err("show_records", "no pipeline has been executed yet"))?;
+        let limit = args
+            .get("limit")
+            .and_then(|v| v.as_i64())
+            .map(|n| n.max(0) as usize)
+            .unwrap_or(20);
+        let shown: Vec<serde_json::Value> = outcome
+            .records
+            .iter()
+            .take(limit)
+            .map(|r| r.to_json())
+            .collect();
+        let mut text = format!(
+            "{} output record(s){}:\n",
+            outcome.records.len(),
+            if outcome.records.len() > limit {
+                format!(" (showing {limit})")
+            } else {
+                String::new()
+            }
+        );
+        for r in &shown {
+            text.push_str(&serde_json::to_string(r).unwrap_or_default());
+            text.push('\n');
+        }
+        Ok(ToolOutput::text(text).with_data(json!(shown)))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::new_session;
+
+    fn args(v: serde_json::Value) -> ToolArgs {
+        v.as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn registers_scientific_demo() {
+        let session = new_session();
+        let tool = register_dataset_tool(session.clone());
+        let out = tool
+            .invoke(&args(json!({"source": "scientific papers"})))
+            .unwrap();
+        assert!(out.text.contains("11 records"));
+        assert!(out.text.contains("PDFFile"));
+        let state = session.lock();
+        assert_eq!(state.dataset.as_deref(), Some("scientific-demo"));
+        assert!(state.ctx.registry.contains("scientific-demo"));
+        assert_eq!(state.notebook.len(), 1);
+    }
+
+    #[test]
+    fn registers_legal_and_realestate() {
+        let session = new_session();
+        let tool = register_dataset_tool(session.clone());
+        tool.invoke(&args(json!({"source": "legal emails"})))
+            .unwrap();
+        assert_eq!(session.lock().dataset.as_deref(), Some("legal-demo"));
+        tool.invoke(&args(json!({"source": "real estate listings"})))
+            .unwrap();
+        assert_eq!(session.lock().dataset.as_deref(), Some("realestate-demo"));
+    }
+
+    #[test]
+    fn custom_name_respected() {
+        let session = new_session();
+        let tool = register_dataset_tool(session.clone());
+        tool.invoke(&args(
+            json!({"source": "scientific", "name": "sigmod-demo"}),
+        ))
+        .unwrap();
+        assert_eq!(session.lock().dataset.as_deref(), Some("sigmod-demo"));
+    }
+
+    #[test]
+    fn directory_source_loads_files() {
+        let dir = std::env::temp_dir().join(format!("palimp-data-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.txt"), "hello").unwrap();
+        let session = new_session();
+        let tool = register_dataset_tool(session.clone());
+        let out = tool
+            .invoke(&args(json!({"source": format!("dir:{}", dir.display())})))
+            .unwrap();
+        assert!(out.text.contains("1 files"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_source_bad_path_errors() {
+        let session = new_session();
+        let tool = register_dataset_tool(session);
+        assert!(tool
+            .invoke(&args(json!({"source": "dir:/does/not/exist"})))
+            .is_err());
+    }
+
+    #[test]
+    fn show_records_requires_execution() {
+        let session = new_session();
+        let tool = show_records_tool(session);
+        assert!(tool.invoke(&args(json!({}))).is_err());
+    }
+}

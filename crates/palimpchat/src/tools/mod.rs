@@ -1,0 +1,86 @@
+//! The PalimpChat tool suite (paper §2.3, Figure 2).
+//!
+//! Each tool is an Archytas [`archytas::tool::Tool`] closing over the
+//! shared [`SessionHandle`]; its docstring and examples are what the
+//! reasoner scores. The suite covers the fundamental Palimpzest operations
+//! (register a dataset, generate schemas, filter records) and the pipeline
+//! orchestration (convert, policy, execute, statistics, export).
+
+mod data;
+mod pipeline;
+mod schema;
+mod stats;
+
+pub use data::{register_dataset_tool, show_records_tool};
+pub use pipeline::{
+    add_classify_tool, add_convert_tool, add_filter_tool, add_limit_tool, add_retrieve_tool,
+    execute_pipeline_tool, reset_pipeline_tool, set_policy_tool,
+};
+pub use schema::create_schema_tool;
+pub use stats::{
+    export_notebook_tool, restore_notebook_tool, show_statistics_tool, snapshot_notebook_tool,
+};
+
+use crate::session::SessionHandle;
+use archytas::ToolRegistry;
+
+/// Build the full tool registry for a session.
+pub fn build_registry(session: SessionHandle) -> ToolRegistry {
+    let mut registry = ToolRegistry::new();
+    registry.register(register_dataset_tool(session.clone()));
+    registry.register(create_schema_tool(session.clone()));
+    registry.register(add_filter_tool(session.clone()));
+    registry.register(add_convert_tool(session.clone()));
+    registry.register(add_retrieve_tool(session.clone()));
+    registry.register(add_limit_tool(session.clone()));
+    registry.register(add_classify_tool(session.clone()));
+    registry.register(set_policy_tool(session.clone()));
+    registry.register(execute_pipeline_tool(session.clone()));
+    registry.register(reset_pipeline_tool(session.clone()));
+    registry.register(show_records_tool(session.clone()));
+    registry.register(show_statistics_tool(session.clone()));
+    registry.register(snapshot_notebook_tool(session.clone()));
+    registry.register(restore_notebook_tool(session.clone()));
+    registry.register(export_notebook_tool(session));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::new_session;
+
+    #[test]
+    fn registry_exposes_full_suite() {
+        let reg = build_registry(new_session());
+        let names = reg.names();
+        for expected in [
+            "add_classify",
+            "add_convert",
+            "add_filter",
+            "add_limit",
+            "add_retrieve",
+            "create_schema",
+            "execute_pipeline",
+            "export_notebook",
+            "register_dataset",
+            "reset_pipeline",
+            "set_policy",
+            "show_records",
+            "show_statistics",
+            "snapshot_notebook",
+            "restore_notebook",
+        ] {
+            assert!(names.contains(&expected), "missing tool {expected}");
+        }
+        assert_eq!(reg.len(), 15);
+    }
+
+    #[test]
+    fn manual_reads_like_documentation() {
+        let reg = build_registry(new_session());
+        let manual = reg.manual();
+        assert!(manual.contains("## create_schema"));
+        assert!(manual.contains("Example:"));
+    }
+}

@@ -1,0 +1,186 @@
+//! `create_schema` — the Figure 2 tool.
+//!
+//! "This tool should be used to generate a new extraction schema. The
+//! inputs are a schema name and a set of fields. [...] You should provide
+//! a short description for each field. Field names cannot have spaces or
+//! special characters."
+
+use crate::codegen::schema_code;
+use crate::session::SessionHandle;
+use archytas::tool::{ArgKind, ArgSpec, FnTool, Tool, ToolArgs, ToolOutput, ToolSpec};
+use archytas::ArchytasError;
+use pz_core::prelude::*;
+use serde_json::json;
+use std::sync::Arc;
+
+pub fn create_schema_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "create_schema",
+        "Generate a new extraction schema. The inputs are a schema name and \
+         a set of fields. For example, if the user is interested in \
+         extracting author information from a paper, the schema name might \
+         be 'Author' and the fields may be 'name', 'email', 'affiliation'. \
+         Provide a short description for each field. Field names cannot \
+         have spaces or special characters.",
+    )
+    .with_arg(ArgSpec::new(
+        "schema_name",
+        ArgKind::Str,
+        "Name of the new schema",
+    ))
+    .with_arg(
+        ArgSpec::new(
+            "schema_description",
+            ArgKind::Str,
+            "What the schema captures",
+        )
+        .optional(),
+    )
+    .with_arg(ArgSpec::new("field_names", ArgKind::StrList, "Field names"))
+    .with_arg(
+        ArgSpec::new(
+            "field_descriptions",
+            ArgKind::StrList,
+            "One description per field",
+        )
+        .optional(),
+    )
+    .with_example("extract the dataset name, description and url from each paper")
+    .with_example("create a schema for author information");
+    Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
+        let name = args["schema_name"].as_str().unwrap_or_default().to_string();
+        let description = args
+            .get("schema_description")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let field_names: Vec<String> = args["field_names"]
+            .as_array()
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let field_descriptions: Vec<String> = args
+            .get("field_descriptions")
+            .and_then(|v| v.as_array())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let fields: Vec<FieldDef> = field_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let desc = field_descriptions
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("The {} of the record", n.replace('_', " ")));
+                FieldDef::text(n.clone(), desc)
+            })
+            .collect();
+        let schema = Schema::new(name.clone(), description, fields).map_err(|e| {
+            ArchytasError::ToolFailed {
+                tool: "create_schema".into(),
+                reason: e.to_string(),
+            }
+        })?;
+        let mut state = session.lock();
+        state.notebook.push_code(schema_code(&schema));
+        let field_list = schema.field_names().join(", ");
+        state.schemas.insert(name.clone(), schema);
+        Ok(ToolOutput::text(format!(
+            "Created schema '{name}' with fields: {field_list}."
+        ))
+        .with_data(json!({ "schema": name, "fields": field_list })))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::new_session;
+
+    fn args(v: serde_json::Value) -> ToolArgs {
+        v.as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn creates_clinical_data_schema() {
+        let session = new_session();
+        let tool = create_schema_tool(session.clone());
+        let out = tool
+            .invoke(&args(json!({
+                "schema_name": "ClinicalData",
+                "schema_description": "A schema for extracting clinical data datasets from papers.",
+                "field_names": ["name", "description", "url"],
+                "field_descriptions": [
+                    "The name of the clinical data dataset",
+                    "A short description of the content of the dataset",
+                    "The public URL where the dataset can be accessed"
+                ]
+            })))
+            .unwrap();
+        assert!(out.text.contains("ClinicalData"));
+        let state = session.lock();
+        let schema = state.schemas.get("ClinicalData").unwrap();
+        assert_eq!(schema.fields.len(), 3);
+        assert_eq!(
+            schema.field("url").unwrap().description,
+            "The public URL where the dataset can be accessed"
+        );
+        // A code cell was generated from the Figure 2 template.
+        assert!(state
+            .notebook
+            .code()
+            .contains("class_name = \"ClinicalData\""));
+    }
+
+    #[test]
+    fn missing_descriptions_are_synthesized() {
+        let session = new_session();
+        let tool = create_schema_tool(session.clone());
+        tool.invoke(&args(json!({
+            "schema_name": "X",
+            "field_names": ["dataset_name"]
+        })))
+        .unwrap();
+        let state = session.lock();
+        assert_eq!(
+            state.schemas["X"]
+                .field("dataset_name")
+                .unwrap()
+                .description,
+            "The dataset name of the record"
+        );
+    }
+
+    #[test]
+    fn invalid_field_names_rejected() {
+        let session = new_session();
+        let tool = create_schema_tool(session);
+        let err = tool
+            .invoke(&args(json!({
+                "schema_name": "Bad",
+                "field_names": ["has space"]
+            })))
+            .unwrap_err();
+        assert!(err.to_string().contains("spaces or special characters"));
+    }
+
+    #[test]
+    fn field_names_accept_comma_string() {
+        // The StrList coercion path: "a, b, c" from slot extraction.
+        let session = new_session();
+        let tool = create_schema_tool(session.clone());
+        tool.invoke(&args(json!({
+            "schema_name": "Listy",
+            "field_names": "name, description, url"
+        })))
+        .unwrap();
+        assert_eq!(session.lock().schemas["Listy"].fields.len(), 3);
+    }
+}

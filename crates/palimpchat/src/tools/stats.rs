@@ -1,0 +1,221 @@
+//! Introspection tools: `show_statistics` (Figure 5) and `export_notebook`
+//! (§3: "downloading a Jupyter notebook that contains all inputs and
+//! generated snippets of code").
+
+use crate::session::SessionHandle;
+use archytas::tool::{ArgKind, ArgSpec, FnTool, Tool, ToolArgs, ToolOutput, ToolSpec};
+use archytas::ArchytasError;
+use std::sync::Arc;
+
+fn tool_err(tool: &str, e: impl std::fmt::Display) -> ArchytasError {
+    ArchytasError::ToolFailed {
+        tool: tool.into(),
+        reason: e.to_string(),
+    }
+}
+
+/// `show_statistics`: the execution summary of the last run.
+pub fn show_statistics_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "show_statistics",
+        "Show execution statistics of the most recent pipeline run: the \
+         physical operators chosen, per-operator records, runtime and \
+         dollar cost of the LLM invocations. Use when the user asks how \
+         much the workload costed, how long it took, or which plan ran.",
+    )
+    .with_example("how much did the pipeline cost and how long did it take");
+    Arc::new(FnTool::new(spec, move |_args: &ToolArgs| {
+        let state = session.lock();
+        let outcome = state
+            .last_outcome
+            .as_ref()
+            .ok_or_else(|| tool_err("show_statistics", "no pipeline has been executed yet"))?;
+        let table = outcome.stats.render_table();
+        Ok(ToolOutput::text(table)
+            .with_data(serde_json::to_value(&outcome.stats).unwrap_or(serde_json::Value::Null)))
+    }))
+}
+
+/// `export_notebook`: download the session as a notebook.
+pub fn export_notebook_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "export_notebook",
+        "Export the whole session as a Jupyter-style notebook containing \
+         every generated code snippet and output, plus the final pipeline \
+         code. Use when the user wants to download, export or save the \
+         notebook or the generated code.",
+    )
+    .with_arg(ArgSpec::new("path", ArgKind::Str, "File to write the notebook JSON to").optional())
+    .with_example("download the notebook with the generated code");
+    Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
+        let state = session.lock();
+        let nb = state.notebook.to_json();
+        let code = state.notebook.code();
+        if let Some(path) = args.get("path").and_then(|v| v.as_str()) {
+            std::fs::write(path, serde_json::to_string_pretty(&nb).unwrap_or_default())
+                .map_err(|e| tool_err("export_notebook", e))?;
+            return Ok(ToolOutput::text(format!(
+                "Notebook with {} cells written to {path}.",
+                state.notebook.len()
+            ))
+            .with_data(nb));
+        }
+        Ok(ToolOutput::text(format!(
+            "Notebook has {} cells. Final pipeline code:\n{code}",
+            state.notebook.len()
+        ))
+        .with_data(nb))
+    }))
+}
+
+/// `snapshot_notebook`: save the current notebook state (Beaker-style
+/// state management, substitution S5).
+pub fn snapshot_notebook_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "snapshot_notebook",
+        "Save the current notebook state so it can be restored later. Use          before a risky change when the user wants a checkpoint to return to.",
+    )
+    .with_example("save a checkpoint of the notebook");
+    Arc::new(FnTool::new(spec, move |_args: &ToolArgs| {
+        let mut state = session.lock();
+        let id = state.notebook.snapshot();
+        Ok(ToolOutput::text(format!("Saved notebook snapshot {id}."))
+            .with_data(serde_json::json!({ "snapshot": id })))
+    }))
+}
+
+/// `restore_notebook`: roll the notebook back to a snapshot.
+pub fn restore_notebook_tool(session: SessionHandle) -> Arc<dyn Tool> {
+    let spec = ToolSpec::new(
+        "restore_notebook",
+        "Restore the notebook to a previously saved snapshot id, discarding          the cells added since. Use when the user wants to roll back to a          checkpoint or a previous notebook state.",
+    )
+    .with_arg(ArgSpec::new("snapshot", ArgKind::Int, "Snapshot id to restore"))
+    .with_example("restore the notebook to snapshot 0");
+    Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
+        let id = args
+            .get("snapshot")
+            .and_then(|v| v.as_i64())
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| tool_err("restore_notebook", "snapshot id required"))?
+            as usize;
+        let mut state = session.lock();
+        if state.notebook.restore(id) {
+            Ok(ToolOutput::text(format!(
+                "Notebook restored to snapshot {id} ({} cells).",
+                state.notebook.len()
+            )))
+        } else {
+            Err(tool_err(
+                "restore_notebook",
+                format!("unknown snapshot {id}"),
+            ))
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::new_session;
+    use crate::tools::{
+        add_convert_tool, add_filter_tool, create_schema_tool, execute_pipeline_tool,
+        register_dataset_tool,
+    };
+    use serde_json::json;
+
+    fn args(v: serde_json::Value) -> ToolArgs {
+        v.as_object().unwrap().clone()
+    }
+
+    fn run_demo(session: &SessionHandle) {
+        register_dataset_tool(session.clone())
+            .invoke(&args(json!({"source": "scientific"})))
+            .unwrap();
+        create_schema_tool(session.clone())
+            .invoke(&args(json!({
+                "schema_name": "ClinicalData",
+                "field_names": ["name", "url"],
+                "field_descriptions": ["The dataset name", "The public URL of the dataset"]
+            })))
+            .unwrap();
+        add_filter_tool(session.clone())
+            .invoke(&args(
+                json!({"predicate": "The papers are about colorectal cancer"}),
+            ))
+            .unwrap();
+        add_convert_tool(session.clone())
+            .invoke(&args(json!({"schema_name": "ClinicalData"})))
+            .unwrap();
+        execute_pipeline_tool(session.clone())
+            .invoke(&args(json!({})))
+            .unwrap();
+    }
+
+    #[test]
+    fn statistics_render_after_run() {
+        let session = new_session();
+        run_demo(&session);
+        let out = show_statistics_tool(session)
+            .invoke(&args(json!({})))
+            .unwrap();
+        assert!(out.text.contains("LLMFilter"));
+        assert!(out.text.contains("TOTAL"));
+        assert!(out.data["total_cost_usd"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn statistics_before_run_error() {
+        let session = new_session();
+        assert!(show_statistics_tool(session)
+            .invoke(&args(json!({})))
+            .is_err());
+    }
+
+    #[test]
+    fn export_returns_code_and_cells() {
+        let session = new_session();
+        run_demo(&session);
+        let out = export_notebook_tool(session)
+            .invoke(&args(json!({})))
+            .unwrap();
+        assert!(out.text.contains("Final pipeline code"));
+        assert!(out.text.contains("Execute(output, policy=policy)"));
+        assert!(out.data["cells"].as_array().unwrap().len() >= 4);
+    }
+
+    #[test]
+    fn snapshot_and_restore_via_tools() {
+        let session = new_session();
+        run_demo(&session);
+        let before = session.lock().notebook.len();
+        let snap = snapshot_notebook_tool(session.clone())
+            .invoke(&args(json!({})))
+            .unwrap();
+        let id = snap.data["snapshot"].as_i64().unwrap();
+        session.lock().notebook.push_code("scratch = 1");
+        assert_eq!(session.lock().notebook.len(), before + 1);
+        restore_notebook_tool(session.clone())
+            .invoke(&args(json!({ "snapshot": id })))
+            .unwrap();
+        assert_eq!(session.lock().notebook.len(), before);
+        // Unknown snapshot errors.
+        assert!(restore_notebook_tool(session)
+            .invoke(&args(json!({ "snapshot": 99 })))
+            .is_err());
+    }
+
+    #[test]
+    fn export_writes_file() {
+        let session = new_session();
+        run_demo(&session);
+        let path = std::env::temp_dir().join(format!("palimp-nb-{}.json", std::process::id()));
+        let out = export_notebook_tool(session)
+            .invoke(&args(json!({"path": path.to_str().unwrap()})))
+            .unwrap();
+        assert!(out.text.contains("written to"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("nbformat"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

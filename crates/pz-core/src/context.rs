@@ -1,0 +1,149 @@
+//! Runtime context shared by optimizer and executors.
+//!
+//! Bundles every service a pipeline touches: the LLM client, the model
+//! catalog (for cost estimation), the dataset and UDF registries, the
+//! vector store, the virtual clock and usage ledger, and the record-id
+//! allocator. Clones share all state, so one context can be handed to
+//! parallel workers.
+
+use crate::datasource::{DataRegistry, UdfRegistry};
+use pz_llm::{
+    CachingClient, Catalog, LlmClient, ModelId, RetryPolicy, SimConfig, SimulatedLlm, UsageLedger,
+    VirtualClock,
+};
+use pz_vector::VectorStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared execution environment.
+#[derive(Clone)]
+pub struct PzContext {
+    /// The model client (the deterministic simulator in this reproduction,
+    /// optionally wrapped in a response cache).
+    pub llm: Arc<dyn LlmClient>,
+    /// Handle onto the response cache, when enabled via [`Self::with_cache`].
+    pub cache: Option<CachingClient>,
+    /// Model cards for cost estimation and plan enumeration.
+    pub catalog: Catalog,
+    /// Registered input datasets.
+    pub registry: DataRegistry,
+    /// Registered user-defined functions.
+    pub udfs: UdfRegistry,
+    /// Vector store backing the Retrieve operator.
+    pub vectors: VectorStore,
+    /// Shared virtual clock (latency accounting).
+    pub clock: VirtualClock,
+    /// Shared usage ledger (token / dollar accounting).
+    pub ledger: UsageLedger,
+    /// Retry policy for transient model failures.
+    pub retry: RetryPolicy,
+    /// Default embedding model.
+    pub embed_model: ModelId,
+    ids: Arc<AtomicU64>,
+}
+
+impl PzContext {
+    /// Context over the builtin catalog with a fresh simulator (seed 42, no
+    /// transient failures).
+    pub fn simulated() -> Self {
+        Self::simulated_with(SimConfig::default())
+    }
+
+    /// Context with explicit simulator configuration.
+    pub fn simulated_with(config: SimConfig) -> Self {
+        let catalog = Catalog::builtin();
+        let clock = VirtualClock::new();
+        let ledger = UsageLedger::new();
+        let llm: Arc<dyn LlmClient> = Arc::new(SimulatedLlm::new(
+            catalog.clone(),
+            config,
+            clock.clone(),
+            ledger.clone(),
+        ));
+        Self {
+            llm,
+            cache: None,
+            catalog,
+            registry: DataRegistry::new(),
+            udfs: UdfRegistry::new(),
+            vectors: VectorStore::new(),
+            clock,
+            ledger,
+            retry: RetryPolicy::default(),
+            embed_model: "text-embedding-3-small".into(),
+            ids: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Wrap the model client in an exact-match response cache: repeated
+    /// prompts (sentinel + execution, retried calls, re-runs over unchanged
+    /// data) are served for free. Returns the modified context; cache
+    /// statistics are available via `self.cache`.
+    pub fn with_cache(mut self) -> Self {
+        let cache = CachingClient::new(self.llm.clone());
+        self.cache = Some(cache.clone());
+        self.llm = Arc::new(cache);
+        self
+    }
+
+    /// Allocate a fresh record id.
+    pub fn next_id(&self) -> u64 {
+        self.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a contiguous block of `n` ids, returning the first.
+    pub fn next_ids(&self, n: u64) -> u64 {
+        self.ids.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Reset accounting (clock + ledger) between experiments. Record ids
+    /// keep increasing — they only need uniqueness.
+    pub fn reset_accounting(&self) {
+        self.clock.reset();
+        self.ledger.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let ctx = PzContext::simulated();
+        let a = ctx.next_id();
+        let b = ctx.next_id();
+        assert!(b > a);
+        let base = ctx.next_ids(10);
+        let after = ctx.next_id();
+        assert!(after >= base + 10);
+    }
+
+    #[test]
+    fn clones_share_ids_and_accounting() {
+        let ctx = PzContext::simulated();
+        let ctx2 = ctx.clone();
+        let a = ctx.next_id();
+        let b = ctx2.next_id();
+        assert_ne!(a, b);
+        ctx.clock.advance_secs(1.0);
+        assert!(ctx2.clock.now_secs() >= 1.0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_clock_and_ledger() {
+        let ctx = PzContext::simulated();
+        ctx.clock.advance_secs(5.0);
+        ctx.ledger
+            .record(&"gpt-4o".into(), pz_llm::Usage::new(1, 1), 0.1, 0.1);
+        ctx.reset_accounting();
+        assert_eq!(ctx.clock.now_secs(), 0.0);
+        assert_eq!(ctx.ledger.total_requests(), 0);
+    }
+
+    #[test]
+    fn default_embed_model_exists_in_catalog() {
+        let ctx = PzContext::simulated();
+        assert!(ctx.catalog.get(&ctx.embed_model).is_some());
+    }
+}

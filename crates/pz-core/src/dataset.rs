@@ -1,0 +1,235 @@
+//! Fluent logical-plan builder — the Rust rendering of the Figure 6 API:
+//!
+//! ```text
+//! dataset = pz.Dataset(source="sigmod-demo", schema=PDFFile)
+//! dataset = dataset.filter("The papers are about colorectal cancer")
+//! dataset = dataset.convert(ClinicalData, cardinality=ONE_TO_MANY)
+//! records, stats = Execute(dataset, policy=pz.MaxQuality())
+//! ```
+//!
+//! ```
+//! use pz_core::dataset::Dataset;
+//! use pz_core::ops::logical::Cardinality;
+//! use pz_core::schema::Schema;
+//!
+//! let plan = Dataset::source("sigmod-demo")
+//!     .filter("The papers are about colorectal cancer")
+//!     .convert(Schema::pdf_file(), Cardinality::OneToMany, "extract datasets")
+//!     .limit(10)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(plan.ops.len(), 4);
+//! ```
+
+use crate::error::PzResult;
+use crate::ops::logical::{
+    AggExpr, Cardinality, FilterPredicate, JoinCondition, LogicalOp, LogicalPlan,
+};
+use crate::schema::Schema;
+
+/// Builder for a [`LogicalPlan`]. Methods append operators; [`Self::build`]
+/// validates.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    ops: Vec<LogicalOp>,
+}
+
+impl Dataset {
+    /// Start from a registered dataset.
+    pub fn source(name: impl Into<String>) -> Self {
+        Self {
+            ops: vec![LogicalOp::Scan {
+                dataset: name.into(),
+            }],
+        }
+    }
+
+    /// Natural-language filter (`filter()` in Figure 6).
+    pub fn filter(mut self, predicate: impl Into<String>) -> Self {
+        self.ops.push(LogicalOp::Filter {
+            predicate: FilterPredicate::NaturalLanguage(predicate.into()),
+        });
+        self
+    }
+
+    /// UDF filter.
+    pub fn filter_udf(mut self, udf: impl Into<String>) -> Self {
+        self.ops.push(LogicalOp::Filter {
+            predicate: FilterPredicate::Udf(udf.into()),
+        });
+        self
+    }
+
+    /// Schema conversion (`convert()` in Figure 6).
+    pub fn convert(
+        mut self,
+        target: Schema,
+        cardinality: Cardinality,
+        description: impl Into<String>,
+    ) -> Self {
+        self.ops.push(LogicalOp::Convert {
+            target,
+            cardinality,
+            description: description.into(),
+        });
+        self
+    }
+
+    pub fn map(mut self, udf: impl Into<String>) -> Self {
+        self.ops.push(LogicalOp::Map { udf: udf.into() });
+        self
+    }
+
+    pub fn project(mut self, fields: &[&str]) -> Self {
+        self.ops.push(LogicalOp::Project {
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.ops.push(LogicalOp::Limit { n });
+        self
+    }
+
+    pub fn sort(mut self, field: impl Into<String>, descending: bool) -> Self {
+        self.ops.push(LogicalOp::Sort {
+            field: field.into(),
+            descending,
+        });
+        self
+    }
+
+    pub fn distinct(mut self, fields: &[&str]) -> Self {
+        self.ops.push(LogicalOp::Distinct {
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    pub fn aggregate(mut self, group_by: &[&str], aggs: Vec<AggExpr>) -> Self {
+        self.ops.push(LogicalOp::Aggregate {
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            aggs,
+        });
+        self
+    }
+
+    /// Semantic top-k narrowing.
+    pub fn retrieve(mut self, query: impl Into<String>, k: usize) -> Self {
+        self.ops.push(LogicalOp::Retrieve {
+            query: query.into(),
+            k,
+        });
+        self
+    }
+
+    /// Equi-join against another registered dataset.
+    pub fn join_eq(
+        mut self,
+        dataset: impl Into<String>,
+        left_field: impl Into<String>,
+        right_field: impl Into<String>,
+    ) -> Self {
+        self.ops.push(LogicalOp::Join {
+            dataset: dataset.into(),
+            condition: JoinCondition::FieldEq {
+                left: left_field.into(),
+                right: right_field.into(),
+            },
+        });
+        self
+    }
+
+    /// Semantic join: an LLM judges every pair against the criterion.
+    pub fn join_semantic(
+        mut self,
+        dataset: impl Into<String>,
+        criterion: impl Into<String>,
+    ) -> Self {
+        self.ops.push(LogicalOp::Join {
+            dataset: dataset.into(),
+            condition: JoinCondition::Semantic {
+                criterion: criterion.into(),
+            },
+        });
+        self
+    }
+
+    /// UNION ALL with another registered dataset.
+    pub fn union(mut self, dataset: impl Into<String>) -> Self {
+        self.ops.push(LogicalOp::Union {
+            dataset: dataset.into(),
+        });
+        self
+    }
+
+    /// Semantic categorization into one of `labels`, written to
+    /// `output_field`.
+    pub fn classify(mut self, labels: &[&str], output_field: impl Into<String>) -> Self {
+        self.ops.push(LogicalOp::Classify {
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            output_field: output_field.into(),
+        });
+        self
+    }
+
+    /// Validate and produce the logical plan.
+    pub fn build(self) -> PzResult<LogicalPlan> {
+        LogicalPlan::new(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldDef;
+    use crate::ops::logical::AggFunc;
+
+    #[test]
+    fn figure6_pipeline_builds() {
+        let clinical = Schema::new(
+            "ClinicalData",
+            "A schema for extracting clinical data datasets from papers.",
+            vec![
+                FieldDef::text("name", "The name of the clinical data dataset"),
+                FieldDef::text(
+                    "description",
+                    "A short description of the content of the dataset",
+                ),
+                FieldDef::text("url", "The public URL where the dataset can be accessed"),
+            ],
+        )
+        .unwrap();
+        let plan = Dataset::source("sigmod-demo")
+            .filter("The papers are about colorectal cancer")
+            .convert(clinical, Cardinality::OneToMany, "extract datasets")
+            .build()
+            .unwrap();
+        assert_eq!(plan.ops.len(), 3);
+        assert_eq!(plan.dataset(), "sigmod-demo");
+        assert_eq!(plan.semantic_op_count(), 2);
+    }
+
+    #[test]
+    fn all_builder_methods_chain() {
+        let plan = Dataset::source("s")
+            .filter_udf("f")
+            .map("m")
+            .project(&["a"])
+            .sort("a", true)
+            .distinct(&["a"])
+            .retrieve("q", 3)
+            .aggregate(&[], vec![AggExpr::new(AggFunc::Count, "", "n")])
+            .limit(1)
+            .build()
+            .unwrap();
+        assert_eq!(plan.ops.len(), 9);
+    }
+
+    #[test]
+    fn build_validates() {
+        // Limit 0 still caught at build time.
+        assert!(Dataset::source("s").limit(0).build().is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the Palimpzest core.
+
+use pz_llm::LlmError;
+use pz_vector::VectorStoreError;
+use thiserror::Error;
+
+/// Crate-wide error type.
+#[derive(Clone, Debug, Error, PartialEq)]
+pub enum PzError {
+    #[error("schema error: {0}")]
+    Schema(String),
+    #[error("invalid plan: {0}")]
+    Plan(String),
+    #[error("unknown dataset: {0}")]
+    UnknownDataset(String),
+    #[error("unknown UDF: {0}")]
+    UnknownUdf(String),
+    #[error("execution error: {0}")]
+    Execution(String),
+    #[error("optimizer error: {0}")]
+    Optimizer(String),
+    #[error(transparent)]
+    Llm(#[from] LlmError),
+    #[error(transparent)]
+    Vector(#[from] VectorStoreError),
+}
+
+/// Crate-wide result alias.
+pub type PzResult<T> = Result<T, PzError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_error_converts() {
+        let e: PzError = LlmError::Rejected("nope".into()).into();
+        assert!(matches!(e, PzError::Llm(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn vector_error_converts() {
+        let e: PzError = VectorStoreError::CollectionNotFound("c".into()).into();
+        assert!(e.to_string().contains("collection not found"));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PzError::Plan("no scan".into()).to_string(),
+            "invalid plan: no scan"
+        );
+        assert_eq!(
+            PzError::UnknownDataset("d".into()).to_string(),
+            "unknown dataset: d"
+        );
+    }
+}

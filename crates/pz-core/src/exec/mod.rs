@@ -1,0 +1,8 @@
+//! Execution engine: materializing executors over physical plans, with
+//! per-operator statistics (Figure 5).
+
+pub mod run;
+pub mod stats;
+
+pub use run::{execute_plan, ExecutionConfig};
+pub use stats::{ExecutionStats, OperatorStats};

@@ -1,0 +1,325 @@
+//! Plan executor.
+//!
+//! Materializing (operator-at-a-time) execution with per-operator
+//! accounting. LLM-bound operators can fan their records out over a worker
+//! pool (`workers > 1`): calls still accrue full cost on the ledger, but
+//! attributed *time* is divided by the worker count — on the virtual clock,
+//! parallel calls overlap.
+
+use crate::context::PzContext;
+use crate::error::PzResult;
+use crate::exec::stats::{ExecutionStats, OperatorStats};
+use crate::ops::physical::{PhysicalOp, PhysicalPlan};
+use crate::record::DataRecord;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionConfig {
+    /// Worker threads for parallelizable operators. 1 = sequential.
+    pub workers: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self { workers: 1 }
+    }
+}
+
+impl ExecutionConfig {
+    pub fn sequential() -> Self {
+        Self { workers: 1 }
+    }
+
+    pub fn parallel(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// Execute a physical plan, returning output records and statistics.
+pub fn execute_plan(
+    ctx: &PzContext,
+    plan: &PhysicalPlan,
+    config: ExecutionConfig,
+) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
+    let mut records: Vec<DataRecord> = Vec::new();
+    let mut stats = ExecutionStats {
+        plan: plan.describe(),
+        ..Default::default()
+    };
+
+    for op in &plan.ops {
+        let input_count = if matches!(op, PhysicalOp::Scan { .. }) {
+            0
+        } else {
+            records.len()
+        };
+        let ledger_before = snapshot(ctx);
+        let clock_before = ctx.clock.now_secs();
+
+        let workers = config.workers.min(records.len().max(1));
+        let result = if workers > 1 && op.is_parallelizable() {
+            execute_parallel(ctx, op, std::mem::take(&mut records), workers)
+        } else {
+            op.execute(ctx, std::mem::take(&mut records))
+        };
+        records = result.map_err(|e| {
+            crate::error::PzError::Execution(format!("operator {}: {e}", op.describe()))
+        })?;
+
+        let ledger_after = snapshot(ctx);
+        let raw_elapsed = ctx.clock.now_secs() - clock_before;
+        let elapsed = if workers > 1 && op.is_parallelizable() {
+            raw_elapsed / workers as f64
+        } else {
+            raw_elapsed
+        };
+
+        stats.operators.push(OperatorStats {
+            logical: op.logical_kind().to_string(),
+            physical: op.describe(),
+            model: op.model().map(|m| m.to_string()),
+            input_records: input_count,
+            output_records: records.len(),
+            llm_calls: ledger_after.0 - ledger_before.0,
+            input_tokens: ledger_after.1 - ledger_before.1,
+            output_tokens: ledger_after.2 - ledger_before.2,
+            cost_usd: ledger_after.3 - ledger_before.3,
+            time_secs: elapsed,
+        });
+    }
+    stats.finalize();
+    Ok((records, stats))
+}
+
+fn snapshot(ctx: &PzContext) -> (usize, usize, usize, f64) {
+    let usage = ctx.ledger.total_usage();
+    (
+        ctx.ledger.total_requests(),
+        usage.input_tokens,
+        usage.output_tokens,
+        ctx.ledger.total_cost_usd(),
+    )
+}
+
+/// Fan records out over `workers` threads, preserving input order.
+fn execute_parallel(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    input: Vec<DataRecord>,
+    workers: usize,
+) -> PzResult<Vec<DataRecord>> {
+    let chunk_size = input.len().div_ceil(workers);
+    let chunks: Vec<Vec<DataRecord>> = input
+        .chunks(chunk_size.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    let mut results: Vec<PzResult<Vec<DataRecord>>> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let ctx = ctx.clone();
+                let op = op.clone();
+                s.spawn(move |_| op.execute(&ctx, chunk))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasource::MemorySource;
+    use crate::field::FieldDef;
+    use crate::ops::logical::Cardinality;
+    use crate::schema::Schema;
+    use pz_llm::protocol::Effort;
+    use std::sync::Arc;
+
+    fn science_ctx() -> PzContext {
+        let ctx = PzContext::simulated();
+        let (docs, _) = pz_datagen::science::demo_corpus();
+        let items: Vec<(String, String)> =
+            docs.into_iter().map(|d| (d.filename, d.content)).collect();
+        ctx.registry.register(Arc::new(MemorySource::new(
+            "sigmod-demo",
+            Schema::pdf_file(),
+            items,
+        )));
+        ctx
+    }
+
+    fn clinical() -> Schema {
+        Schema::new(
+            "ClinicalData",
+            "datasets in papers",
+            vec![
+                FieldDef::text("name", "The name of the clinical data dataset"),
+                FieldDef::text("description", "A short description of the dataset"),
+                FieldDef::text("url", "The public URL where the dataset can be accessed"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn demo_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::LlmFilter {
+                    predicate: "The papers are about colorectal cancer".into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+                PhysicalOp::LlmConvert {
+                    target: clinical(),
+                    cardinality: Cardinality::OneToMany,
+                    description: "extract datasets".into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn end_to_end_scientific_pipeline() {
+        let ctx = science_ctx();
+        let (records, stats) =
+            execute_plan(&ctx, &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        // The demo: 11 papers in, ~5 pass the filter, ~6 datasets out.
+        assert_eq!(stats.operators[0].output_records, 11);
+        assert!(
+            (4..=6).contains(&stats.operators[1].output_records),
+            "filter kept {}",
+            stats.operators[1].output_records
+        );
+        assert!(
+            (4..=8).contains(&records.len()),
+            "extracted {}",
+            records.len()
+        );
+        assert!(stats.total_cost_usd > 0.0);
+        assert!(stats.total_time_secs > 0.0);
+        assert_eq!(stats.operators.len(), 3);
+        // URLs present on most outputs.
+        let with_url = records
+            .iter()
+            .filter(|r| r.get("url").is_some_and(|v| !v.is_null()))
+            .count();
+        assert!(with_url >= records.len() / 2);
+    }
+
+    #[test]
+    fn per_operator_accounting_sums_to_total() {
+        let ctx = science_ctx();
+        let (_, stats) = execute_plan(&ctx, &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        let op_cost: f64 = stats.operators.iter().map(|o| o.cost_usd).sum();
+        assert!((op_cost - stats.total_cost_usd).abs() < 1e-9);
+        assert!((ctx.ledger.total_cost_usd() - stats.total_cost_usd).abs() < 1e-9);
+        // Scan is free; filter and convert each made LLM calls.
+        assert_eq!(stats.operators[0].llm_calls, 0);
+        assert_eq!(stats.operators[1].llm_calls, 11);
+        assert!(stats.operators[2].llm_calls >= 4);
+    }
+
+    #[test]
+    fn parallel_execution_same_records_less_time() {
+        let ctx1 = science_ctx();
+        let (rec_seq, stats_seq) =
+            execute_plan(&ctx1, &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        let ctx2 = science_ctx();
+        let (rec_par, stats_par) =
+            execute_plan(&ctx2, &demo_plan(), ExecutionConfig::parallel(4)).unwrap();
+        // Same outputs (determinism is per record content, not thread order
+        // within chunks — chunk order preserves input order).
+        assert_eq!(rec_seq.len(), rec_par.len());
+        let mut names_seq: Vec<String> = rec_seq
+            .iter()
+            .map(|r| r.get("name").unwrap().as_display())
+            .collect();
+        let mut names_par: Vec<String> = rec_par
+            .iter()
+            .map(|r| r.get("name").unwrap().as_display())
+            .collect();
+        names_seq.sort();
+        names_par.sort();
+        assert_eq!(names_seq, names_par);
+        // Cost identical, attributed time smaller.
+        assert!((stats_seq.total_cost_usd - stats_par.total_cost_usd).abs() < 1e-9);
+        assert!(
+            stats_par.total_time_secs < stats_seq.total_time_secs,
+            "par {} vs seq {}",
+            stats_par.total_time_secs,
+            stats_seq.total_time_secs
+        );
+    }
+
+    #[test]
+    fn conventional_ops_in_pipeline() {
+        let ctx = science_ctx();
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::Sort {
+                    field: "filename".into(),
+                    descending: true,
+                },
+                PhysicalOp::Limit { n: 3 },
+                PhysicalOp::Project {
+                    fields: vec!["filename".into()],
+                },
+            ],
+        };
+        let (records, stats) = execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(records[0].get("contents").is_none());
+        assert_eq!(stats.total_llm_calls, 0);
+        assert_eq!(stats.total_cost_usd, 0.0);
+    }
+
+    #[test]
+    fn failing_op_propagates_error_with_operator_context() {
+        let ctx = science_ctx();
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::UdfFilter {
+                    udf: "not-registered".into(),
+                },
+            ],
+        };
+        let err = execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("UDFFilter[not-registered]"), "{msg}");
+        assert!(msg.contains("unknown UDF"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let ctx = PzContext::simulated();
+        let plan = PhysicalPlan {
+            ops: vec![PhysicalOp::Scan {
+                dataset: "ghost".into(),
+            }],
+        };
+        assert!(execute_plan(&ctx, &plan, ExecutionConfig::sequential()).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Execution statistics — the data behind Figure 5's output panel:
+//! "Users can visualize both output records, as well as summary information
+//! about the plan execution such as the operators chosen and the total
+//! pipeline cost and runtime."
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Per-operator measurements.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperatorStats {
+    /// Logical kind, e.g. `filter`.
+    pub logical: String,
+    /// Physical description, e.g. `LLMFilter[gpt-4o]`.
+    pub physical: String,
+    /// Model used, if any.
+    pub model: Option<String>,
+    pub input_records: usize,
+    pub output_records: usize,
+    /// Model requests issued by this operator.
+    pub llm_calls: usize,
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+    pub cost_usd: f64,
+    /// Virtual seconds attributed to this operator (already divided by the
+    /// worker count for parallel execution).
+    pub time_secs: f64,
+}
+
+impl OperatorStats {
+    /// Observed selectivity (output/input); 1.0 for empty input.
+    pub fn selectivity(&self) -> f64 {
+        if self.input_records == 0 {
+            1.0
+        } else {
+            self.output_records as f64 / self.input_records as f64
+        }
+    }
+}
+
+/// Whole-pipeline measurements.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Physical plan description.
+    pub plan: String,
+    /// Policy used to choose the plan (if optimizer-driven).
+    pub policy: String,
+    pub operators: Vec<OperatorStats>,
+    pub total_cost_usd: f64,
+    pub total_time_secs: f64,
+    pub total_llm_calls: usize,
+    pub output_records: usize,
+}
+
+impl ExecutionStats {
+    /// Recompute totals from the operator rows.
+    pub fn finalize(&mut self) {
+        self.total_cost_usd = self.operators.iter().map(|o| o.cost_usd).sum();
+        self.total_time_secs = self.operators.iter().map(|o| o.time_secs).sum();
+        self.total_llm_calls = self.operators.iter().map(|o| o.llm_calls).sum();
+        self.output_records = self.operators.last().map_or(0, |o| o.output_records);
+    }
+
+    /// Render the Figure-5-style summary table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "plan: {}", self.plan);
+        if !self.policy.is_empty() {
+            let _ = writeln!(s, "policy: {}", self.policy);
+        }
+        let _ = writeln!(
+            s,
+            "{:<34} {:>6} {:>6} {:>7} {:>10} {:>10}",
+            "operator", "in", "out", "calls", "cost($)", "time(s)"
+        );
+        for op in &self.operators {
+            let _ = writeln!(
+                s,
+                "{:<34} {:>6} {:>6} {:>7} {:>10.4} {:>10.2}",
+                truncate(&op.physical, 34),
+                op.input_records,
+                op.output_records,
+                op.llm_calls,
+                op.cost_usd,
+                op.time_secs
+            );
+        }
+        let _ = writeln!(
+            s,
+            "TOTAL: {} output records, {} LLM calls, ${:.4}, {:.1}s (virtual)",
+            self.output_records, self.total_llm_calls, self.total_cost_usd, self.total_time_secs
+        );
+        s
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(physical: &str, input: usize, output: usize, cost: f64, time: f64) -> OperatorStats {
+        OperatorStats {
+            logical: "x".into(),
+            physical: physical.into(),
+            model: None,
+            input_records: input,
+            output_records: output,
+            llm_calls: input,
+            input_tokens: 0,
+            output_tokens: 0,
+            cost_usd: cost,
+            time_secs: time,
+        }
+    }
+
+    #[test]
+    fn selectivity() {
+        assert_eq!(op("f", 10, 5, 0.0, 0.0).selectivity(), 0.5);
+        assert_eq!(op("f", 0, 0, 0.0, 0.0).selectivity(), 1.0);
+    }
+
+    #[test]
+    fn finalize_totals() {
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            policy: "MaxQuality".into(),
+            operators: vec![op("a", 10, 5, 0.1, 1.0), op("b", 5, 5, 0.2, 2.0)],
+            ..Default::default()
+        };
+        stats.finalize();
+        assert!((stats.total_cost_usd - 0.3).abs() < 1e-12);
+        assert!((stats.total_time_secs - 3.0).abs() < 1e-12);
+        assert_eq!(stats.total_llm_calls, 15);
+        assert_eq!(stats.output_records, 5);
+    }
+
+    #[test]
+    fn render_contains_rows_and_totals() {
+        let mut stats = ExecutionStats {
+            plan: "scan -> filter".into(),
+            policy: "MinCost".into(),
+            operators: vec![op("LLMFilter[gpt-4o]", 11, 5, 0.35, 240.0)],
+            ..Default::default()
+        };
+        stats.finalize();
+        let t = stats.render_table();
+        assert!(t.contains("LLMFilter[gpt-4o]"));
+        assert!(t.contains("policy: MinCost"));
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("0.3500"));
+    }
+
+    #[test]
+    fn truncate_long_names() {
+        let long = "X".repeat(60);
+        let t = truncate(&long, 10);
+        assert!(t.chars().count() <= 10);
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let stats = ExecutionStats::default();
+        let j = serde_json::to_string(&stats).unwrap();
+        assert!(j.contains("operators"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Field definitions — the typed, described attributes that make up a
+//! [`crate::schema::Schema`].
+//!
+//! The paper: "A schema consists of the attribute names, types, and
+//! descriptions used to process the dataset." Descriptions matter: they are
+//! handed to the LLM when a `Convert` has to compute a field that does not
+//! exist in the input.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive types a field can hold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Free text. The default for LLM-extracted attributes.
+    #[default]
+    Text,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// A list of text values.
+    TextList,
+}
+
+impl FieldType {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldType::Text => "text",
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Bool => "bool",
+            FieldType::TextList => "text_list",
+        }
+    }
+}
+
+/// One attribute of a schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Machine name; validated by [`is_valid_field_name`].
+    pub name: String,
+    pub field_type: FieldType,
+    /// Natural-language description used by LLM-based extraction.
+    pub description: String,
+    /// Whether downstream operators may rely on the field being non-null.
+    pub required: bool,
+}
+
+impl FieldDef {
+    /// A text field (the common case, mirroring `pz.Field(desc=...)`).
+    pub fn text(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            field_type: FieldType::Text,
+            description: description.into(),
+            required: false,
+        }
+    }
+
+    pub fn typed(
+        name: impl Into<String>,
+        field_type: FieldType,
+        description: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            field_type,
+            description: description.into(),
+            required: false,
+        }
+    }
+
+    pub fn required(mut self) -> Self {
+        self.required = true;
+        self
+    }
+}
+
+/// Field-name rule from the paper's `create_schema` tool: "Field names
+/// cannot have spaces or special characters." We allow `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn is_valid_field_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        for n in ["name", "dataset_name", "_x", "fieldA2"] {
+            assert!(is_valid_field_name(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn invalid_names() {
+        for n in ["", "2name", "has space", "dash-ed", "dot.ted", "ünïcode"] {
+            assert!(!is_valid_field_name(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn text_builder_defaults() {
+        let f = FieldDef::text("url", "The public URL");
+        assert_eq!(f.field_type, FieldType::Text);
+        assert!(!f.required);
+        assert!(FieldDef::text("x", "").required().required);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(FieldType::Int.name(), "int");
+        assert_eq!(FieldType::TextList.name(), "text_list");
+    }
+}

@@ -1,0 +1,658 @@
+//! Logical operators and plans.
+//!
+//! Paper §2.1: "A Palimpzest plan is a sequence of these operators over a
+//! dataset. By design, users write *logical* plans only; the choice of the
+//! physical implementation is deferred until runtime." Plans here are
+//! linear operator chains rooted at a `Scan`, validated by propagating
+//! schemas through the chain.
+
+use crate::datasource::DataRegistry;
+use crate::error::{PzError, PzResult};
+use crate::field::{FieldDef, FieldType};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+pub use pz_llm::protocol::Cardinality;
+
+/// A filter's condition: a natural-language predicate (evaluated by an LLM
+/// or embedding model at the physical level) or a registered UDF.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterPredicate {
+    /// Natural-language condition, e.g. "The papers are about colorectal
+    /// cancer".
+    NaturalLanguage(String),
+    /// Name of a registered boolean UDF.
+    Udf(String),
+}
+
+impl FilterPredicate {
+    pub fn describe(&self) -> String {
+        match self {
+            FilterPredicate::NaturalLanguage(p) => format!("nl:{p:?}"),
+            FilterPredicate::Udf(u) => format!("udf:{u}"),
+        }
+    }
+}
+
+/// How a join decides whether a (left, right) pair matches.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinCondition {
+    /// Conventional equality on one field per side.
+    FieldEq { left: String, right: String },
+    /// Natural-language criterion judged by an LLM over each pair.
+    Semantic { criterion: String },
+}
+
+impl JoinCondition {
+    pub fn describe(&self) -> String {
+        match self {
+            JoinCondition::FieldEq { left, right } => format!("{left}={right}"),
+            JoinCondition::Semantic { criterion } => format!("sem:{criterion:?}"),
+        }
+    }
+}
+
+/// Aggregate functions with conventional database semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate expression: `func(field) AS alias`. `Count` ignores the
+/// field.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub field: String,
+    pub alias: String,
+}
+
+impl AggExpr {
+    pub fn new(func: AggFunc, field: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            func,
+            field: field.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// The logical operator algebra. `Convert` and `Filter` are the two special
+/// operators the demo emphasizes; the rest "follow conventional database
+/// semantics" (§2.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogicalOp {
+    /// Read a registered dataset.
+    Scan { dataset: String },
+    /// Keep records satisfying the predicate.
+    Filter { predicate: FilterPredicate },
+    /// Transform records of schema A into records of schema B, computing
+    /// the fields of B that do not exist in A.
+    Convert {
+        target: Schema,
+        cardinality: Cardinality,
+        description: String,
+    },
+    /// Apply a registered record-to-record UDF.
+    Map { udf: String },
+    /// Keep only the named fields.
+    Project { fields: Vec<String> },
+    /// Keep the first `n` records.
+    Limit { n: usize },
+    /// Sort by a field.
+    Sort { field: String, descending: bool },
+    /// Remove duplicate records (by the named fields; empty = all fields).
+    Distinct { fields: Vec<String> },
+    /// Group-by + aggregates.
+    Aggregate {
+        group_by: Vec<String>,
+        aggs: Vec<AggExpr>,
+    },
+    /// Semantic top-k against the corpus itself: keep the `k` records most
+    /// similar to the natural-language query.
+    Retrieve { query: String, k: usize },
+    /// Join the stream against another registered dataset.
+    Join {
+        dataset: String,
+        condition: JoinCondition,
+    },
+    /// Assign each record one of a fixed label set, written into a new
+    /// field (semantic categorization; nothing is dropped).
+    Classify {
+        labels: Vec<String>,
+        output_field: String,
+    },
+    /// Append every record of another registered dataset to the stream
+    /// (UNION ALL; the build side must share the current schema's fields).
+    Union { dataset: String },
+}
+
+impl LogicalOp {
+    /// Short name for display and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LogicalOp::Scan { .. } => "scan",
+            LogicalOp::Filter { .. } => "filter",
+            LogicalOp::Convert { .. } => "convert",
+            LogicalOp::Map { .. } => "map",
+            LogicalOp::Project { .. } => "project",
+            LogicalOp::Limit { .. } => "limit",
+            LogicalOp::Sort { .. } => "sort",
+            LogicalOp::Distinct { .. } => "distinct",
+            LogicalOp::Aggregate { .. } => "aggregate",
+            LogicalOp::Retrieve { .. } => "retrieve",
+            LogicalOp::Join { .. } => "join",
+            LogicalOp::Classify { .. } => "classify",
+            LogicalOp::Union { .. } => "union",
+        }
+    }
+
+    /// Does this operator require an LLM at the physical level?
+    pub fn is_semantic(&self) -> bool {
+        matches!(
+            self,
+            LogicalOp::Filter {
+                predicate: FilterPredicate::NaturalLanguage(_)
+            } | LogicalOp::Convert { .. }
+                | LogicalOp::Retrieve { .. }
+                | LogicalOp::Join {
+                    condition: JoinCondition::Semantic { .. },
+                    ..
+                }
+        )
+    }
+}
+
+/// Field-name-safe prefix for a join build side: non-identifier characters
+/// become underscores ("repo-catalog" → `repo_catalog`).
+pub fn join_field_prefix(dataset: &str) -> String {
+    let mut out: String = dataset
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// A validated linear chain of logical operators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    pub ops: Vec<LogicalOp>,
+}
+
+impl LogicalPlan {
+    /// Build and structurally validate (must start with exactly one Scan,
+    /// which must be first; Limit/Retrieve sizes positive).
+    pub fn new(ops: Vec<LogicalOp>) -> PzResult<Self> {
+        if ops.is_empty() {
+            return Err(PzError::Plan("plan is empty".into()));
+        }
+        if !matches!(ops[0], LogicalOp::Scan { .. }) {
+            return Err(PzError::Plan("plan must start with a Scan".into()));
+        }
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                LogicalOp::Scan { .. } if i > 0 => {
+                    return Err(PzError::Plan(
+                        "Scan only allowed as the first operator".into(),
+                    ))
+                }
+                LogicalOp::Limit { n: 0 } => {
+                    return Err(PzError::Plan("Limit 0 yields an empty pipeline".into()))
+                }
+                LogicalOp::Retrieve { k: 0, .. } => {
+                    return Err(PzError::Plan("Retrieve with k=0 is empty".into()))
+                }
+                LogicalOp::Aggregate { aggs, .. } if aggs.is_empty() => {
+                    return Err(PzError::Plan(
+                        "Aggregate needs at least one aggregate".into(),
+                    ))
+                }
+                LogicalOp::Join { dataset, .. } if dataset.is_empty() => {
+                    return Err(PzError::Plan("Join needs a build-side dataset".into()))
+                }
+                LogicalOp::Classify { labels, .. } if labels.len() < 2 => {
+                    return Err(PzError::Plan("Classify needs at least two labels".into()))
+                }
+                LogicalOp::Union { dataset } if dataset.is_empty() => {
+                    return Err(PzError::Plan("Union needs a dataset".into()))
+                }
+                _ => {}
+            }
+        }
+        Ok(Self { ops })
+    }
+
+    /// The dataset the plan scans.
+    pub fn dataset(&self) -> &str {
+        match &self.ops[0] {
+            LogicalOp::Scan { dataset } => dataset,
+            _ => unreachable!("validated: first op is Scan"),
+        }
+    }
+
+    /// Number of semantic (LLM-requiring) operators.
+    pub fn semantic_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_semantic()).count()
+    }
+
+    /// Propagate schemas through the chain, checking field references.
+    /// Returns the output schema of every operator (same length as `ops`).
+    pub fn schemas(&self, registry: &DataRegistry) -> PzResult<Vec<Schema>> {
+        let mut out = Vec::with_capacity(self.ops.len());
+        let mut current: Option<Schema> = None;
+        for op in &self.ops {
+            let next = match op {
+                LogicalOp::Scan { dataset } => registry.get(dataset)?.schema(),
+                LogicalOp::Filter { .. } | LogicalOp::Limit { .. } | LogicalOp::Retrieve { .. } => {
+                    current.clone().expect("scan first")
+                }
+                LogicalOp::Map { .. } => current.clone().expect("scan first"),
+                LogicalOp::Distinct { fields } => {
+                    let cur = current.clone().expect("scan first");
+                    for f in fields {
+                        if !cur.has_field(f) {
+                            return Err(PzError::Plan(format!(
+                                "Distinct references unknown field {f:?}"
+                            )));
+                        }
+                    }
+                    cur
+                }
+                LogicalOp::Sort { field, .. } => {
+                    let cur = current.clone().expect("scan first");
+                    if !cur.has_field(field) {
+                        return Err(PzError::Plan(format!(
+                            "Sort references unknown field {field:?}"
+                        )));
+                    }
+                    cur
+                }
+                LogicalOp::Project { fields } => {
+                    let cur = current.clone().expect("scan first");
+                    cur.project(fields)
+                        .map_err(|e| PzError::Plan(e.to_string()))?
+                }
+                LogicalOp::Convert { target, .. } => {
+                    // Converts may compute any field; the *output* is the
+                    // target schema plus pass-through of input fields is not
+                    // guaranteed, so downstream refs must use the target.
+                    target.clone()
+                }
+                LogicalOp::Join { dataset, condition } => {
+                    let cur = current.clone().expect("scan first");
+                    let right = registry.get(dataset)?.schema();
+                    if let JoinCondition::FieldEq { left, right: rf } = condition {
+                        if !cur.has_field(left) {
+                            return Err(PzError::Plan(format!(
+                                "Join references unknown left field {left:?}"
+                            )));
+                        }
+                        if !right.has_field(rf) {
+                            return Err(PzError::Plan(format!(
+                                "Join references unknown right field {rf:?} in {dataset}"
+                            )));
+                        }
+                    }
+                    // Merge schemas; colliding right fields get prefixed
+                    // with a field-name-safe rendering of the dataset name.
+                    let prefix = join_field_prefix(dataset);
+                    let mut fields = cur.fields.clone();
+                    for f in &right.fields {
+                        let mut f = f.clone();
+                        if cur.has_field(&f.name) {
+                            f.name = format!("{prefix}_{}", f.name);
+                        }
+                        fields.push(f);
+                    }
+                    Schema::new(
+                        format!("{}Join{}", cur.name, right.name),
+                        "join output",
+                        fields,
+                    )
+                    .map_err(|e| PzError::Plan(e.to_string()))?
+                }
+                LogicalOp::Union { dataset } => {
+                    let cur = current.clone().expect("scan first");
+                    let other = registry.get(dataset)?.schema();
+                    for f in &cur.fields {
+                        if f.required && !other.has_field(&f.name) {
+                            return Err(PzError::Plan(format!(
+                                "Union: dataset {dataset} lacks required field {:?}",
+                                f.name
+                            )));
+                        }
+                    }
+                    cur
+                }
+                LogicalOp::Classify { output_field, .. } => {
+                    let cur = current.clone().expect("scan first");
+                    if !crate::field::is_valid_field_name(output_field) {
+                        return Err(PzError::Plan(format!(
+                            "Classify output field {output_field:?} is not a valid field name"
+                        )));
+                    }
+                    let mut fields = cur.fields.clone();
+                    if !cur.has_field(output_field) {
+                        fields.push(FieldDef::text(
+                            output_field.clone(),
+                            "label assigned by classification",
+                        ));
+                    }
+                    Schema::new(
+                        format!("{}Classified", cur.name),
+                        "classification output",
+                        fields,
+                    )
+                    .map_err(|e| PzError::Plan(e.to_string()))?
+                }
+                LogicalOp::Aggregate { group_by, aggs } => {
+                    let cur = current.clone().expect("scan first");
+                    for a in aggs {
+                        if a.func != AggFunc::Count && !cur.has_field(&a.field) {
+                            return Err(PzError::Plan(format!(
+                                "Aggregate references unknown field {:?}",
+                                a.field
+                            )));
+                        }
+                    }
+                    let mut fields = Vec::new();
+                    for g in group_by {
+                        let f = cur.field(g).ok_or_else(|| {
+                            PzError::Plan(format!("group-by references unknown field {g:?}"))
+                        })?;
+                        fields.push(f.clone());
+                    }
+                    for a in aggs {
+                        fields.push(FieldDef::typed(
+                            a.alias.clone(),
+                            FieldType::Float,
+                            "aggregate",
+                        ));
+                    }
+                    Schema::new(format!("{}Agg", cur.name), "aggregation output", fields)
+                        .map_err(|e| PzError::Plan(e.to_string()))?
+                }
+            };
+            out.push(next.clone());
+            current = Some(next);
+        }
+        Ok(out)
+    }
+
+    /// Output schema of the whole plan.
+    pub fn output_schema(&self, registry: &DataRegistry) -> PzResult<Schema> {
+        Ok(self.schemas(registry)?.pop().expect("non-empty plan"))
+    }
+
+    /// One-line rendering, e.g. `scan(demo) -> filter(nl) -> convert(ClinicalData)`.
+    pub fn describe(&self) -> String {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                LogicalOp::Scan { dataset } => format!("scan({dataset})"),
+                LogicalOp::Filter { predicate } => format!("filter({})", predicate.describe()),
+                LogicalOp::Convert {
+                    target,
+                    cardinality,
+                    ..
+                } => {
+                    let card = match cardinality {
+                        Cardinality::OneToOne => "1:1",
+                        Cardinality::OneToMany => "1:N",
+                    };
+                    format!("convert({}, {card})", target.name)
+                }
+                LogicalOp::Map { udf } => format!("map({udf})"),
+                LogicalOp::Project { fields } => format!("project({})", fields.join(",")),
+                LogicalOp::Limit { n } => format!("limit({n})"),
+                LogicalOp::Sort { field, descending } => {
+                    format!("sort({field}{})", if *descending { " desc" } else { "" })
+                }
+                LogicalOp::Distinct { fields } => format!("distinct({})", fields.join(",")),
+                LogicalOp::Aggregate { group_by, aggs } => format!(
+                    "aggregate(by=[{}], [{}])",
+                    group_by.join(","),
+                    aggs.iter()
+                        .map(|a| format!("{}({})", a.func.name(), a.field))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                LogicalOp::Retrieve { query, k } => format!("retrieve({query:?}, k={k})"),
+                LogicalOp::Join { dataset, condition } => {
+                    format!("join({dataset}, {})", condition.describe())
+                }
+                LogicalOp::Classify {
+                    labels,
+                    output_field,
+                } => {
+                    format!("classify([{}] -> {output_field})", labels.join("|"))
+                }
+                LogicalOp::Union { dataset } => format!("union({dataset})"),
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasource::MemorySource;
+    use crate::field::FieldDef;
+    use std::sync::Arc;
+
+    fn registry() -> DataRegistry {
+        let reg = DataRegistry::new();
+        reg.register(Arc::new(MemorySource::from_texts(
+            "demo",
+            Schema::pdf_file(),
+            vec!["doc".into()],
+        )));
+        reg
+    }
+
+    fn clinical() -> Schema {
+        Schema::new(
+            "ClinicalData",
+            "datasets from papers",
+            vec![
+                FieldDef::text("name", "The dataset name"),
+                FieldDef::text("url", "The public URL"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_must_start_with_scan() {
+        let err = LogicalPlan::new(vec![LogicalOp::Limit { n: 1 }]).unwrap_err();
+        assert!(err.to_string().contains("Scan"));
+        assert!(LogicalPlan::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn scan_only_first() {
+        let err = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "a".into(),
+            },
+            LogicalOp::Scan {
+                dataset: "b".into(),
+            },
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("first"));
+    }
+
+    #[test]
+    fn zero_limit_rejected() {
+        assert!(LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "a".into()
+            },
+            LogicalOp::Limit { n: 0 },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn demo_pipeline_schemas() {
+        // The Figure 6 pipeline: scan -> filter -> convert.
+        let plan = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Filter {
+                predicate: FilterPredicate::NaturalLanguage(
+                    "The papers are about colorectal cancer".into(),
+                ),
+            },
+            LogicalOp::Convert {
+                target: clinical(),
+                cardinality: Cardinality::OneToMany,
+                description: "extract datasets".into(),
+            },
+        ])
+        .unwrap();
+        let schemas = plan.schemas(&registry()).unwrap();
+        assert_eq!(schemas[0].name, "PDFFile");
+        assert_eq!(schemas[1].name, "PDFFile");
+        assert_eq!(schemas[2].name, "ClinicalData");
+        assert_eq!(plan.dataset(), "demo");
+        assert_eq!(plan.semantic_op_count(), 2);
+    }
+
+    #[test]
+    fn unknown_dataset_fails_schema_propagation() {
+        let plan = LogicalPlan::new(vec![LogicalOp::Scan {
+            dataset: "missing".into(),
+        }])
+        .unwrap();
+        assert!(matches!(
+            plan.schemas(&registry()),
+            Err(PzError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn bad_sort_field_caught() {
+        let plan = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Sort {
+                field: "nope".into(),
+                descending: false,
+            },
+        ])
+        .unwrap();
+        assert!(plan.schemas(&registry()).is_err());
+    }
+
+    #[test]
+    fn projection_narrows_schema() {
+        let plan = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Project {
+                fields: vec!["filename".into()],
+            },
+        ])
+        .unwrap();
+        let out = plan.output_schema(&registry()).unwrap();
+        assert_eq!(out.field_names(), vec!["filename"]);
+    }
+
+    #[test]
+    fn aggregate_schema_and_validation() {
+        let plan = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Aggregate {
+                group_by: vec!["filename".into()],
+                aggs: vec![AggExpr::new(AggFunc::Count, "", "n")],
+            },
+        ])
+        .unwrap();
+        let out = plan.output_schema(&registry()).unwrap();
+        assert_eq!(out.field_names(), vec!["filename", "n"]);
+
+        let bad = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![AggExpr::new(AggFunc::Sum, "nope", "s")],
+            },
+        ])
+        .unwrap();
+        assert!(bad.schemas(&registry()).is_err());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let plan = LogicalPlan::new(vec![
+            LogicalOp::Scan {
+                dataset: "demo".into(),
+            },
+            LogicalOp::Filter {
+                predicate: FilterPredicate::NaturalLanguage("about cancer".into()),
+            },
+            LogicalOp::Limit { n: 5 },
+        ])
+        .unwrap();
+        let d = plan.describe();
+        assert!(d.starts_with("scan(demo)"));
+        assert!(d.contains("filter"));
+        assert!(d.ends_with("limit(5)"));
+    }
+
+    #[test]
+    fn semantic_op_detection() {
+        assert!(LogicalOp::Filter {
+            predicate: FilterPredicate::NaturalLanguage("x".into())
+        }
+        .is_semantic());
+        assert!(!LogicalOp::Filter {
+            predicate: FilterPredicate::Udf("f".into())
+        }
+        .is_semantic());
+        assert!(!LogicalOp::Limit { n: 1 }.is_semantic());
+        assert!(LogicalOp::Retrieve {
+            query: "q".into(),
+            k: 3
+        }
+        .is_semantic());
+    }
+}

@@ -1,0 +1,11 @@
+//! Operator layer: the logical algebra, its physical implementations, and
+//! the per-operator execution routines.
+
+pub mod classify;
+pub mod convert;
+pub mod filter;
+pub mod join;
+pub mod logical;
+pub mod physical;
+pub mod relational;
+pub mod retrieve;

@@ -1,0 +1,399 @@
+//! Conventional relational operators ("All other operations follow
+//! conventional database semantics", §2.1): map, project, limit, sort,
+//! distinct, aggregate. These never touch a model and cost (almost)
+//! nothing; the virtual clock is advanced by a small per-record CPU charge
+//! so Figure-5-style breakdowns show realistic non-zero rows.
+
+use crate::context::PzContext;
+use crate::error::{PzError, PzResult};
+use crate::ops::logical::{AggExpr, AggFunc};
+use crate::record::{DataRecord, Value};
+use std::collections::BTreeMap;
+
+/// Virtual CPU seconds charged per record by conventional operators.
+const CPU_SECS_PER_RECORD: f64 = 0.000_05;
+
+fn charge_cpu(ctx: &PzContext, records: usize) {
+    ctx.clock.advance_secs(records as f64 * CPU_SECS_PER_RECORD);
+}
+
+/// Apply a registered record transform.
+pub fn map(ctx: &PzContext, input: Vec<DataRecord>, udf: &str) -> PzResult<Vec<DataRecord>> {
+    let f = ctx.udfs.map(udf)?;
+    charge_cpu(ctx, input.len());
+    Ok(input.iter().map(|r| f(r)).collect())
+}
+
+/// Keep only the named fields.
+pub fn project(input: Vec<DataRecord>, fields: &[String]) -> Vec<DataRecord> {
+    input
+        .into_iter()
+        .map(|mut r| {
+            r.fields.retain(|k, _| fields.iter().any(|f| f == k));
+            r
+        })
+        .collect()
+}
+
+/// First `n` records.
+pub fn limit(mut input: Vec<DataRecord>, n: usize) -> Vec<DataRecord> {
+    input.truncate(n);
+    input
+}
+
+/// Stable sort by one field. Records missing the field (or with null)
+/// sort last regardless of direction. Mixed types order by type name to
+/// stay total.
+pub fn sort(mut input: Vec<DataRecord>, field: &str, descending: bool) -> Vec<DataRecord> {
+    input.sort_by(|a, b| {
+        let va = a.get(field);
+        let vb = b.get(field);
+        let ord = compare_values(va, vb);
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    input
+}
+
+fn compare_values(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (value_key(a), value_key(b)) {
+        (None, None) => Ordering::Equal,
+        // Missing/null last in ascending; `sort` reverses for descending,
+        // which flips this too — acceptable and documented behaviour.
+        (None, Some(_)) => Ordering::Greater,
+        (Some(_), None) => Ordering::Less,
+        (Some(ka), Some(kb)) => ka.partial_cmp(&kb).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Project a value to an orderable key: numbers before text, then lists.
+fn value_key(v: Option<&Value>) -> Option<(u8, f64, String)> {
+    match v? {
+        Value::Null => None,
+        Value::Bool(b) => Some((0, f64::from(u8::from(*b)), String::new())),
+        Value::Int(i) => Some((1, *i as f64, String::new())),
+        Value::Float(f) => Some((1, *f, String::new())),
+        Value::Text(s) => Some((2, 0.0, s.clone())),
+        Value::TextList(l) => Some((3, l.len() as f64, l.join("\u{1}"))),
+    }
+}
+
+/// Remove duplicates by the named fields (all fields when empty),
+/// preserving first occurrence.
+pub fn distinct(input: Vec<DataRecord>, fields: &[String]) -> Vec<DataRecord> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = Vec::new();
+    for r in input {
+        let key = if fields.is_empty() {
+            r.fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        } else {
+            fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}={}",
+                        r.get(f).map(|v| v.as_display()).unwrap_or_default()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        };
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Group-by + aggregates with conventional SQL semantics (empty group-by =
+/// one global group; aggregates over empty input yield one row of nulls /
+/// zero count only when a global aggregate).
+pub fn aggregate(
+    ctx: &PzContext,
+    input: Vec<DataRecord>,
+    group_by: &[String],
+    aggs: &[AggExpr],
+) -> PzResult<Vec<DataRecord>> {
+    charge_cpu(ctx, input.len());
+    let mut groups: BTreeMap<String, (Vec<Value>, Vec<DataRecord>)> = BTreeMap::new();
+    for r in input {
+        let key_vals: Vec<Value> = group_by
+            .iter()
+            .map(|g| r.get(g).cloned().unwrap_or(Value::Null))
+            .collect();
+        let key = key_vals
+            .iter()
+            .map(|v| v.as_display())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        groups
+            .entry(key)
+            .or_insert_with(|| (key_vals, Vec::new()))
+            .1
+            .push(r);
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        // Global aggregate over the empty input: COUNT = 0, others null.
+        let mut rec = DataRecord::new(ctx.next_id());
+        for a in aggs {
+            let v = if a.func == AggFunc::Count {
+                Value::Float(0.0)
+            } else {
+                Value::Null
+            };
+            rec.set(a.alias.clone(), v);
+        }
+        return Ok(vec![rec]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, (key_vals, members)) in groups {
+        let mut rec = DataRecord::new(ctx.next_id());
+        for (g, v) in group_by.iter().zip(key_vals) {
+            rec.set(g.clone(), v);
+        }
+        for a in aggs {
+            rec.set(a.alias.clone(), compute_agg(a, &members)?);
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+fn compute_agg(a: &AggExpr, members: &[DataRecord]) -> PzResult<Value> {
+    if a.func == AggFunc::Count {
+        return Ok(Value::Float(members.len() as f64));
+    }
+    let nums: Vec<f64> = members
+        .iter()
+        .filter_map(|r| r.get(&a.field))
+        .filter_map(|v| v.as_f64())
+        .collect();
+    if nums.is_empty() {
+        return Ok(Value::Null);
+    }
+    let v = match a.func {
+        AggFunc::Count => unreachable!(),
+        AggFunc::Sum => nums.iter().sum(),
+        AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+        AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+        AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    };
+    if v.is_finite() {
+        Ok(Value::Float(v))
+    } else {
+        Err(PzError::Execution(format!(
+            "aggregate {} overflowed",
+            a.alias
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, pairs: &[(&str, Value)]) -> DataRecord {
+        let mut r = DataRecord::new(id);
+        for (k, v) in pairs {
+            r.set(*k, v.clone());
+        }
+        r
+    }
+
+    #[test]
+    fn project_keeps_only_named() {
+        let input = vec![rec(0, &[("a", Value::Int(1)), ("b", Value::Int(2))])];
+        let out = project(input, &["b".to_string()]);
+        assert!(out[0].get("a").is_none());
+        assert_eq!(out[0].get("b").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let input: Vec<DataRecord> = (0..5).map(|i| rec(i, &[])).collect();
+        assert_eq!(limit(input.clone(), 3).len(), 3);
+        assert_eq!(limit(input, 10).len(), 5);
+    }
+
+    #[test]
+    fn sort_numeric_and_text() {
+        let input = vec![
+            rec(0, &[("x", Value::Int(3))]),
+            rec(1, &[("x", Value::Int(1))]),
+            rec(2, &[("x", Value::Int(2))]),
+        ];
+        let out = sort(input, "x", false);
+        let xs: Vec<i64> = out
+            .iter()
+            .map(|r| r.get("x").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(xs, vec![1, 2, 3]);
+
+        let input = vec![
+            rec(0, &[("s", Value::Text("beta".into()))]),
+            rec(1, &[("s", Value::Text("alpha".into()))]),
+        ];
+        let out = sort(input, "s", true);
+        assert_eq!(out[0].get("s").unwrap().as_text(), Some("beta"));
+    }
+
+    #[test]
+    fn sort_nulls_last_ascending() {
+        let input = vec![
+            rec(0, &[("x", Value::Null)]),
+            rec(1, &[("x", Value::Int(5))]),
+            rec(2, &[]),
+        ];
+        let out = sort(input, "x", false);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let input = vec![
+            rec(10, &[("x", Value::Int(1))]),
+            rec(11, &[("x", Value::Int(1))]),
+            rec(12, &[("x", Value::Int(0))]),
+        ];
+        let out = sort(input, "x", false);
+        assert_eq!(
+            out.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![12, 10, 11]
+        );
+    }
+
+    #[test]
+    fn distinct_by_field_and_all() {
+        let input = vec![
+            rec(0, &[("a", Value::Text("x".into())), ("b", Value::Int(1))]),
+            rec(1, &[("a", Value::Text("x".into())), ("b", Value::Int(2))]),
+            rec(2, &[("a", Value::Text("y".into())), ("b", Value::Int(1))]),
+        ];
+        assert_eq!(distinct(input.clone(), &["a".to_string()]).len(), 2);
+        assert_eq!(distinct(input, &[]).len(), 3);
+    }
+
+    #[test]
+    fn aggregate_global() {
+        let ctx = PzContext::simulated();
+        let input = vec![
+            rec(0, &[("p", Value::Int(10))]),
+            rec(1, &[("p", Value::Int(30))]),
+        ];
+        let out = aggregate(
+            &ctx,
+            input,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, "", "n"),
+                AggExpr::new(AggFunc::Avg, "p", "avg_p"),
+                AggExpr::new(AggFunc::Min, "p", "min_p"),
+                AggExpr::new(AggFunc::Max, "p", "max_p"),
+                AggExpr::new(AggFunc::Sum, "p", "sum_p"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n").unwrap().as_f64(), Some(2.0));
+        assert_eq!(out[0].get("avg_p").unwrap().as_f64(), Some(20.0));
+        assert_eq!(out[0].get("min_p").unwrap().as_f64(), Some(10.0));
+        assert_eq!(out[0].get("max_p").unwrap().as_f64(), Some(30.0));
+        assert_eq!(out[0].get("sum_p").unwrap().as_f64(), Some(40.0));
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let ctx = PzContext::simulated();
+        let input = vec![
+            rec(
+                0,
+                &[("city", Value::Text("a".into())), ("p", Value::Int(1))],
+            ),
+            rec(
+                1,
+                &[("city", Value::Text("b".into())), ("p", Value::Int(2))],
+            ),
+            rec(
+                2,
+                &[("city", Value::Text("a".into())), ("p", Value::Int(3))],
+            ),
+        ];
+        let out = aggregate(
+            &ctx,
+            input,
+            &["city".to_string()],
+            &[AggExpr::new(AggFunc::Sum, "p", "total")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let a = out
+            .iter()
+            .find(|r| r.get("city").unwrap().as_text() == Some("a"))
+            .unwrap();
+        assert_eq!(a.get("total").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn aggregate_empty_input_global() {
+        let ctx = PzContext::simulated();
+        let out = aggregate(
+            &ctx,
+            vec![],
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, "", "n"),
+                AggExpr::new(AggFunc::Sum, "p", "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n").unwrap().as_f64(), Some(0.0));
+        assert!(out[0].get("s").unwrap().is_null());
+    }
+
+    #[test]
+    fn aggregate_empty_input_grouped_is_empty() {
+        let ctx = PzContext::simulated();
+        let out = aggregate(
+            &ctx,
+            vec![],
+            &["city".to_string()],
+            &[AggExpr::new(AggFunc::Count, "", "n")],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn aggregate_ignores_non_numeric() {
+        let ctx = PzContext::simulated();
+        let input = vec![
+            rec(0, &[("p", Value::Text("oops".into()))]),
+            rec(1, &[("p", Value::Int(4))]),
+        ];
+        let out = aggregate(&ctx, input, &[], &[AggExpr::new(AggFunc::Avg, "p", "a")]).unwrap();
+        assert_eq!(out[0].get("a").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn map_applies_udf() {
+        let ctx = PzContext::simulated();
+        ctx.udfs.register_map("tag", |r: &DataRecord| {
+            let mut out = r.clone();
+            out.set("tagged", true);
+            out
+        });
+        let out = map(&ctx, vec![rec(0, &[])], "tag").unwrap();
+        assert_eq!(out[0].get("tagged").unwrap().as_bool(), Some(true));
+        assert!(map(&ctx, vec![], "missing").is_err());
+    }
+}

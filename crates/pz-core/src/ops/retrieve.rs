@@ -1,0 +1,146 @@
+//! Retrieve — semantic top-k over the operator's own input.
+//!
+//! The intro's "vector databases" leg: embed every input record and the
+//! natural-language query, index the records in the vector store, and keep
+//! the `k` most similar. Used for RAG-style narrowing before expensive
+//! LLM operators.
+
+use crate::context::PzContext;
+use crate::error::PzResult;
+use crate::record::DataRecord;
+use pz_llm::{EmbeddingRequest, ModelId};
+use pz_vector::Metric;
+
+/// Keep the `k` records most similar to `query`.
+pub fn retrieve(
+    ctx: &PzContext,
+    input: Vec<DataRecord>,
+    query: &str,
+    k: usize,
+    model: &ModelId,
+) -> PzResult<Vec<DataRecord>> {
+    if input.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut texts: Vec<String> = Vec::with_capacity(input.len() + 1);
+    texts.push(query.to_string());
+    texts.extend(input.iter().map(|r| r.prompt_text()));
+    let resp = ctx.llm.embed(&EmbeddingRequest {
+        model: model.clone(),
+        inputs: texts,
+    })?;
+    let dim = resp.vectors[0].len();
+
+    // A transient per-op collection: retrieval is over the operator input,
+    // not a persistent corpus. Unique name avoids cross-run clashes.
+    let coll = format!("__retrieve_{}", ctx.next_id());
+    ctx.vectors.ensure_collection(&coll, dim, Metric::Cosine);
+    for (i, v) in resp.vectors[1..].iter().enumerate() {
+        ctx.vectors.add(&coll, v, i.to_string())?;
+    }
+    let hits = ctx.vectors.search(&coll, &resp.vectors[0], k)?;
+    ctx.vectors.drop_collection(&coll);
+
+    let mut picked: Vec<usize> = hits
+        .iter()
+        .map(|h| h.payload.parse().unwrap_or(0))
+        .collect();
+    picked.sort_unstable();
+    Ok(input
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| picked.binary_search(i).is_ok())
+        .map(|(_, r)| r)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ctx: &PzContext, text: &str) -> DataRecord {
+        DataRecord::new(ctx.next_id()).with_field("contents", text)
+    }
+
+    #[test]
+    fn retrieves_most_similar() {
+        let ctx = PzContext::simulated();
+        let input = vec![
+            rec(&ctx, "colorectal cancer genomic tumor mutation cohort"),
+            rec(&ctx, "quasar galaxy telescope redshift survey"),
+            rec(&ctx, "colorectal cancer screening tumor study"),
+            rec(&ctx, "battery cathode lattice materials"),
+        ];
+        let out = retrieve(
+            &ctx,
+            input,
+            "colorectal cancer tumor",
+            2,
+            &ctx.embed_model.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        for r in &out {
+            assert!(
+                r.prompt_text().contains("colorectal"),
+                "{}",
+                r.prompt_text()
+            );
+        }
+    }
+
+    #[test]
+    fn k_bounds() {
+        let ctx = PzContext::simulated();
+        let input = vec![rec(&ctx, "a b"), rec(&ctx, "c d")];
+        assert_eq!(
+            retrieve(&ctx, input.clone(), "q", 10, &ctx.embed_model.clone())
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(retrieve(&ctx, input, "q", 0, &ctx.embed_model.clone())
+            .unwrap()
+            .is_empty());
+        assert!(retrieve(&ctx, vec![], "q", 3, &ctx.embed_model.clone())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let ctx = PzContext::simulated();
+        let input = vec![
+            rec(&ctx, "zeta colorectal cancer tumor"),
+            rec(&ctx, "alpha colorectal cancer tumor"),
+        ];
+        let ids: Vec<u64> = input.iter().map(|r| r.id).collect();
+        let out = retrieve(
+            &ctx,
+            input,
+            "colorectal cancer",
+            2,
+            &ctx.embed_model.clone(),
+        )
+        .unwrap();
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn charges_embedding_cost() {
+        let ctx = PzContext::simulated();
+        let input = vec![rec(&ctx, "some text"), rec(&ctx, "more text")];
+        retrieve(&ctx, input, "query", 1, &ctx.embed_model.clone()).unwrap();
+        assert!(ctx.ledger.total_cost_usd() > 0.0);
+        let by_model = ctx.ledger.by_model();
+        assert_eq!(by_model[0].0.as_str(), "text-embedding-3-small");
+    }
+
+    #[test]
+    fn transient_collection_cleaned_up() {
+        let ctx = PzContext::simulated();
+        let input = vec![rec(&ctx, "text")];
+        retrieve(&ctx, input, "q", 1, &ctx.embed_model.clone()).unwrap();
+        assert!(ctx.vectors.collection_names().is_empty());
+    }
+}

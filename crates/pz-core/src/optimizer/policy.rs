@@ -1,0 +1,233 @@
+//! Optimization policies.
+//!
+//! §2.1: "Users can specify whether they are interested in quality,
+//! runtime, or cost of executing their pipelines. They may instruct the
+//! system to narrow its optimization on one of these dimensions (e.g., to
+//! minimize the cost no matter the quality), or specify a meaningful
+//! combination of them (e.g., maximize the output quality while being
+//! under a certain latency)."
+
+use crate::ops::physical::PhysicalPlan;
+use crate::optimizer::cost::PlanEstimate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A user optimization preference.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Best quality; ties broken by lower cost, then lower time.
+    MaxQuality,
+    /// Lowest cost; ties broken by higher quality, then lower time.
+    MinCost,
+    /// Lowest runtime; ties broken by higher quality, then lower cost.
+    MinTime,
+    /// Best quality among plans with cost ≤ budget (falls back to the
+    /// cheapest plan when none qualifies).
+    MaxQualityAtCost(f64),
+    /// Best quality among plans with time ≤ budget (falls back to the
+    /// fastest plan when none qualifies).
+    MaxQualityAtTime(f64),
+    /// Cheapest among plans with quality ≥ floor (falls back to the
+    /// highest-quality plan when none qualifies).
+    MinCostAtQuality(f64),
+}
+
+impl Policy {
+    pub fn name(&self) -> String {
+        match self {
+            Policy::MaxQuality => "MaxQuality".into(),
+            Policy::MinCost => "MinCost".into(),
+            Policy::MinTime => "MinTime".into(),
+            Policy::MaxQualityAtCost(c) => format!("MaxQuality@Cost<=${c}"),
+            Policy::MaxQualityAtTime(t) => format!("MaxQuality@Time<={t}s"),
+            Policy::MinCostAtQuality(q) => format!("MinCost@Quality>={q}"),
+        }
+    }
+
+    /// Index of the chosen plan among `candidates`; `None` when empty.
+    /// Deterministic: total ordering with fixed tie-breaks, first winner.
+    pub fn choose(&self, candidates: &[(PhysicalPlan, PlanEstimate)]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        // Constrained policies: restrict to the feasible set, falling back
+        // to "least infeasible" when the set is empty.
+        let feasible: Vec<usize> = match self {
+            Policy::MaxQualityAtCost(budget) => {
+                let f: Vec<usize> = (0..candidates.len())
+                    .filter(|&i| candidates[i].1.cost_usd <= *budget)
+                    .collect();
+                if f.is_empty() {
+                    return self.fallback(candidates);
+                }
+                f
+            }
+            Policy::MaxQualityAtTime(budget) => {
+                let f: Vec<usize> = (0..candidates.len())
+                    .filter(|&i| candidates[i].1.time_secs <= *budget)
+                    .collect();
+                if f.is_empty() {
+                    return self.fallback(candidates);
+                }
+                f
+            }
+            Policy::MinCostAtQuality(floor) => {
+                let f: Vec<usize> = (0..candidates.len())
+                    .filter(|&i| candidates[i].1.quality >= *floor)
+                    .collect();
+                if f.is_empty() {
+                    return self.fallback(candidates);
+                }
+                f
+            }
+            _ => (0..candidates.len()).collect(),
+        };
+        feasible
+            .into_iter()
+            .min_by(|&a, &b| self.cmp_key(&candidates[a].1, &candidates[b].1))
+    }
+
+    /// Least-infeasible fallback for constrained policies.
+    fn fallback(&self, candidates: &[(PhysicalPlan, PlanEstimate)]) -> Option<usize> {
+        match self {
+            Policy::MaxQualityAtCost(_) => Policy::MinCost.choose(candidates),
+            Policy::MaxQualityAtTime(_) => Policy::MinTime.choose(candidates),
+            Policy::MinCostAtQuality(_) => Policy::MaxQuality.choose(candidates),
+            _ => unreachable!("fallback only for constrained policies"),
+        }
+    }
+
+    /// Primary-then-secondary comparison ("less" wins).
+    fn cmp_key(&self, a: &PlanEstimate, b: &PlanEstimate) -> std::cmp::Ordering {
+        let quality_desc = |x: &PlanEstimate, y: &PlanEstimate| y.quality.total_cmp(&x.quality);
+        let cost_asc = |x: &PlanEstimate, y: &PlanEstimate| x.cost_usd.total_cmp(&y.cost_usd);
+        let time_asc = |x: &PlanEstimate, y: &PlanEstimate| x.time_secs.total_cmp(&y.time_secs);
+        match self {
+            Policy::MaxQuality | Policy::MaxQualityAtCost(_) | Policy::MaxQualityAtTime(_) => {
+                quality_desc(a, b).then(cost_asc(a, b)).then(time_asc(a, b))
+            }
+            Policy::MinCost => cost_asc(a, b).then(quality_desc(a, b)).then(time_asc(a, b)),
+            Policy::MinTime => time_asc(a, b).then(quality_desc(a, b)).then(cost_asc(a, b)),
+            Policy::MinCostAtQuality(_) => {
+                cost_asc(a, b).then(quality_desc(a, b)).then(time_asc(a, b))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cand(cost: f64, time: f64, quality: f64) -> (PhysicalPlan, PlanEstimate) {
+        (
+            PhysicalPlan { ops: vec![] },
+            PlanEstimate {
+                cost_usd: cost,
+                time_secs: time,
+                quality,
+                output_cardinality: 1.0,
+            },
+        )
+    }
+
+    fn sample() -> Vec<(PhysicalPlan, PlanEstimate)> {
+        vec![
+            cand(1.00, 100.0, 0.95), // premium
+            cand(0.10, 40.0, 0.80),  // balanced
+            cand(0.01, 10.0, 0.60),  // cheap & fast
+        ]
+    }
+
+    #[test]
+    fn pure_policies_pick_extremes() {
+        let c = sample();
+        assert_eq!(Policy::MaxQuality.choose(&c), Some(0));
+        assert_eq!(Policy::MinCost.choose(&c), Some(2));
+        assert_eq!(Policy::MinTime.choose(&c), Some(2));
+    }
+
+    #[test]
+    fn constrained_quality_under_cost() {
+        let c = sample();
+        assert_eq!(Policy::MaxQualityAtCost(0.5).choose(&c), Some(1));
+        assert_eq!(Policy::MaxQualityAtCost(2.0).choose(&c), Some(0));
+        // Infeasible budget falls back to cheapest.
+        assert_eq!(Policy::MaxQualityAtCost(0.001).choose(&c), Some(2));
+    }
+
+    #[test]
+    fn constrained_quality_under_time() {
+        let c = sample();
+        assert_eq!(Policy::MaxQualityAtTime(50.0).choose(&c), Some(1));
+        assert_eq!(Policy::MaxQualityAtTime(5.0).choose(&c), Some(2)); // fallback
+    }
+
+    #[test]
+    fn constrained_cost_over_quality_floor() {
+        let c = sample();
+        assert_eq!(Policy::MinCostAtQuality(0.75).choose(&c), Some(1));
+        assert_eq!(Policy::MinCostAtQuality(0.99).choose(&c), Some(0)); // fallback
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let c = vec![cand(1.0, 10.0, 0.9), cand(0.5, 10.0, 0.9)];
+        // Same quality: MaxQuality prefers the cheaper one.
+        assert_eq!(Policy::MaxQuality.choose(&c), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert_eq!(Policy::MaxQuality.choose(&[]), None);
+        assert_eq!(Policy::MaxQualityAtCost(1.0).choose(&[]), None);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Policy::MaxQuality.name(), "MaxQuality");
+        assert!(Policy::MaxQualityAtCost(0.5).name().contains("0.5"));
+        assert_eq!(format!("{}", Policy::MinTime), "MinTime");
+    }
+
+    proptest! {
+        #[test]
+        fn chosen_plan_is_never_dominated(
+            points in proptest::collection::vec((0.01f64..10.0, 0.1f64..100.0, 0.1f64..1.0), 1..20)
+        ) {
+            use crate::optimizer::pareto::dominates;
+            let cands: Vec<_> = points.iter().map(|&(c, t, q)| cand(c, t, q)).collect();
+            for policy in [Policy::MaxQuality, Policy::MinCost, Policy::MinTime] {
+                let i = policy.choose(&cands).unwrap();
+                for (j, other) in cands.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(
+                            !dominates(&other.1, &cands[i].1),
+                            "{policy:?} picked a dominated plan"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn max_quality_at_cost_respects_budget_when_feasible(
+            points in proptest::collection::vec((0.01f64..10.0, 0.1f64..100.0, 0.1f64..1.0), 1..20),
+            budget in 0.01f64..10.0,
+        ) {
+            let cands: Vec<_> = points.iter().map(|&(c, t, q)| cand(c, t, q)).collect();
+            let feasible_exists = cands.iter().any(|(_, e)| e.cost_usd <= budget);
+            let i = Policy::MaxQualityAtCost(budget).choose(&cands).unwrap();
+            if feasible_exists {
+                prop_assert!(cands[i].1.cost_usd <= budget);
+            }
+        }
+    }
+}

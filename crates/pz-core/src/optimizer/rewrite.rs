@@ -1,0 +1,208 @@
+//! Logical plan rewrites.
+//!
+//! Before physical enumeration, the optimizer normalizes the logical plan
+//! with semantics-preserving rewrites:
+//!
+//! * **R1 — cheap filters first.** Consecutive filters commute (set
+//!   semantics), and a UDF filter costs nothing while an LLM filter pays
+//!   per record — so within every maximal run of consecutive `Filter`
+//!   operators, UDF predicates are moved (stably) in front of
+//!   natural-language predicates. Every record a free filter drops is a
+//!   model call the expensive filter never makes.
+//! * **R2 — duplicate filter elimination.** Identical predicates inside
+//!   one filter run fire at most once.
+//!
+//! Rewrites only reorder/merge operators whose commutation is
+//! unconditional; nothing here depends on cost estimates, so the pass is
+//! safe to run always.
+
+use crate::ops::logical::{FilterPredicate, LogicalOp, LogicalPlan};
+
+/// What the rewriter did (for the optimizer report and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Filters moved in front of more expensive ones (R1).
+    pub filters_reordered: usize,
+    /// Duplicate filters removed (R2).
+    pub filters_deduped: usize,
+}
+
+impl RewriteReport {
+    pub fn changed(&self) -> bool {
+        self.filters_reordered > 0 || self.filters_deduped > 0
+    }
+}
+
+/// Rough cost class of a filter for ordering: lower runs earlier.
+fn filter_cost_class(op: &LogicalOp) -> u8 {
+    match op {
+        LogicalOp::Filter {
+            predicate: FilterPredicate::Udf(_),
+        } => 0,
+        LogicalOp::Filter {
+            predicate: FilterPredicate::NaturalLanguage(_),
+        } => 1,
+        _ => u8::MAX,
+    }
+}
+
+/// Apply all rewrite rules, returning the normalized plan and a report.
+pub fn rewrite(plan: &LogicalPlan) -> (LogicalPlan, RewriteReport) {
+    let mut report = RewriteReport::default();
+    let mut ops: Vec<LogicalOp> = Vec::with_capacity(plan.ops.len());
+    let mut run: Vec<LogicalOp> = Vec::new();
+
+    let flush = |run: &mut Vec<LogicalOp>, ops: &mut Vec<LogicalOp>, report: &mut RewriteReport| {
+        if run.is_empty() {
+            return;
+        }
+        // R2: dedup identical predicates within the run (keep first).
+        let mut seen: Vec<&LogicalOp> = Vec::new();
+        let mut deduped: Vec<LogicalOp> = Vec::new();
+        for op in run.iter() {
+            if seen.iter().any(|s| **s == *op) {
+                report.filters_deduped += 1;
+            } else {
+                seen.push(op);
+                deduped.push(op.clone());
+            }
+        }
+        // R1: stable sort by cost class; count crossings.
+        let before: Vec<u8> = deduped.iter().map(filter_cost_class).collect();
+        let mut indexed: Vec<(usize, LogicalOp)> = deduped.into_iter().enumerate().collect();
+        indexed.sort_by_key(|(i, op)| (filter_cost_class(op), *i));
+        let after: Vec<u8> = indexed
+            .iter()
+            .map(|(_, op)| filter_cost_class(op))
+            .collect();
+        if before != after {
+            report.filters_reordered += 1;
+        }
+        ops.extend(indexed.into_iter().map(|(_, op)| op));
+        run.clear();
+    };
+
+    for op in &plan.ops {
+        if matches!(op, LogicalOp::Filter { .. }) {
+            run.push(op.clone());
+        } else {
+            flush(&mut run, &mut ops, &mut report);
+            ops.push(op.clone());
+        }
+    }
+    flush(&mut run, &mut ops, &mut report);
+
+    let rewritten = LogicalPlan::new(ops).expect("rewrites preserve structural validity");
+    (rewritten, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn kinds(plan: &LogicalPlan) -> Vec<String> {
+        plan.ops
+            .iter()
+            .map(|op| match op {
+                LogicalOp::Filter { predicate } => predicate.describe(),
+                other => other.kind().to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn udf_filters_move_before_llm_filters() {
+        let plan = Dataset::source("d")
+            .filter("about cancer")
+            .filter_udf("cheap")
+            .build()
+            .unwrap();
+        let (rw, report) = rewrite(&plan);
+        assert_eq!(kinds(&rw), vec!["scan", "udf:cheap", "nl:\"about cancer\""]);
+        assert_eq!(report.filters_reordered, 1);
+    }
+
+    #[test]
+    fn reorder_is_stable_within_classes() {
+        let plan = Dataset::source("d")
+            .filter("first nl")
+            .filter_udf("u1")
+            .filter("second nl")
+            .filter_udf("u2")
+            .build()
+            .unwrap();
+        let (rw, _) = rewrite(&plan);
+        assert_eq!(
+            kinds(&rw),
+            vec![
+                "scan",
+                "udf:u1",
+                "udf:u2",
+                "nl:\"first nl\"",
+                "nl:\"second nl\""
+            ]
+        );
+    }
+
+    #[test]
+    fn filters_do_not_cross_other_operators() {
+        // A filter after a convert references the *converted* schema; it
+        // must never move before the convert.
+        let plan = Dataset::source("d")
+            .filter("about cancer")
+            .convert(
+                crate::schema::Schema::pdf_file(),
+                crate::ops::logical::Cardinality::OneToOne,
+                "c",
+            )
+            .filter_udf("cheap")
+            .build()
+            .unwrap();
+        let (rw, report) = rewrite(&plan);
+        assert_eq!(
+            kinds(&rw),
+            vec!["scan", "nl:\"about cancer\"", "convert", "udf:cheap"]
+        );
+        assert!(!report.changed());
+    }
+
+    #[test]
+    fn duplicate_filters_removed() {
+        let plan = Dataset::source("d")
+            .filter("about cancer")
+            .filter("about cancer")
+            .filter_udf("u")
+            .filter_udf("u")
+            .build()
+            .unwrap();
+        let (rw, report) = rewrite(&plan);
+        assert_eq!(rw.ops.len(), 3); // scan + one of each
+        assert_eq!(report.filters_deduped, 2);
+    }
+
+    #[test]
+    fn already_normalized_plans_unchanged() {
+        let plan = Dataset::source("d")
+            .filter_udf("u")
+            .filter("nl")
+            .limit(3)
+            .build()
+            .unwrap();
+        let (rw, report) = rewrite(&plan);
+        assert_eq!(rw, plan);
+        assert!(!report.changed());
+    }
+
+    #[test]
+    fn plans_without_filters_untouched() {
+        let plan = Dataset::source("d")
+            .limit(5)
+            .sort("a", false)
+            .build()
+            .unwrap();
+        let (rw, report) = rewrite(&plan);
+        assert_eq!(rw, plan);
+        assert!(!report.changed());
+    }
+}

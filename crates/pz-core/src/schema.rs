@@ -1,0 +1,225 @@
+//! Schemas — named collections of described fields.
+//!
+//! Mirrors the Python-side dynamic schema creation from Figure 2 / Figure 6
+//! (`type(class_name, (pz.Schema,), attributes)`): schemas are runtime
+//! values, built by users, by the chat agent's `create_schema` tool, or
+//! taken from the built-in library ([`Schema::file`], [`Schema::text_file`],
+//! [`Schema::pdf_file`]).
+
+use crate::error::{PzError, PzResult};
+use crate::field::{is_valid_field_name, FieldDef, FieldType};
+use serde::{Deserialize, Serialize};
+
+/// A named, described set of fields.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    pub name: String,
+    /// Natural-language description (the `__doc__` of Figure 6).
+    pub description: String,
+    pub fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// Build a schema, validating the name and every field name.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        fields: Vec<FieldDef>,
+    ) -> PzResult<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(PzError::Schema("schema name must be non-empty".into()));
+        }
+        let mut seen: Vec<&str> = Vec::with_capacity(fields.len());
+        for f in &fields {
+            if !is_valid_field_name(&f.name) {
+                return Err(PzError::Schema(format!(
+                    "invalid field name {:?}: no spaces or special characters",
+                    f.name
+                )));
+            }
+            if seen.contains(&f.name.as_str()) {
+                return Err(PzError::Schema(format!(
+                    "duplicate field name {:?}",
+                    f.name
+                )));
+            }
+            seen.push(&f.name);
+        }
+        Ok(Self {
+            name,
+            description: description.into(),
+            fields,
+        })
+    }
+
+    /// The built-in `File` schema: every file in a directory becomes one
+    /// record with its filename and raw bytes rendered as text.
+    pub fn file() -> Self {
+        Self::new(
+            "File",
+            "A file on disk",
+            vec![
+                FieldDef::text("filename", "The name of the file").required(),
+                FieldDef::text("contents", "The raw contents of the file").required(),
+            ],
+        )
+        .expect("builtin schema is valid")
+    }
+
+    /// Built-in `TextFile`: filename plus decoded text contents.
+    pub fn text_file() -> Self {
+        Self::new(
+            "TextFile",
+            "A plain text file",
+            vec![
+                FieldDef::text("filename", "The name of the file").required(),
+                FieldDef::text("contents", "The text contents of the file").required(),
+            ],
+        )
+        .expect("builtin schema is valid")
+    }
+
+    /// Built-in `PDFFile` (paper §3): "this schema only represents the
+    /// filename and the raw textual content extracted for a given paper."
+    pub fn pdf_file() -> Self {
+        Self::new(
+            "PDFFile",
+            "A PDF document with its extracted text",
+            vec![
+                FieldDef::text("filename", "The name of the PDF file").required(),
+                FieldDef::text("contents", "The textual content extracted from the PDF").required(),
+            ],
+        )
+        .expect("builtin schema is valid")
+    }
+
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    pub fn has_field(&self, name: &str) -> bool {
+        self.field(name).is_some()
+    }
+
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Restrict to a subset of fields (projection). Unknown names error.
+    pub fn project(&self, names: &[String]) -> PzResult<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field(n)
+                .ok_or_else(|| PzError::Schema(format!("unknown field {n:?} in {}", self.name)))?;
+            fields.push(f.clone());
+        }
+        Schema::new(
+            format!("{}Projected", self.name),
+            self.description.clone(),
+            fields,
+        )
+    }
+
+    /// Schema of a grouped aggregation output: the group-by keys followed by
+    /// one numeric field per aggregate.
+    pub fn for_aggregation(&self, group_by: &[String], agg_names: &[String]) -> PzResult<Schema> {
+        let mut fields = Vec::new();
+        for g in group_by {
+            let f = self
+                .field(g)
+                .ok_or_else(|| PzError::Schema(format!("unknown group-by field {g:?}")))?;
+            fields.push(f.clone());
+        }
+        for a in agg_names {
+            fields.push(FieldDef::typed(
+                a.clone(),
+                FieldType::Float,
+                "aggregate value",
+            ));
+        }
+        Schema::new(format!("{}Agg", self.name), "aggregation output", fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_schemas() {
+        for s in [Schema::file(), Schema::text_file(), Schema::pdf_file()] {
+            assert!(s.has_field("filename"));
+            assert!(s.has_field("contents"));
+        }
+        assert_eq!(Schema::pdf_file().name, "PDFFile");
+    }
+
+    #[test]
+    fn invalid_field_name_rejected() {
+        let err = Schema::new("S", "", vec![FieldDef::text("bad name", "")]).unwrap_err();
+        assert!(matches!(err, PzError::Schema(_)));
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let err = Schema::new(
+            "S",
+            "",
+            vec![FieldDef::text("a", ""), FieldDef::text("a", "")],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        assert!(Schema::new("", "", vec![]).is_err());
+    }
+
+    #[test]
+    fn projection() {
+        let s = Schema::pdf_file();
+        let p = s.project(&["filename".to_string()]).unwrap();
+        assert_eq!(p.field_names(), vec!["filename"]);
+        assert!(s.project(&["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn aggregation_schema() {
+        let s = Schema::new(
+            "L",
+            "",
+            vec![
+                FieldDef::text("city", ""),
+                FieldDef::typed("price", FieldType::Int, ""),
+            ],
+        )
+        .unwrap();
+        let a = s
+            .for_aggregation(&["city".to_string()], &["avg_price".to_string()])
+            .unwrap();
+        assert_eq!(a.field_names(), vec!["city", "avg_price"]);
+        assert!(s.for_aggregation(&["nope".to_string()], &[]).is_err());
+    }
+
+    #[test]
+    fn clinical_data_schema_from_figure6() {
+        // The exact schema the demo builds.
+        let s = Schema::new(
+            "ClinicalData",
+            "A schema for extracting clinical data datasets from papers.",
+            vec![
+                FieldDef::text("name", "The name of the clinical data dataset"),
+                FieldDef::text(
+                    "description",
+                    "A short description of the content of the dataset",
+                ),
+                FieldDef::text("url", "The public URL where the dataset can be accessed"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.fields.len(), 3);
+    }
+}

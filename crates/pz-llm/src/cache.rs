@@ -1,0 +1,301 @@
+//! Response caching.
+//!
+//! AI pipelines re-issue identical prompts constantly — sentinel
+//! calibration runs the same records the full execution will, retried
+//! requests repeat verbatim, and iterative chat sessions re-execute
+//! pipelines over unchanged data. [`CachingClient`] wraps any
+//! [`LlmClient`] with an exact-match cache keyed by
+//! `(model, system, prompt, max_output_tokens)`: hits return the recorded
+//! response without charging cost or latency (the ledger and clock only
+//! see misses), exactly how a production result cache behaves.
+//!
+//! Embeddings are cached per input string, so a batch with a mix of seen
+//! and unseen inputs only pays for the unseen ones.
+
+use crate::client::{
+    CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient, LlmError,
+};
+use crate::stable_hash;
+use crate::usage::Usage;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub completion_hits: usize,
+    pub completion_misses: usize,
+    pub embedding_hits: usize,
+    pub embedding_misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of completion lookups served from cache.
+    pub fn completion_hit_rate(&self) -> f64 {
+        let total = self.completion_hits + self.completion_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.completion_hits as f64 / total as f64
+        }
+    }
+}
+
+/// An exact-match response cache over any client. Clones share the cache.
+#[derive(Clone)]
+pub struct CachingClient {
+    inner: Arc<dyn LlmClient>,
+    completions: Arc<Mutex<HashMap<u64, CompletionResponse>>>,
+    embeddings: Arc<Mutex<HashMap<u64, Vec<f32>>>>,
+    completion_hits: Arc<AtomicUsize>,
+    completion_misses: Arc<AtomicUsize>,
+    embedding_hits: Arc<AtomicUsize>,
+    embedding_misses: Arc<AtomicUsize>,
+}
+
+impl CachingClient {
+    pub fn new(inner: Arc<dyn LlmClient>) -> Self {
+        Self {
+            inner,
+            completions: Arc::new(Mutex::new(HashMap::new())),
+            embeddings: Arc::new(Mutex::new(HashMap::new())),
+            completion_hits: Arc::new(AtomicUsize::new(0)),
+            completion_misses: Arc::new(AtomicUsize::new(0)),
+            embedding_hits: Arc::new(AtomicUsize::new(0)),
+            embedding_misses: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            completion_hits: self.completion_hits.load(Ordering::Relaxed),
+            completion_misses: self.completion_misses.load(Ordering::Relaxed),
+            embedding_hits: self.embedding_hits.load(Ordering::Relaxed),
+            embedding_misses: self.embedding_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached entries (counters are kept).
+    pub fn clear(&self) {
+        self.completions.lock().clear();
+        self.embeddings.lock().clear();
+    }
+
+    fn completion_key(req: &CompletionRequest) -> u64 {
+        stable_hash(&[
+            req.model.as_str(),
+            req.system.as_deref().unwrap_or(""),
+            &req.prompt,
+            &req.max_output_tokens.to_string(),
+        ])
+    }
+
+    fn embedding_key(model: &str, input: &str) -> u64 {
+        stable_hash(&["embed", model, input])
+    }
+}
+
+impl LlmClient for CachingClient {
+    fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+        let key = Self::completion_key(req);
+        if let Some(hit) = self.completions.lock().get(&key).cloned() {
+            self.completion_hits.fetch_add(1, Ordering::Relaxed);
+            // A cache hit is free: no provider cost, negligible latency.
+            return Ok(CompletionResponse {
+                text: hit.text,
+                usage: Usage::default(),
+                latency_secs: 0.0,
+                cost_usd: 0.0,
+            });
+        }
+        self.completion_misses.fetch_add(1, Ordering::Relaxed);
+        let resp = self.inner.complete(req)?;
+        self.completions.lock().insert(key, resp.clone());
+        Ok(resp)
+    }
+
+    fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+        // Split the batch into cached and uncached inputs.
+        let keys: Vec<u64> = req
+            .inputs
+            .iter()
+            .map(|i| Self::embedding_key(req.model.as_str(), i))
+            .collect();
+        let mut vectors: Vec<Option<Vec<f32>>> = {
+            let cache = self.embeddings.lock();
+            keys.iter().map(|k| cache.get(k).cloned()).collect()
+        };
+        let missing: Vec<usize> = (0..vectors.len())
+            .filter(|&i| vectors[i].is_none())
+            .collect();
+        self.embedding_hits
+            .fetch_add(vectors.len() - missing.len(), Ordering::Relaxed);
+        self.embedding_misses
+            .fetch_add(missing.len(), Ordering::Relaxed);
+
+        let (usage, latency, cost) = if missing.is_empty() {
+            (Usage::default(), 0.0, 0.0)
+        } else {
+            let sub = EmbeddingRequest {
+                model: req.model.clone(),
+                inputs: missing.iter().map(|&i| req.inputs[i].clone()).collect(),
+            };
+            let resp = self.inner.embed(&sub)?;
+            let mut cache = self.embeddings.lock();
+            for (slot, v) in missing.iter().zip(resp.vectors) {
+                cache.insert(keys[*slot], v.clone());
+                vectors[*slot] = Some(v);
+            }
+            (resp.usage, resp.latency_secs, resp.cost_usd)
+        };
+        Ok(EmbeddingResponse {
+            vectors: vectors
+                .into_iter()
+                .map(|v| v.expect("all slots filled"))
+                .collect(),
+            usage,
+            latency_secs: latency,
+            cost_usd: cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::filter_prompt;
+    use crate::sim::SimulatedLlm;
+
+    fn caching_sim() -> (CachingClient, Arc<SimulatedLlm>) {
+        let sim = Arc::new(SimulatedLlm::with_defaults());
+        (CachingClient::new(sim.clone()), sim)
+    }
+
+    #[test]
+    fn repeat_completion_is_free_and_identical() {
+        let (cache, sim) = caching_sim();
+        let req = CompletionRequest::new(
+            "gpt-4o",
+            filter_prompt("about cancer", "a colorectal cancer study"),
+        );
+        let first = cache.complete(&req).unwrap();
+        assert!(first.cost_usd > 0.0);
+        let cost_after_first = sim.ledger().total_cost_usd();
+
+        let second = cache.complete(&req).unwrap();
+        assert_eq!(second.text, first.text);
+        assert_eq!(second.cost_usd, 0.0);
+        assert_eq!(second.usage.total_tokens(), 0);
+        // Nothing new hit the ledger or the clock.
+        assert_eq!(sim.ledger().total_cost_usd(), cost_after_first);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                completion_hits: 1,
+                completion_misses: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn different_prompts_do_not_collide() {
+        let (cache, _) = caching_sim();
+        let a = cache
+            .complete(&CompletionRequest::new(
+                "gpt-4o",
+                filter_prompt("cancer", "colorectal cancer"),
+            ))
+            .unwrap();
+        let b = cache
+            .complete(&CompletionRequest::new(
+                "gpt-4o",
+                filter_prompt("cancer", "galaxy survey"),
+            ))
+            .unwrap();
+        assert_ne!(a.text, b.text);
+        assert_eq!(cache.stats().completion_misses, 2);
+    }
+
+    #[test]
+    fn model_is_part_of_the_key() {
+        let (cache, _) = caching_sim();
+        let prompt = filter_prompt("x", "y");
+        cache
+            .complete(&CompletionRequest::new("gpt-4o", prompt.clone()))
+            .unwrap();
+        cache
+            .complete(&CompletionRequest::new("gpt-4o-mini", prompt))
+            .unwrap();
+        assert_eq!(cache.stats().completion_misses, 2);
+        assert_eq!(cache.stats().completion_hits, 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let (cache, _) = caching_sim();
+        let bad = CompletionRequest::new("no-such-model", "hi");
+        assert!(cache.complete(&bad).is_err());
+        assert!(cache.complete(&bad).is_err());
+        // Both attempts were misses (the error was retried, not replayed).
+        assert_eq!(cache.stats().completion_misses, 2);
+    }
+
+    #[test]
+    fn embedding_batches_split_hit_and_miss() {
+        let (cache, sim) = caching_sim();
+        let model = "text-embedding-3-small";
+        let first = cache
+            .embed(&EmbeddingRequest {
+                model: model.into(),
+                inputs: vec!["alpha beta".into(), "gamma delta".into()],
+            })
+            .unwrap();
+        let cost_after_first = sim.ledger().total_cost_usd();
+        // One repeated, one new: only the new one is charged.
+        let second = cache
+            .embed(&EmbeddingRequest {
+                model: model.into(),
+                inputs: vec!["alpha beta".into(), "epsilon zeta".into()],
+            })
+            .unwrap();
+        assert_eq!(second.vectors[0], first.vectors[0]);
+        assert!(sim.ledger().total_cost_usd() > cost_after_first);
+        let stats = cache.stats();
+        assert_eq!(stats.embedding_hits, 1);
+        assert_eq!(stats.embedding_misses, 3);
+    }
+
+    #[test]
+    fn clear_forces_recompute() {
+        let (cache, _) = caching_sim();
+        let req = CompletionRequest::new("gpt-4o", "hello world");
+        cache.complete(&req).unwrap();
+        cache.clear();
+        cache.complete(&req).unwrap();
+        assert_eq!(cache.stats().completion_misses, 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats {
+            completion_hits: 3,
+            completion_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.completion_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().completion_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_cache() {
+        let (cache, _) = caching_sim();
+        let clone = cache.clone();
+        let req = CompletionRequest::new("gpt-4o", "shared");
+        cache.complete(&req).unwrap();
+        clone.complete(&req).unwrap();
+        assert_eq!(clone.stats().completion_hits, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Model catalog.
+//!
+//! Palimpzest's optimizer chooses among physical operator implementations
+//! that differ in which model they call. The catalog carries the per-model
+//! characteristics the optimizer's cost model needs: dollar price per token,
+//! latency, context window, and a scalar *quality factor* that the simulated
+//! client turns into measurable output quality (see `sim`).
+//!
+//! Prices and latencies mirror public mid-2024 price sheets so the E1
+//! reproduction lands in the paper's reported ballpark (≈ $0.35 / ≈ 240 s
+//! for the 11-paper scientific-discovery workload under `MaxQuality`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for a model in the catalog (e.g. `"gpt-4o"`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub String);
+
+impl ModelId {
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// What a model can be used for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Chat / completion model: filters, conversions, agents.
+    Chat,
+    /// Embedding model: vector search, embedding-based filters.
+    Embedding,
+}
+
+/// Static characteristics of one model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelCard {
+    pub id: ModelId,
+    pub kind: ModelKind,
+    /// USD per 1M input tokens.
+    pub usd_per_1m_input: f64,
+    /// USD per 1M output tokens.
+    pub usd_per_1m_output: f64,
+    /// Fixed per-request latency in seconds (network + queueing + prefill
+    /// floor).
+    pub latency_base_secs: f64,
+    /// Seconds per *output* token (decode speed).
+    pub secs_per_output_token: f64,
+    /// Seconds per 1K *input* tokens (prefill speed).
+    pub secs_per_1k_input_tokens: f64,
+    /// Maximum context window in tokens.
+    pub context_window: usize,
+    /// Quality factor in (0, 1]: the probability the simulated model gets an
+    /// atomic judgement / field extraction right. Drives the optimizer's
+    /// quality dimension.
+    pub quality: f64,
+}
+
+impl ModelCard {
+    /// Dollar cost of a request with the given token counts.
+    pub fn cost_usd(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        input_tokens as f64 * self.usd_per_1m_input / 1e6
+            + output_tokens as f64 * self.usd_per_1m_output / 1e6
+    }
+
+    /// Modelled latency in seconds of a request with the given token counts.
+    pub fn latency_secs(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        self.latency_base_secs
+            + input_tokens as f64 / 1000.0 * self.secs_per_1k_input_tokens
+            + output_tokens as f64 * self.secs_per_output_token
+    }
+}
+
+/// A set of model cards with lookup by id.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    models: Vec<ModelCard>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in catalog used throughout the reproduction.
+    ///
+    /// Quality factors are calibrated so that the model ranking matches the
+    /// public benchmark ordering the Palimpzest paper relies on:
+    /// gpt-4o > llama-3-70b > gpt-4o-mini > mixtral > gpt-3.5 > llama-3-8b.
+    pub fn builtin() -> Self {
+        let mut c = Self::new();
+        c.insert(ModelCard {
+            id: "gpt-4o".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 2.50,
+            usd_per_1m_output: 10.00,
+            latency_base_secs: 1.20,
+            secs_per_output_token: 0.015,
+            secs_per_1k_input_tokens: 0.90,
+            context_window: 128_000,
+            quality: 0.96,
+        });
+        c.insert(ModelCard {
+            id: "gpt-4o-mini".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 0.15,
+            usd_per_1m_output: 0.60,
+            latency_base_secs: 0.80,
+            secs_per_output_token: 0.008,
+            secs_per_1k_input_tokens: 0.20,
+            context_window: 128_000,
+            quality: 0.88,
+        });
+        c.insert(ModelCard {
+            id: "gpt-3.5-turbo".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 0.50,
+            usd_per_1m_output: 1.50,
+            latency_base_secs: 0.70,
+            secs_per_output_token: 0.007,
+            secs_per_1k_input_tokens: 0.18,
+            context_window: 16_000,
+            quality: 0.80,
+        });
+        c.insert(ModelCard {
+            id: "llama-3-70b".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 0.90,
+            usd_per_1m_output: 0.90,
+            latency_base_secs: 0.90,
+            secs_per_output_token: 0.016,
+            secs_per_1k_input_tokens: 0.40,
+            context_window: 8_000,
+            quality: 0.92,
+        });
+        c.insert(ModelCard {
+            id: "llama-3-8b".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 0.10,
+            usd_per_1m_output: 0.10,
+            latency_base_secs: 0.50,
+            secs_per_output_token: 0.004,
+            secs_per_1k_input_tokens: 0.08,
+            context_window: 8_000,
+            quality: 0.72,
+        });
+        c.insert(ModelCard {
+            id: "mixtral-8x7b".into(),
+            kind: ModelKind::Chat,
+            usd_per_1m_input: 0.24,
+            usd_per_1m_output: 0.24,
+            latency_base_secs: 0.60,
+            secs_per_output_token: 0.006,
+            secs_per_1k_input_tokens: 0.12,
+            context_window: 32_000,
+            quality: 0.78,
+        });
+        c.insert(ModelCard {
+            id: "text-embedding-3-small".into(),
+            kind: ModelKind::Embedding,
+            usd_per_1m_input: 0.02,
+            usd_per_1m_output: 0.0,
+            latency_base_secs: 0.05,
+            secs_per_output_token: 0.0,
+            secs_per_1k_input_tokens: 0.01,
+            context_window: 8_192,
+            quality: 0.85,
+        });
+        c
+    }
+
+    /// Add or replace a card (keyed by id).
+    pub fn insert(&mut self, card: ModelCard) {
+        if let Some(existing) = self.models.iter_mut().find(|m| m.id == card.id) {
+            *existing = card;
+        } else {
+            self.models.push(card);
+        }
+    }
+
+    /// Look up a card by id.
+    pub fn get(&self, id: &ModelId) -> Option<&ModelCard> {
+        self.models.iter().find(|m| &m.id == id)
+    }
+
+    /// All cards of a given kind.
+    pub fn of_kind(&self, kind: ModelKind) -> impl Iterator<Item = &ModelCard> {
+        self.models.iter().filter(move |m| m.kind == kind)
+    }
+
+    /// All chat models, sorted by descending quality. The first entry is the
+    /// "champion" model sentinel calibration compares against.
+    pub fn chat_models_by_quality(&self) -> Vec<&ModelCard> {
+        let mut v: Vec<&ModelCard> = self.of_kind(ModelKind::Chat).collect();
+        v.sort_by(|a, b| b.quality.total_cmp(&a.quality));
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ModelCard> {
+        self.models.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_has_chat_and_embedding() {
+        let c = Catalog::builtin();
+        assert!(c.of_kind(ModelKind::Chat).count() >= 5);
+        assert!(c.of_kind(ModelKind::Embedding).count() >= 1);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let c = Catalog::builtin();
+        assert!(c.get(&"gpt-4o".into()).is_some());
+        assert!(c.get(&"not-a-model".into()).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_by_id() {
+        let mut c = Catalog::builtin();
+        let n = c.len();
+        let mut card = c.get(&"gpt-4o".into()).unwrap().clone();
+        card.quality = 0.5;
+        c.insert(card);
+        assert_eq!(c.len(), n);
+        assert_eq!(c.get(&"gpt-4o".into()).unwrap().quality, 0.5);
+    }
+
+    #[test]
+    fn champion_is_highest_quality() {
+        let c = Catalog::builtin();
+        let ranked = c.chat_models_by_quality();
+        assert_eq!(ranked[0].id.as_str(), "gpt-4o");
+        for w in ranked.windows(2) {
+            assert!(w[0].quality >= w[1].quality);
+        }
+    }
+
+    #[test]
+    fn cost_model_scales_linearly() {
+        let c = Catalog::builtin();
+        let m = c.get(&"gpt-4o".into()).unwrap();
+        let one = m.cost_usd(1000, 100);
+        let two = m.cost_usd(2000, 200);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn premium_model_costs_more() {
+        let c = Catalog::builtin();
+        let big = c.get(&"gpt-4o".into()).unwrap().cost_usd(10_000, 500);
+        let small = c.get(&"gpt-4o-mini".into()).unwrap().cost_usd(10_000, 500);
+        assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    fn latency_includes_base() {
+        let c = Catalog::builtin();
+        let m = c.get(&"gpt-4o".into()).unwrap();
+        assert!(m.latency_secs(0, 0) >= m.latency_base_secs);
+        assert!(m.latency_secs(1000, 100) > m.latency_secs(1000, 0));
+    }
+}

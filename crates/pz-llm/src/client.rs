@@ -1,0 +1,250 @@
+//! Client abstraction over completion and embedding models.
+//!
+//! `pz-core` programs against [`LlmClient`]; the reproduction supplies the
+//! deterministic [`crate::sim::SimulatedLlm`], but any hosted client could
+//! implement the same trait. The trait is object-safe so executors can hold
+//! `Arc<dyn LlmClient>`.
+
+use crate::catalog::ModelId;
+use crate::usage::Usage;
+use thiserror::Error;
+
+/// Errors surfaced by model clients.
+#[derive(Clone, Debug, Error, PartialEq)]
+pub enum LlmError {
+    #[error("unknown model: {0}")]
+    UnknownModel(ModelId),
+    #[error("model {model} is not a {expected} model")]
+    WrongKind {
+        model: ModelId,
+        expected: &'static str,
+    },
+    #[error("context window exceeded for {model}: {tokens} tokens > {window}")]
+    ContextOverflow {
+        model: ModelId,
+        tokens: usize,
+        window: usize,
+    },
+    #[error("transient provider error (attempt {attempt}): {reason}")]
+    Transient { attempt: usize, reason: String },
+    #[error("request rejected: {0}")]
+    Rejected(String),
+}
+
+impl LlmError {
+    /// Whether retrying the identical request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LlmError::Transient { .. })
+    }
+}
+
+/// A completion request.
+#[derive(Clone, Debug)]
+pub struct CompletionRequest {
+    pub model: ModelId,
+    /// Optional system preamble; accounted as input tokens.
+    pub system: Option<String>,
+    /// The prompt body (usually the structured dialect from [`crate::protocol`]).
+    pub prompt: String,
+    /// Upper bound on output tokens; responses are truncated to fit.
+    pub max_output_tokens: usize,
+}
+
+impl CompletionRequest {
+    pub fn new(model: impl Into<ModelId>, prompt: impl Into<String>) -> Self {
+        Self {
+            model: model.into(),
+            system: None,
+            prompt: prompt.into(),
+            max_output_tokens: 1024,
+        }
+    }
+
+    pub fn with_system(mut self, system: impl Into<String>) -> Self {
+        self.system = Some(system.into());
+        self
+    }
+
+    pub fn with_max_output_tokens(mut self, n: usize) -> Self {
+        self.max_output_tokens = n;
+        self
+    }
+}
+
+impl From<String> for ModelId {
+    fn from(s: String) -> Self {
+        ModelId(s)
+    }
+}
+
+/// A completion response with accounting attached.
+#[derive(Clone, Debug)]
+pub struct CompletionResponse {
+    pub text: String,
+    pub usage: Usage,
+    /// Modelled latency of this single call in (virtual) seconds.
+    pub latency_secs: f64,
+    /// Dollar cost of this single call.
+    pub cost_usd: f64,
+}
+
+/// An embedding request.
+#[derive(Clone, Debug)]
+pub struct EmbeddingRequest {
+    pub model: ModelId,
+    pub inputs: Vec<String>,
+}
+
+/// An embedding response.
+#[derive(Clone, Debug)]
+pub struct EmbeddingResponse {
+    pub vectors: Vec<Vec<f32>>,
+    pub usage: Usage,
+    pub latency_secs: f64,
+    pub cost_usd: f64,
+}
+
+/// Object-safe client interface.
+pub trait LlmClient: Send + Sync {
+    /// Run a completion.
+    fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError>;
+
+    /// Embed a batch of inputs.
+    fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError>;
+}
+
+/// Retry policy with exponential backoff on a virtual clock.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    pub max_attempts: usize,
+    pub initial_backoff_secs: f64,
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            initial_backoff_secs: 0.5,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Run `req` against `client`, retrying transient failures. Backoff time
+    /// is charged to `clock` if one is provided.
+    pub fn complete_with_retry(
+        &self,
+        client: &dyn LlmClient,
+        req: &CompletionRequest,
+        clock: Option<&crate::clock::VirtualClock>,
+    ) -> Result<CompletionResponse, LlmError> {
+        let mut backoff = self.initial_backoff_secs;
+        let mut last_err = None;
+        for _attempt in 0..self.max_attempts.max(1) {
+            match client.complete(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() => {
+                    if let Some(c) = clock {
+                        c.advance_secs(backoff);
+                    }
+                    backoff *= self.backoff_multiplier;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(LlmError::Rejected("no attempts configured".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Client that fails transiently `fail_first` times, then succeeds.
+    struct Flaky {
+        fail_first: usize,
+        calls: AtomicUsize,
+    }
+
+    impl LlmClient for Flaky {
+        fn complete(&self, _req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_first {
+                Err(LlmError::Transient {
+                    attempt: n,
+                    reason: "overloaded".into(),
+                })
+            } else {
+                Ok(CompletionResponse {
+                    text: "ok".into(),
+                    usage: Usage::new(1, 1),
+                    latency_secs: 0.0,
+                    cost_usd: 0.0,
+                })
+            }
+        }
+        fn embed(&self, _req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+            Err(LlmError::Rejected("not an embedding model".into()))
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient() {
+        let c = Flaky {
+            fail_first: 2,
+            calls: AtomicUsize::new(0),
+        };
+        let clock = VirtualClock::new();
+        let resp = RetryPolicy::default()
+            .complete_with_retry(&c, &CompletionRequest::new("m", "p"), Some(&clock))
+            .unwrap();
+        assert_eq!(resp.text, "ok");
+        // two backoffs: 0.5 + 1.0
+        assert!((clock.now_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_gives_up() {
+        let c = Flaky {
+            fail_first: 10,
+            calls: AtomicUsize::new(0),
+        };
+        let err = RetryPolicy::default()
+            .complete_with_retry(&c, &CompletionRequest::new("m", "p"), None)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(c.calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn non_retryable_fails_fast() {
+        struct Bad;
+        impl LlmClient for Bad {
+            fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+                Err(LlmError::UnknownModel(req.model.clone()))
+            }
+            fn embed(&self, _r: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+                unreachable!()
+            }
+        }
+        let err = RetryPolicy::default()
+            .complete_with_retry(&Bad, &CompletionRequest::new("m", "p"), None)
+            .unwrap_err();
+        assert_eq!(err, LlmError::UnknownModel("m".into()));
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = CompletionRequest::new("gpt-4o", "hello")
+            .with_system("sys")
+            .with_max_output_tokens(5);
+        assert_eq!(r.model.as_str(), "gpt-4o");
+        assert_eq!(r.system.as_deref(), Some("sys"));
+        assert_eq!(r.max_output_tokens, 5);
+    }
+}

@@ -1,0 +1,556 @@
+//! Structured prompt protocol.
+//!
+//! Palimpzest's physical operators communicate with models through prompts.
+//! So the simulated client can respond meaningfully *and* real clients could
+//! be substituted later, the operators emit a small structured dialect with
+//! an unambiguous grammar:
+//!
+//! ```text
+//! #TASK filter
+//! #PREDICATE The papers are about colorectal cancer
+//! #INPUT
+//! <free text...>
+//! ```
+//!
+//! Tasks: `filter` (boolean judgement), `extract` (schema-directed field
+//! extraction, one-to-one or one-to-many), `classify` (pick one label), and
+//! `generate` (free-form instruction following). Responses are plain text:
+//! `TRUE`/`FALSE` for filters, one JSON object per line for extractions, the
+//! label for classification.
+//!
+//! This module owns both directions: building prompts (used by `pz-core`)
+//! and parsing them (used by [`crate::sim`]), plus response parsing. Keeping
+//! both sides in one place makes round-trip property tests possible.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A field requested from an `extract` task.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Machine name, e.g. `dataset_name`. No `|` or newlines allowed.
+    pub name: String,
+    /// Natural-language description, e.g. "The public URL of the dataset".
+    pub description: String,
+}
+
+impl FieldSpec {
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            description: description.into(),
+        }
+    }
+}
+
+/// Output cardinality of an extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// One output object per input record.
+    OneToOne,
+    /// Zero or more output objects per input record.
+    OneToMany,
+}
+
+/// Reasoning effort requested from the model. `High` stands in for
+/// self-critique / ensemble prompting: roughly double the token budget in
+/// exchange for a lower error rate. It is one of the physical-plan knobs
+/// Palimpzest's optimizer explores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    #[default]
+    Standard,
+    High,
+}
+
+/// Separator between the two sides of a `match` task's input.
+pub const MATCH_SEPARATOR: &str = "\n#===RIGHT===#\n";
+
+/// A parsed structured prompt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Task {
+    Filter {
+        predicate: String,
+        input: String,
+        effort: Effort,
+    },
+    Extract {
+        fields: Vec<FieldSpec>,
+        cardinality: Cardinality,
+        input: String,
+        effort: Effort,
+    },
+    Classify {
+        labels: Vec<String>,
+        input: String,
+    },
+    Generate {
+        instruction: String,
+        input: String,
+    },
+    /// Judge whether two records match under a natural-language criterion
+    /// (semantic join).
+    Match {
+        criterion: String,
+        left: String,
+        right: String,
+        effort: Effort,
+    },
+}
+
+impl Task {
+    /// The free-text payload of the task (the left side for `Match`).
+    pub fn input(&self) -> &str {
+        match self {
+            Task::Filter { input, .. }
+            | Task::Extract { input, .. }
+            | Task::Classify { input, .. }
+            | Task::Generate { input, .. } => input,
+            Task::Match { left, .. } => left,
+        }
+    }
+}
+
+fn sanitize_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// Build a `filter` prompt at standard effort.
+pub fn filter_prompt(predicate: &str, input: &str) -> String {
+    filter_prompt_with_effort(predicate, input, Effort::Standard)
+}
+
+/// Build a `filter` prompt with an explicit effort level.
+pub fn filter_prompt_with_effort(predicate: &str, input: &str, effort: Effort) -> String {
+    format!(
+        "#TASK filter\n#PREDICATE {}\n{}#INPUT\n{}",
+        sanitize_line(predicate),
+        effort_header(effort),
+        input
+    )
+}
+
+fn effort_header(effort: Effort) -> &'static str {
+    match effort {
+        Effort::Standard => "",
+        Effort::High => "#EFFORT high\n",
+    }
+}
+
+/// Build an `extract` prompt at standard effort.
+pub fn extract_prompt(fields: &[FieldSpec], cardinality: Cardinality, input: &str) -> String {
+    extract_prompt_with_effort(fields, cardinality, input, Effort::Standard)
+}
+
+/// Build an `extract` prompt with an explicit effort level.
+pub fn extract_prompt_with_effort(
+    fields: &[FieldSpec],
+    cardinality: Cardinality,
+    input: &str,
+    effort: Effort,
+) -> String {
+    let mut s = String::from("#TASK extract\n");
+    s.push_str(effort_header(effort));
+    let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    let _ = writeln!(s, "#FIELDS {}", names.join("|"));
+    for f in fields {
+        let _ = writeln!(
+            s,
+            "#DESC {}: {}",
+            sanitize_line(&f.name),
+            sanitize_line(&f.description)
+        );
+    }
+    let card = match cardinality {
+        Cardinality::OneToOne => "one",
+        Cardinality::OneToMany => "many",
+    };
+    let _ = writeln!(s, "#CARDINALITY {card}");
+    s.push_str("#INPUT\n");
+    s.push_str(input);
+    s
+}
+
+/// Build a `classify` prompt at standard effort.
+pub fn classify_prompt(labels: &[String], input: &str) -> String {
+    classify_prompt_with_effort(labels, input, Effort::Standard)
+}
+
+/// Build a `classify` prompt with an explicit effort level.
+pub fn classify_prompt_with_effort(labels: &[String], input: &str, effort: Effort) -> String {
+    format!(
+        "#TASK classify\n#LABELS {}\n{}#INPUT\n{}",
+        labels
+            .iter()
+            .map(|l| sanitize_line(l))
+            .collect::<Vec<_>>()
+            .join("|"),
+        effort_header(effort),
+        input
+    )
+}
+
+/// Build a `match` prompt (semantic join pair judgement).
+pub fn match_prompt(criterion: &str, left: &str, right: &str, effort: Effort) -> String {
+    format!(
+        "#TASK match\n#CRITERION {}\n{}#INPUT\n{}{}{}",
+        sanitize_line(criterion),
+        effort_header(effort),
+        left,
+        MATCH_SEPARATOR,
+        right
+    )
+}
+
+/// Build a `generate` prompt.
+pub fn generate_prompt(instruction: &str, input: &str) -> String {
+    format!(
+        "#TASK generate\n#INSTRUCTION {}\n#INPUT\n{}",
+        sanitize_line(instruction),
+        input
+    )
+}
+
+/// Parse a structured prompt. Returns `None` for free-form prompts that do
+/// not follow the dialect (the simulator falls back to echo behaviour).
+pub fn parse_prompt(prompt: &str) -> Option<Task> {
+    let rest = prompt.strip_prefix("#TASK ")?;
+    let (task_name, rest) = rest.split_once('\n')?;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut lines = rest.lines();
+    let mut input = String::new();
+    let mut remainder_offset = 0usize;
+    // Walk header lines until #INPUT; everything after is verbatim input.
+    loop {
+        let line_start = remainder_offset;
+        let line = match lines.next() {
+            Some(l) => l,
+            None => break,
+        };
+        remainder_offset = line_start + line.len() + 1; // +1 for '\n'
+        if line == "#INPUT" {
+            if remainder_offset <= rest.len() {
+                input = rest[remainder_offset..].to_string();
+            }
+            break;
+        }
+        if let Some(h) = line.strip_prefix('#') {
+            if let Some((k, v)) = h.split_once(' ') {
+                headers.push((k.to_string(), v.to_string()));
+            } else {
+                headers.push((h.to_string(), String::new()));
+            }
+        }
+    }
+    let header = |key: &str| -> Option<&str> {
+        headers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let effort = match header("EFFORT") {
+        Some("high") => Effort::High,
+        _ => Effort::Standard,
+    };
+    match task_name.trim() {
+        "filter" => Some(Task::Filter {
+            predicate: header("PREDICATE")?.to_string(),
+            input,
+            effort,
+        }),
+        "extract" => {
+            let names: Vec<String> = header("FIELDS")?
+                .split('|')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mut descs: BTreeMap<String, String> = BTreeMap::new();
+            for (k, v) in &headers {
+                if k == "DESC" {
+                    if let Some((name, d)) = v.split_once(':') {
+                        descs.insert(name.trim().to_string(), d.trim().to_string());
+                    }
+                }
+            }
+            let fields = names
+                .into_iter()
+                .map(|n| {
+                    let d = descs.get(&n).cloned().unwrap_or_default();
+                    FieldSpec {
+                        name: n,
+                        description: d,
+                    }
+                })
+                .collect();
+            let cardinality = match header("CARDINALITY") {
+                Some("many") => Cardinality::OneToMany,
+                _ => Cardinality::OneToOne,
+            };
+            Some(Task::Extract {
+                fields,
+                cardinality,
+                input,
+                effort,
+            })
+        }
+        "classify" => Some(Task::Classify {
+            labels: header("LABELS")?
+                .split('|')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+            input,
+        }),
+        "generate" => Some(Task::Generate {
+            instruction: header("INSTRUCTION")?.to_string(),
+            input,
+        }),
+        "match" => {
+            let (left, right) = input.split_once(MATCH_SEPARATOR)?;
+            Some(Task::Match {
+                criterion: header("CRITERION")?.to_string(),
+                left: left.to_string(),
+                right: right.to_string(),
+                effort,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parse a boolean filter response ("TRUE" / "FALSE", case-insensitive,
+/// tolerating surrounding prose the way real LLM responses require).
+pub fn parse_bool_response(resp: &str) -> Option<bool> {
+    let lower = resp.to_ascii_lowercase();
+    let t = lower.contains("true");
+    let f = lower.contains("false");
+    match (t, f) {
+        (true, false) => Some(true),
+        (false, true) => Some(false),
+        _ => None,
+    }
+}
+
+/// Parse an extraction response: one JSON object per non-empty line, each
+/// mapping field name to string-or-null.
+pub fn parse_extraction_response(resp: &str) -> Vec<BTreeMap<String, Option<String>>> {
+    resp.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<BTreeMap<String, Option<String>>>(l.trim()).ok())
+        .collect()
+}
+
+/// Serialize extraction objects to the response wire format.
+pub fn format_extraction_response(objs: &[BTreeMap<String, Option<String>>]) -> String {
+    objs.iter()
+        .map(|o| serde_json::to_string(o).expect("string maps always serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn filter_round_trip() {
+        let p = filter_prompt("about colorectal cancer", "Title: X\nBody text.");
+        match parse_prompt(&p) {
+            Some(Task::Filter {
+                predicate, input, ..
+            }) => {
+                assert_eq!(predicate, "about colorectal cancer");
+                assert_eq!(input, "Title: X\nBody text.");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_round_trip() {
+        let fields = vec![
+            FieldSpec::new("name", "The dataset name"),
+            FieldSpec::new("url", "The public URL"),
+        ];
+        let p = extract_prompt(&fields, Cardinality::OneToMany, "doc body");
+        match parse_prompt(&p) {
+            Some(Task::Extract {
+                fields: f2,
+                cardinality,
+                input,
+                ..
+            }) => {
+                assert_eq!(f2, fields);
+                assert_eq!(cardinality, Cardinality::OneToMany);
+                assert_eq!(input, "doc body");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_round_trip() {
+        let labels = vec!["science".to_string(), "legal".to_string()];
+        let p = classify_prompt(&labels, "text");
+        match parse_prompt(&p) {
+            Some(Task::Classify { labels: l2, input }) => {
+                assert_eq!(l2, labels);
+                assert_eq!(input, "text");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_round_trip() {
+        let p = generate_prompt("summarize", "long text here");
+        match parse_prompt(&p) {
+            Some(Task::Generate { instruction, input }) => {
+                assert_eq!(instruction, "summarize");
+                assert_eq!(input, "long text here");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_round_trip() {
+        let p = match_prompt(
+            "the records refer to the same dataset",
+            "TCGA-COADREAD",
+            "TCGA COADREAD cohort",
+            Effort::High,
+        );
+        match parse_prompt(&p) {
+            Some(Task::Match {
+                criterion,
+                left,
+                right,
+                effort,
+            }) => {
+                assert_eq!(criterion, "the records refer to the same dataset");
+                assert_eq!(left, "TCGA-COADREAD");
+                assert_eq!(right, "TCGA COADREAD cohort");
+                assert_eq!(effort, Effort::High);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_without_separator_is_unparseable() {
+        assert_eq!(
+            parse_prompt("#TASK match\n#CRITERION c\n#INPUT\nonly one side"),
+            None
+        );
+    }
+
+    #[test]
+    fn free_form_is_none() {
+        assert_eq!(parse_prompt("What is the capital of France?"), None);
+        assert_eq!(parse_prompt("#TASK dance\n#INPUT\nx"), None);
+    }
+
+    #[test]
+    fn predicate_newlines_sanitized() {
+        let p = filter_prompt("line1\nline2", "body");
+        match parse_prompt(&p).unwrap() {
+            Task::Filter { predicate, .. } => assert_eq!(predicate, "line1 line2"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bool_response_variants() {
+        assert_eq!(parse_bool_response("TRUE"), Some(true));
+        assert_eq!(parse_bool_response("false"), Some(false));
+        assert_eq!(parse_bool_response("The answer is True."), Some(true));
+        assert_eq!(parse_bool_response("maybe"), None);
+        assert_eq!(parse_bool_response("true or false"), None);
+    }
+
+    #[test]
+    fn effort_round_trips() {
+        let p = filter_prompt_with_effort("pred", "body", Effort::High);
+        match parse_prompt(&p).unwrap() {
+            Task::Filter { effort, .. } => assert_eq!(effort, Effort::High),
+            _ => unreachable!(),
+        }
+        let fields = vec![FieldSpec::new("a", "b")];
+        let p = extract_prompt_with_effort(&fields, Cardinality::OneToOne, "x", Effort::High);
+        match parse_prompt(&p).unwrap() {
+            Task::Extract { effort, .. } => assert_eq!(effort, Effort::High),
+            _ => unreachable!(),
+        }
+        // Standard prompts carry no effort header and parse as Standard.
+        match parse_prompt(&filter_prompt("pred", "body")).unwrap() {
+            Task::Filter { effort, .. } => assert_eq!(effort, Effort::Standard),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn extraction_response_round_trip() {
+        let mut a = BTreeMap::new();
+        a.insert("name".to_string(), Some("TCGA".to_string()));
+        a.insert("url".to_string(), None);
+        let objs = vec![a];
+        let wire = format_extraction_response(&objs);
+        assert_eq!(parse_extraction_response(&wire), objs);
+    }
+
+    #[test]
+    fn extraction_response_skips_garbage_lines() {
+        let out = parse_extraction_response("not json\n{\"a\": \"b\"}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("a"), Some(&Some("b".to_string())));
+    }
+
+    #[test]
+    fn empty_input_allowed() {
+        let p = filter_prompt("pred", "");
+        match parse_prompt(&p).unwrap() {
+            Task::Filter { input, .. } => assert_eq!(input, ""),
+            _ => unreachable!(),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn filter_round_trip_prop(pred in "[a-zA-Z0-9 ]{1,40}", input in "(?s).{0,200}") {
+            let p = filter_prompt(&pred, &input);
+            let task = parse_prompt(&p).expect("parse");
+            match task {
+                Task::Filter { predicate, input: i2, .. } => {
+                    prop_assert_eq!(predicate, pred);
+                    prop_assert_eq!(i2, input);
+                }
+                _ => prop_assert!(false, "wrong task kind"),
+            }
+        }
+
+        #[test]
+        fn extract_round_trip_prop(
+            names in proptest::collection::vec("[a-z_]{1,12}", 1..5),
+            input in "(?s)[^#]{0,200}",
+        ) {
+            // Deduplicate names: duplicate field names collapse in descs.
+            let mut names = names;
+            names.sort();
+            names.dedup();
+            let fields: Vec<FieldSpec> = names.iter()
+                .map(|n| FieldSpec::new(n.clone(), format!("desc of {n}")))
+                .collect();
+            let p = extract_prompt(&fields, Cardinality::OneToOne, &input);
+            match parse_prompt(&p).expect("parse") {
+                Task::Extract { fields: f2, input: i2, .. } => {
+                    prop_assert_eq!(f2, fields);
+                    prop_assert_eq!(i2, input);
+                }
+                _ => prop_assert!(false, "wrong task kind"),
+            }
+        }
+    }
+}

@@ -1,0 +1,1183 @@
+//! Deterministic LLM simulator.
+//!
+//! This is substitution **S1** from DESIGN.md: hosted models are replaced by
+//! a simulator that (a) actually performs the filter / extract / classify /
+//! generate tasks over the synthetic corpora using transparent rules, and
+//! (b) injects *deterministic, quality-dependent errors*, so that cheaper
+//! models measurably produce worse output — the property Palimpzest's
+//! optimizer trades against cost and latency.
+//!
+//! Error injection is keyed by `(seed, model, task, content)` through the
+//! stable hash, so a given record is always judged the same way by a given
+//! model: reruns are bit-identical, yet aggregate error rates match the
+//! model card's quality factor.
+
+use crate::catalog::{Catalog, ModelKind};
+use crate::client::{
+    CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient, LlmError,
+};
+use crate::clock::VirtualClock;
+use crate::embedding::Embedder;
+use crate::protocol::{self, Cardinality, Effort, FieldSpec, Task};
+use crate::tokenizer::{count_output_tokens, count_tokens};
+use crate::usage::{Usage, UsageLedger};
+use crate::{hash_unit, stable_hash};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of the simulator.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed: change it to sample a different (but still
+    /// deterministic) error pattern.
+    pub seed: u64,
+    /// Probability that any single call fails with a transient error
+    /// (exercises retry paths; 0.0 in most experiments).
+    pub transient_failure_rate: f64,
+    /// Dimensionality of simulated embeddings.
+    pub embedding_dim: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            transient_failure_rate: 0.0,
+            embedding_dim: 64,
+        }
+    }
+}
+
+/// The simulated client. Cheap to clone is not required; executors share it
+/// behind an `Arc`.
+pub struct SimulatedLlm {
+    catalog: Catalog,
+    config: SimConfig,
+    clock: VirtualClock,
+    ledger: UsageLedger,
+    embedder: Embedder,
+    call_counter: AtomicU64,
+}
+
+impl SimulatedLlm {
+    pub fn new(
+        catalog: Catalog,
+        config: SimConfig,
+        clock: VirtualClock,
+        ledger: UsageLedger,
+    ) -> Self {
+        let embedder = Embedder::new(config.embedding_dim);
+        Self {
+            catalog,
+            config,
+            clock,
+            ledger,
+            embedder,
+            call_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Simulator over the builtin catalog with fresh clock and ledger.
+    pub fn with_defaults() -> Self {
+        Self::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            VirtualClock::new(),
+            UsageLedger::new(),
+        )
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    pub fn ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn seed_str(&self) -> String {
+        self.config.seed.to_string()
+    }
+
+    /// Decide whether this call transiently fails (deterministic in the call
+    /// counter, so a retry of the "same" request is a *different* call and
+    /// can succeed).
+    fn maybe_transient(&self) -> Result<(), LlmError> {
+        if self.config.transient_failure_rate <= 0.0 {
+            return Ok(());
+        }
+        let n = self.call_counter.fetch_add(1, Ordering::Relaxed);
+        let u = hash_unit(&[&self.seed_str(), "transient", &n.to_string()]);
+        if u < self.config.transient_failure_rate {
+            Err(LlmError::Transient {
+                attempt: n as usize,
+                reason: "simulated provider overload".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text analysis helpers (shared by the task implementations)
+// ---------------------------------------------------------------------------
+
+const STOPWORDS: &[&str] = &[
+    "a",
+    "an",
+    "the",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "of",
+    "in",
+    "on",
+    "at",
+    "to",
+    "for",
+    "with",
+    "by",
+    "from",
+    "as",
+    "about",
+    "into",
+    "that",
+    "this",
+    "these",
+    "those",
+    "it",
+    "its",
+    "and",
+    "or",
+    "not",
+    "no",
+    "paper",
+    "papers",
+    "document",
+    "documents",
+    "record",
+    "records",
+    "item",
+    "items",
+    "all",
+    "any",
+    "which",
+    "who",
+    "whom",
+    "whose",
+    "what",
+    "where",
+    "when",
+    "how",
+    "should",
+    "would",
+    "must",
+    "can",
+    "could",
+    "may",
+    "might",
+    "will",
+    "shall",
+    "than",
+    "then",
+    "there",
+    "their",
+    "they",
+    "them",
+    "we",
+    "you",
+    "i",
+    "he",
+    "she",
+    "his",
+    "her",
+    "our",
+    "your",
+    // Conversational filler around predicates: container nouns and speech
+    // verbs that carry no topical signal.
+    "listing",
+    "listings",
+    "email",
+    "emails",
+    "mail",
+    "mails",
+    "message",
+    "messages",
+    "describe",
+    "describes",
+    "describing",
+    "discuss",
+    "discusses",
+    "discussing",
+    "mention",
+    "mentions",
+    "mentioning",
+    "keep",
+    "only",
+    "interested",
+    "want",
+    "wants",
+    "like",
+    "please",
+    "study",
+    "studies",
+];
+
+fn is_stopword(w: &str) -> bool {
+    STOPWORDS.contains(&w)
+}
+
+/// Lowercased alphanumeric content words (stopwords removed).
+pub(crate) fn content_words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() > 1)
+        .map(|t| t.to_ascii_lowercase())
+        .filter(|t| !is_stopword(t))
+        .collect()
+}
+
+/// Crude stemmer: normalizes common English inflections so "mutations"
+/// matches "mutation", "homes" matches "home", "studies" matches "study".
+fn stem(w: &str) -> String {
+    if w.len() > 4 {
+        if let Some(st) = w.strip_suffix("ies") {
+            return format!("{st}y");
+        }
+        if let Some(st) = w.strip_suffix("sses") {
+            return format!("{st}ss");
+        }
+        // boxes -> box, churches -> church
+        for pre in ["xes", "zes", "ches", "shes"] {
+            if w.ends_with(pre) {
+                return w[..w.len() - 2].to_string();
+            }
+        }
+        if let Some(st) = w.strip_suffix("ing") {
+            return st.to_string();
+        }
+        if let Some(st) = w.strip_suffix("ed") {
+            return st.to_string();
+        }
+    }
+    if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        return w[..w.len() - 1].to_string();
+    }
+    w.to_string()
+}
+
+fn relevance(predicate_words: &[String], haystack: &str) -> f64 {
+    if predicate_words.is_empty() {
+        return 1.0;
+    }
+    let hay: Vec<String> = content_words(haystack).iter().map(|w| stem(w)).collect();
+    let mut hits = 0usize;
+    for w in predicate_words {
+        let sw = stem(w);
+        if hay.contains(&sw) {
+            hits += 1;
+        }
+    }
+    hits as f64 / predicate_words.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// Task implementations
+// ---------------------------------------------------------------------------
+
+/// Fraction of a model's error probability attributable to *record
+/// difficulty* shared across models (hard records trip every model),
+/// versus model-idiosyncratic noise. Real LLM errors are substantially
+/// correlated, which is why majority voting helps less than independence
+/// would predict; the cost model mirrors this constant
+/// (`pz-core::optimizer::cost::ensemble_quality`).
+pub const ERROR_CORRELATION: f64 = 0.35;
+
+impl SimulatedLlm {
+    fn answer_filter(&self, model_q: f64, model: &str, predicate: &str, input: &str) -> String {
+        // 0.7: with a two-content-word predicate ("colorectal cancer") a
+        // hard negative matching only one word (a *breast* cancer paper)
+        // scores 0.5 and is rejected; with a three-word conjunctive
+        // predicate ("modern homes garden") all three words must appear,
+        // giving conjunctions their intended semantics.
+        let words = content_words(predicate);
+        let base = relevance(&words, input) >= 0.7;
+        // Deterministic quality-dependent flip with correlated errors:
+        // a shared "record difficulty" draw trips every model whose shared
+        // error budget covers it (weaker models err on a superset of hard
+        // records), plus an independent per-model draw.
+        let e = 1.0 - model_q;
+        let u_shared = hash_unit(&[&self.seed_str(), "filter-difficulty", predicate, input]);
+        let u_model = hash_unit(&[&self.seed_str(), model, "filter", predicate, input]);
+        let flipped = u_shared < ERROR_CORRELATION * e || u_model < (1.0 - ERROR_CORRELATION) * e;
+        let answer = if flipped { !base } else { base };
+        if answer {
+            "TRUE".into()
+        } else {
+            "FALSE".into()
+        }
+    }
+
+    fn answer_classify(&self, model_q: f64, model: &str, labels: &[String], input: &str) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut best = 0usize;
+        let mut best_score = -1.0f64;
+        for (i, l) in labels.iter().enumerate() {
+            let score = relevance(&content_words(l), input);
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        let e = 1.0 - model_q;
+        let u_shared = hash_unit(&[&self.seed_str(), "classify-difficulty", input]);
+        let u_model = hash_unit(&[&self.seed_str(), model, "classify", input]);
+        let wrong = u_shared < ERROR_CORRELATION * e || u_model < (1.0 - ERROR_CORRELATION) * e;
+        let pick = if !wrong || labels.len() == 1 {
+            best
+        } else {
+            // Error: deterministic wrong label.
+            (best + 1 + (stable_hash(&[input]) as usize % (labels.len() - 1))) % labels.len()
+        };
+        labels[pick].clone()
+    }
+
+    fn answer_extract(
+        &self,
+        model_q: f64,
+        model: &str,
+        fields: &[FieldSpec],
+        cardinality: Cardinality,
+        input: &str,
+    ) -> String {
+        let pairs = label_value_pairs(input);
+        let blocks = group_into_blocks(&pairs);
+        let mut objects: Vec<BTreeMap<String, Option<String>>> = Vec::new();
+        for block in &blocks {
+            let mut obj = BTreeMap::new();
+            let mut any = false;
+            for f in fields {
+                let v = match_field(f, block, input);
+                if v.is_some() {
+                    any = true;
+                }
+                obj.insert(f.name.clone(), v);
+            }
+            if any {
+                objects.push(obj);
+            }
+        }
+        if objects.is_empty() && cardinality == Cardinality::OneToOne {
+            // OneToOne always yields exactly one object, even if all null.
+            let mut obj = BTreeMap::new();
+            for f in fields {
+                obj.insert(f.name.clone(), match_field(f, &[], input));
+            }
+            objects.push(obj);
+        }
+        if cardinality == Cardinality::OneToOne && objects.len() > 1 {
+            objects.truncate(1);
+        }
+
+        // Quality-dependent degradation: per extracted object, possibly drop
+        // it entirely (recall loss); per field, possibly null it out or
+        // corrupt the value (precision loss).
+        let mut degraded: Vec<BTreeMap<String, Option<String>>> = Vec::new();
+        for (i, mut obj) in objects.into_iter().enumerate() {
+            let key = format!("{i}:{}", obj_signature(&obj));
+            let u_drop = hash_unit(&[&self.seed_str(), model, "extract-drop", &key]);
+            // Whole-object misses are rarer than field-level mistakes.
+            let drop_p = (1.0 - model_q) * 0.5;
+            if cardinality == Cardinality::OneToMany && u_drop < drop_p {
+                continue;
+            }
+            for f in fields {
+                if let Some(Some(v)) = obj.get(&f.name).cloned() {
+                    let u = hash_unit(&[&self.seed_str(), model, "extract-field", &f.name, &v]);
+                    if u > model_q {
+                        let corrupted = if u > model_q + (1.0 - model_q) * 0.5 {
+                            None
+                        } else {
+                            Some(corrupt_value(&v))
+                        };
+                        obj.insert(f.name.clone(), corrupted);
+                    }
+                }
+            }
+            degraded.push(obj);
+        }
+        protocol::format_extraction_response(&degraded)
+    }
+
+    /// Pair judgement for semantic joins: the base decision is lexical —
+    /// the two sides share a meaningful fraction of content vocabulary
+    /// (Jaccard overlap of stemmed content words ≥ 0.4) — with the same
+    /// correlated error injection the filter uses.
+    fn answer_match(
+        &self,
+        model_q: f64,
+        model: &str,
+        criterion: &str,
+        left: &str,
+        right: &str,
+    ) -> String {
+        let lw: std::collections::BTreeSet<String> =
+            content_words(left).iter().map(|w| stem(w)).collect();
+        let rw: std::collections::BTreeSet<String> =
+            content_words(right).iter().map(|w| stem(w)).collect();
+        let inter = lw.intersection(&rw).count();
+        let smaller = lw.len().min(rw.len()).max(1);
+        let base = inter as f64 / smaller as f64 >= 0.4 && inter > 0;
+        let e = 1.0 - model_q;
+        let u_shared = hash_unit(&[&self.seed_str(), "match-difficulty", criterion, left, right]);
+        let u_model = hash_unit(&[&self.seed_str(), model, "match", criterion, left, right]);
+        let flipped = u_shared < ERROR_CORRELATION * e || u_model < (1.0 - ERROR_CORRELATION) * e;
+        let answer = if flipped { !base } else { base };
+        if answer {
+            "TRUE".into()
+        } else {
+            "FALSE".into()
+        }
+    }
+
+    fn answer_generate(&self, instruction: &str, input: &str) -> String {
+        let words: Vec<&str> = input.split_whitespace().take(40).collect();
+        if words.is_empty() {
+            format!("[{instruction}] (no input)")
+        } else {
+            format!("[{instruction}] {}", words.join(" "))
+        }
+    }
+}
+
+/// A `label: value` pair found in the input text.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Pair {
+    label: String,
+    value: String,
+}
+
+/// Extract `Label: value` pairs line by line. The label must be short (at
+/// most four words) so prose containing colons is not misread.
+pub(crate) fn label_value_pairs(input: &str) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if let Some((label, value)) = line.split_once(':') {
+            // Skip URLs masquerading as pairs ("https://...").
+            if value.starts_with("//") {
+                continue;
+            }
+            let label = label.trim();
+            let value = value.trim().trim_end_matches('.');
+            if label.is_empty() || value.is_empty() {
+                continue;
+            }
+            if label.split_whitespace().count() <= 4 {
+                out.push(Pair {
+                    label: label.to_string(),
+                    value: value.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Group a flat pair list into record blocks: a block ends when a label seen
+/// in the current block repeats.
+pub(crate) fn group_into_blocks(pairs: &[Pair]) -> Vec<Vec<Pair>> {
+    let mut blocks: Vec<Vec<Pair>> = Vec::new();
+    let mut current: Vec<Pair> = Vec::new();
+    for p in pairs {
+        let norm = normalize_label(&p.label);
+        if current.iter().any(|q| normalize_label(&q.label) == norm) {
+            blocks.push(std::mem::take(&mut current));
+        }
+        current.push(p.clone());
+    }
+    if !current.is_empty() {
+        blocks.push(current);
+    }
+    blocks
+}
+
+fn normalize_label(l: &str) -> String {
+    let words = content_words(l).join(" ");
+    if words.is_empty() {
+        // Single-character or all-stopword labels still need an identity.
+        l.trim().to_ascii_lowercase()
+    } else {
+        words
+    }
+}
+
+fn obj_signature(obj: &BTreeMap<String, Option<String>>) -> String {
+    obj.values()
+        .map(|v| v.as_deref().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+fn wants_url(f: &FieldSpec) -> bool {
+    let hay = format!("{} {}", f.name, f.description).to_ascii_lowercase();
+    hay.contains("url") || hay.contains("link") || hay.contains("website")
+}
+
+fn find_url(text: &str) -> Option<String> {
+    for tok in text.split_whitespace() {
+        if let Some(start) = tok.find("http://").or_else(|| tok.find("https://")) {
+            let url: String = tok[start..]
+                .trim_end_matches(['.', ',', ';', ')', ']'])
+                .to_string();
+            if url.len() > 10 {
+                return Some(url);
+            }
+        }
+    }
+    None
+}
+
+/// Find the value for a requested field inside one record block, falling
+/// back to the whole input for URL-like fields.
+/// Header-style synonyms the extractor understands: a field named
+/// `sender` matches a `From:` header the way a real LLM would.
+fn field_synonyms(word: &str) -> &'static [&'static str] {
+    match word {
+        "sender" => &["from"],
+        "recipient" | "receiver" => &["to"],
+        "date" => &["sent", "when"],
+        "subject" => &["re"],
+        "author" => &["by", "from"],
+        "title" => &["name"],
+        _ => &[],
+    }
+}
+
+fn match_field(f: &FieldSpec, block: &[Pair], whole_input: &str) -> Option<String> {
+    // Words from the field name carry much more weight than words from its
+    // description: "url" in the name must beat "dataset" in the description.
+    let mut name_stems: Vec<String> = f
+        .name
+        .split(['_', '-'])
+        .map(|w| w.to_ascii_lowercase())
+        .filter(|w| w.len() > 1 && !is_stopword(w))
+        .map(|w| stem(&w))
+        .collect();
+    for w in name_stems.clone() {
+        for syn in field_synonyms(&w) {
+            name_stems.push((*syn).to_string());
+        }
+    }
+    let desc_stems: Vec<String> = content_words(&f.description)
+        .iter()
+        .map(|w| stem(w))
+        .collect();
+
+    let mut best: Option<(&Pair, usize)> = None;
+    for p in block {
+        // Labels made entirely of stopwords ("From", "To") still need to
+        // be matchable via synonyms: fall back to the raw tokens.
+        let mut label_words: Vec<String> =
+            content_words(&p.label).iter().map(|w| stem(w)).collect();
+        if label_words.is_empty() {
+            label_words = p
+                .label
+                .split_whitespace()
+                .map(|w| w.to_ascii_lowercase())
+                .collect();
+        }
+        let score = label_words
+            .iter()
+            .filter(|w| name_stems.contains(w))
+            .count()
+            * 10
+            + label_words
+                .iter()
+                .filter(|w| desc_stems.contains(w))
+                .count();
+        if score > 0 {
+            match best {
+                Some((_, b)) if b >= score => {}
+                _ => best = Some((p, score)),
+            }
+        }
+    }
+    if let Some((p, _)) = best {
+        // URL fields: extract the URL token even if buried in prose.
+        if wants_url(f) {
+            if let Some(u) = find_url(&p.value) {
+                return Some(u);
+            }
+        }
+        return Some(p.value.clone());
+    }
+    if wants_url(f) {
+        // No matching label: scan the block values, then the whole input.
+        for p in block {
+            if let Some(u) = find_url(&p.value) {
+                return Some(u);
+            }
+        }
+        return find_url(whole_input);
+    }
+    None
+}
+
+/// Deterministically mangle a value so quality metrics register the error.
+fn corrupt_value(v: &str) -> String {
+    if v.starts_with("http") {
+        // A wrong-but-plausible URL.
+        format!("https://example.org/{:x}", stable_hash(&[v]) & 0xffff)
+    } else if v.len() > 4 {
+        // Truncate and mark: a classic partial-extraction failure.
+        format!("{}…", &v[..v.len() / 2])
+    } else {
+        format!("{v}?")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LlmClient implementation
+// ---------------------------------------------------------------------------
+
+impl LlmClient for SimulatedLlm {
+    fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+        let card = self
+            .catalog
+            .get(&req.model)
+            .ok_or_else(|| LlmError::UnknownModel(req.model.clone()))?
+            .clone();
+        if card.kind != ModelKind::Chat {
+            return Err(LlmError::WrongKind {
+                model: req.model.clone(),
+                expected: "chat",
+            });
+        }
+        let input_tokens =
+            count_tokens(&req.prompt) + req.system.as_deref().map_or(0, count_tokens);
+        if input_tokens > card.context_window {
+            return Err(LlmError::ContextOverflow {
+                model: req.model.clone(),
+                tokens: input_tokens,
+                window: card.context_window,
+            });
+        }
+        self.maybe_transient()?;
+
+        let model = card.id.as_str();
+        let q = card.quality;
+        // High effort models self-critique prompting: the error rate is
+        // roughly halved, at about double the token/latency budget (applied
+        // below via `effort_multiplier`).
+        let boosted = |q: f64, e: Effort| match e {
+            Effort::Standard => q,
+            Effort::High => q + (1.0 - q) * 0.5,
+        };
+        let mut effort_multiplier = 1.0f64;
+        let mut text = match protocol::parse_prompt(&req.prompt) {
+            Some(Task::Filter {
+                predicate,
+                input,
+                effort,
+            }) => {
+                if effort == Effort::High {
+                    effort_multiplier = 2.0;
+                }
+                self.answer_filter(boosted(q, effort), model, &predicate, &input)
+            }
+            Some(Task::Extract {
+                fields,
+                cardinality,
+                input,
+                effort,
+            }) => {
+                if effort == Effort::High {
+                    effort_multiplier = 2.0;
+                }
+                self.answer_extract(boosted(q, effort), model, &fields, cardinality, &input)
+            }
+            Some(Task::Classify { labels, input }) => {
+                // The Effort header is honoured for classification too.
+                let effort = if req.prompt.contains("#EFFORT high") {
+                    Effort::High
+                } else {
+                    Effort::Standard
+                };
+                if effort == Effort::High {
+                    effort_multiplier = 2.0;
+                }
+                self.answer_classify(boosted(q, effort), model, &labels, &input)
+            }
+            Some(Task::Generate { instruction, input }) => {
+                self.answer_generate(&instruction, &input)
+            }
+            Some(Task::Match {
+                criterion,
+                left,
+                right,
+                effort,
+            }) => {
+                if effort == Effort::High {
+                    effort_multiplier = 2.0;
+                }
+                self.answer_match(boosted(q, effort), model, &criterion, &left, &right)
+            }
+            None => self.answer_generate("echo", &req.prompt),
+        };
+
+        // Enforce the output budget by word-truncation.
+        if count_output_tokens(&text) > req.max_output_tokens {
+            let mut acc = String::new();
+            for w in text.split_inclusive(char::is_whitespace) {
+                if count_output_tokens(&acc) + count_output_tokens(w) > req.max_output_tokens {
+                    break;
+                }
+                acc.push_str(w);
+            }
+            text = acc.trim_end().to_string();
+        }
+
+        let output_tokens = count_output_tokens(&text);
+        // High effort = a sequential self-critique round-trip: tokens (and
+        // dollars) double, and wall latency doubles because the second pass
+        // cannot start before the first finishes.
+        let billed_input = (input_tokens as f64 * effort_multiplier) as usize;
+        let usage = Usage::new(billed_input, output_tokens);
+        let cost_usd = card.cost_usd(billed_input, output_tokens);
+        let latency_secs = card.latency_secs(input_tokens, output_tokens) * effort_multiplier;
+        self.clock.advance_secs(latency_secs);
+        self.ledger.record(&card.id, usage, cost_usd, latency_secs);
+        Ok(CompletionResponse {
+            text,
+            usage,
+            latency_secs,
+            cost_usd,
+        })
+    }
+
+    fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+        let card = self
+            .catalog
+            .get(&req.model)
+            .ok_or_else(|| LlmError::UnknownModel(req.model.clone()))?
+            .clone();
+        if card.kind != ModelKind::Embedding {
+            return Err(LlmError::WrongKind {
+                model: req.model.clone(),
+                expected: "embedding",
+            });
+        }
+        self.maybe_transient()?;
+        let input_tokens: usize = req.inputs.iter().map(|s| count_tokens(s)).sum();
+        let vectors: Vec<Vec<f32>> = req.inputs.iter().map(|s| self.embedder.embed(s)).collect();
+        let usage = Usage::new(input_tokens, 0);
+        let cost_usd = card.cost_usd(input_tokens, 0);
+        let latency_secs = card.latency_secs(input_tokens, 0);
+        self.clock.advance_secs(latency_secs);
+        self.ledger.record(&card.id, usage, cost_usd, latency_secs);
+        Ok(EmbeddingResponse {
+            vectors,
+            usage,
+            latency_secs,
+            cost_usd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{extract_prompt, filter_prompt};
+
+    fn sim() -> SimulatedLlm {
+        SimulatedLlm::with_defaults()
+    }
+
+    const CANCER_DOC: &str = "Title: Gene mutation profiles in colorectal cancer tumors\n\
+        Abstract: We study somatic mutation patterns in colorectal cancer \
+        tumor cells using public genomic cohorts.\n\
+        Dataset: TCGA-COADREAD\n\
+        Description: Colorectal adenocarcinoma multi omics cohort\n\
+        URL: https://portal.gdc.cancer.gov/projects/TCGA-COADREAD\n";
+
+    const ASTRO_DOC: &str = "Title: Spectral classification of distant quasars\n\
+        Abstract: We analyze emission spectra of quasars observed by a survey telescope.\n";
+
+    /// Majority vote across doc variants: individual answers may flip with
+    /// probability 1 - quality (that is the point of the simulator), but the
+    /// aggregate decision must track relevance.
+    fn majority_filter(s: &SimulatedLlm, predicate: &str, doc: &str) -> bool {
+        let mut yes = 0;
+        for i in 0..9 {
+            let variant = format!("{doc}\nNote {i}.");
+            let req = CompletionRequest::new("gpt-4o", filter_prompt(predicate, &variant));
+            if s.complete(&req).unwrap().text == "TRUE" {
+                yes += 1;
+            }
+        }
+        yes > 4
+    }
+
+    #[test]
+    fn filter_true_on_relevant_doc() {
+        let s = sim();
+        assert!(majority_filter(
+            &s,
+            "The papers are about colorectal cancer",
+            CANCER_DOC
+        ));
+    }
+
+    #[test]
+    fn filter_false_on_irrelevant_doc() {
+        let s = sim();
+        assert!(!majority_filter(
+            &s,
+            "The papers are about colorectal cancer",
+            ASTRO_DOC
+        ));
+    }
+
+    #[test]
+    fn extraction_finds_fields() {
+        let s = sim();
+        let fields = vec![
+            FieldSpec::new("name", "The name of the dataset"),
+            FieldSpec::new("description", "A short description of the dataset"),
+            FieldSpec::new("url", "The public URL where the dataset can be accessed"),
+        ];
+        let req = CompletionRequest::new(
+            "gpt-4o",
+            extract_prompt(&fields, Cardinality::OneToMany, CANCER_DOC),
+        );
+        let resp = s.complete(&req).unwrap();
+        let objs = protocol::parse_extraction_response(&resp.text);
+        assert_eq!(objs.len(), 1, "resp: {}", resp.text);
+        assert_eq!(objs[0]["name"].as_deref(), Some("TCGA-COADREAD"));
+        assert_eq!(
+            objs[0]["url"].as_deref(),
+            Some("https://portal.gdc.cancer.gov/projects/TCGA-COADREAD")
+        );
+    }
+
+    #[test]
+    fn extraction_one_to_many_groups_blocks() {
+        let s = sim();
+        let doc = "Dataset: A\nURL: https://a.example.com/data\n\
+                   Dataset: B\nURL: https://b.example.com/data\n";
+        let fields = vec![
+            FieldSpec::new("dataset_name", "The dataset name"),
+            FieldSpec::new("url", "The public URL"),
+        ];
+        let req = CompletionRequest::new(
+            "gpt-4o",
+            extract_prompt(&fields, Cardinality::OneToMany, doc),
+        );
+        let objs = protocol::parse_extraction_response(&s.complete(&req).unwrap().text);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0]["dataset_name"].as_deref(), Some("A"));
+        assert_eq!(
+            objs[1]["url"].as_deref(),
+            Some("https://b.example.com/data")
+        );
+    }
+
+    #[test]
+    fn one_to_one_always_yields_one_object() {
+        let s = sim();
+        let fields = vec![FieldSpec::new(
+            "nothing_here",
+            "A field that does not exist",
+        )];
+        let req = CompletionRequest::new(
+            "gpt-4o",
+            extract_prompt(
+                &fields,
+                Cardinality::OneToOne,
+                "plain prose without structure",
+            ),
+        );
+        let objs = protocol::parse_extraction_response(&s.complete(&req).unwrap().text);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0]["nothing_here"], None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = sim();
+        let b = sim();
+        let req =
+            CompletionRequest::new("llama-3-8b", filter_prompt("colorectal cancer", CANCER_DOC));
+        assert_eq!(
+            a.complete(&req).unwrap().text,
+            b.complete(&req).unwrap().text
+        );
+    }
+
+    #[test]
+    fn weaker_model_makes_more_mistakes() {
+        // Over many documents, the weak model must disagree with ground
+        // truth more often than the strong one.
+        let s = sim();
+        let mut strong_errors = 0;
+        let mut weak_errors = 0;
+        for i in 0..200 {
+            let relevant = i % 2 == 0;
+            let doc = if relevant {
+                format!("Doc {i}. Study of colorectal cancer tumor mutation.")
+            } else {
+                format!("Doc {i}. Galaxy cluster redshift survey telescope.")
+            };
+            let prompt = filter_prompt("about colorectal cancer", &doc);
+            let strong = s
+                .complete(&CompletionRequest::new("gpt-4o", prompt.clone()))
+                .unwrap()
+                .text
+                == "TRUE";
+            let weak = s
+                .complete(&CompletionRequest::new("llama-3-8b", prompt))
+                .unwrap()
+                .text
+                == "TRUE";
+            if strong != relevant {
+                strong_errors += 1;
+            }
+            if weak != relevant {
+                weak_errors += 1;
+            }
+        }
+        assert!(
+            weak_errors > strong_errors,
+            "weak {weak_errors} vs strong {strong_errors}"
+        );
+        // gpt-4o quality 0.96 -> about 8 errors in 200; allow slack.
+        assert!(strong_errors < 30);
+        // llama-3-8b quality 0.72 -> about 56 errors in 200; require a gap.
+        assert!(weak_errors > 30);
+    }
+
+    #[test]
+    fn match_task_judges_pairs() {
+        let s = sim();
+        let yes = s
+            .complete(&CompletionRequest::new(
+                "gpt-4o",
+                protocol::match_prompt(
+                    "the records refer to the same dataset",
+                    "name: TCGA-COADREAD colorectal adenocarcinoma cohort",
+                    "dataset: TCGA COADREAD multi omics colorectal cohort",
+                    Effort::Standard,
+                ),
+            ))
+            .unwrap();
+        assert_eq!(yes.text, "TRUE");
+        let no = s
+            .complete(&CompletionRequest::new(
+                "gpt-4o",
+                protocol::match_prompt(
+                    "the records refer to the same dataset",
+                    "name: TCGA-COADREAD colorectal cohort",
+                    "dataset: quasar redshift survey catalogue",
+                    Effort::Standard,
+                ),
+            ))
+            .unwrap();
+        assert_eq!(no.text, "FALSE");
+    }
+
+    #[test]
+    fn errors_are_correlated_across_models() {
+        // The shared record-difficulty component makes two models' errors
+        // co-occur far more often than independence predicts.
+        let s = sim();
+        let models = ["llama-3-8b", "mixtral-8x7b"]; // e = .28, .22
+        let mut errs = [0usize; 2];
+        let mut joint = 0usize;
+        let n = 400;
+        for i in 0..n {
+            let relevant = i % 2 == 0;
+            let doc = if relevant {
+                format!("Doc {i}: colorectal cancer tumor mutation cohort.")
+            } else {
+                format!("Doc {i}: galaxy redshift survey telescope imaging.")
+            };
+            let prompt = filter_prompt("about colorectal cancer", &doc);
+            let mut wrong = [false; 2];
+            for (j, m) in models.iter().enumerate() {
+                let ans = s
+                    .complete(&CompletionRequest::new(*m, prompt.clone()))
+                    .unwrap();
+                wrong[j] = (ans.text == "TRUE") != relevant;
+            }
+            errs[0] += usize::from(wrong[0]);
+            errs[1] += usize::from(wrong[1]);
+            joint += usize::from(wrong[0] && wrong[1]);
+        }
+        let p0 = errs[0] as f64 / n as f64;
+        let p1 = errs[1] as f64 / n as f64;
+        let p_joint = joint as f64 / n as f64;
+        // Joint error rate well above the independent product.
+        assert!(
+            p_joint > 1.5 * p0 * p1,
+            "joint {p_joint:.3} vs independent {:.3}",
+            p0 * p1
+        );
+        // And the marginals are in the neighbourhood of 1 - quality.
+        assert!((0.15..0.45).contains(&p0), "llama-3-8b error rate {p0}");
+        assert!((0.10..0.35).contains(&p1), "mixtral error rate {p1}");
+    }
+
+    #[test]
+    fn accounting_hits_ledger_and_clock() {
+        let s = sim();
+        let req = CompletionRequest::new("gpt-4o", filter_prompt("cancer", CANCER_DOC));
+        let resp = s.complete(&req).unwrap();
+        assert!(resp.cost_usd > 0.0);
+        assert!(resp.latency_secs > 0.0);
+        assert_eq!(s.ledger().total_requests(), 1);
+        assert!((s.clock().now_secs() - resp.latency_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let s = sim();
+        let err = s
+            .complete(&CompletionRequest::new("gpt-99", "hi"))
+            .unwrap_err();
+        assert_eq!(err, LlmError::UnknownModel("gpt-99".into()));
+    }
+
+    #[test]
+    fn embedding_model_rejects_completion() {
+        let s = sim();
+        let err = s
+            .complete(&CompletionRequest::new("text-embedding-3-small", "hi"))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn chat_model_rejects_embedding() {
+        let s = sim();
+        let err = s
+            .embed(&EmbeddingRequest {
+                model: "gpt-4o".into(),
+                inputs: vec!["x".into()],
+            })
+            .unwrap_err();
+        assert!(matches!(err, LlmError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn context_overflow_detected() {
+        let s = sim();
+        let huge = "word ".repeat(20_000);
+        let err = s
+            .complete(&CompletionRequest::new("llama-3-8b", huge))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::ContextOverflow { .. }));
+    }
+
+    #[test]
+    fn transient_failures_fire_at_configured_rate() {
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig {
+                transient_failure_rate: 0.5,
+                ..Default::default()
+            },
+            VirtualClock::new(),
+            UsageLedger::new(),
+        );
+        let mut failures = 0;
+        for _ in 0..100 {
+            let r = s.complete(&CompletionRequest::new("gpt-4o", "hello"));
+            if matches!(r, Err(LlmError::Transient { .. })) {
+                failures += 1;
+            }
+        }
+        assert!((30..=70).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn embeddings_returned_per_input() {
+        let s = sim();
+        let resp = s
+            .embed(&EmbeddingRequest {
+                model: "text-embedding-3-small".into(),
+                inputs: vec!["colorectal cancer".into(), "real estate".into()],
+            })
+            .unwrap();
+        assert_eq!(resp.vectors.len(), 2);
+        assert_eq!(resp.vectors[0].len(), 64);
+        assert!(resp.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn max_output_tokens_truncates() {
+        let s = sim();
+        let long_input = "alpha beta gamma delta ".repeat(50);
+        let req = CompletionRequest::new(
+            "gpt-4o",
+            protocol::generate_prompt("summarize", &long_input),
+        )
+        .with_max_output_tokens(5);
+        let resp = s.complete(&req).unwrap();
+        assert!(resp.usage.output_tokens <= 5, "{}", resp.text);
+    }
+
+    #[test]
+    fn free_form_prompt_echoes() {
+        let s = sim();
+        let resp = s
+            .complete(&CompletionRequest::new("gpt-4o", "What is Palimpzest?"))
+            .unwrap();
+        assert!(resp.text.contains("Palimpzest"));
+    }
+
+    #[test]
+    fn pair_parsing_skips_urls_and_prose() {
+        let pairs = label_value_pairs(
+            "Name: X\nhttps://foo.bar/baz\nThis sentence mentions time 12:30 in prose but the label is way too long to count: nope\nB: y\n",
+        );
+        let labels: Vec<&str> = pairs.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["Name", "B"]);
+    }
+
+    #[test]
+    fn block_grouping_on_repeated_label() {
+        let pairs = label_value_pairs("A: 1\nB: 2\nA: 3\nB: 4\n");
+        let blocks = group_into_blocks(&pairs);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len(), 2);
+        assert_eq!(blocks[1].len(), 2);
+    }
+
+    #[test]
+    fn corrupt_value_changes_value() {
+        for v in ["https://portal.gdc.cancer.gov/x", "TCGA-COADREAD", "ab"] {
+            assert_ne!(corrupt_value(v), v);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic token counting.
+//!
+//! Real systems use BPE tokenizers; for cost and latency accounting the
+//! reproduction only needs a stable, monotone approximation. We use the
+//! common heuristic that one token covers ~4 characters of English text,
+//! refined to count word and punctuation boundaries so that token counts
+//! respond to structure the way BPE counts do.
+
+/// Count tokens in `text`.
+///
+/// The rule: every maximal alphanumeric run contributes
+/// `ceil(len / 4)` tokens (long words split into multiple subword tokens),
+/// every non-space punctuation character contributes one token, and
+/// whitespace is free. The empty string is zero tokens.
+///
+/// Properties relied on elsewhere (and checked by property tests):
+/// * `count_tokens("") == 0`
+/// * monotone under concatenation: `count(a + b) >= max(count(a), count(b))`
+/// * subadditive-ish: `count(a + b) <= count(a) + count(b) + 1`
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    let mut run_len = 0usize;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            run_len += 1;
+        } else {
+            if run_len > 0 {
+                tokens += run_len.div_ceil(4);
+                run_len = 0;
+            }
+            if !ch.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    if run_len > 0 {
+        tokens += run_len.div_ceil(4);
+    }
+    tokens
+}
+
+/// Estimate the number of tokens a completion of `text` would produce.
+/// Identical to [`count_tokens`] today; a distinct entry point so output
+/// accounting can diverge from input accounting later without call-site
+/// churn.
+#[inline]
+pub fn count_output_tokens(text: &str) -> usize {
+    count_tokens(text)
+}
+
+/// Truncate `text` to at most `max_tokens`, keeping the head and the tail
+/// (documents often carry key content — titles up front, data-availability
+/// sections at the end — so head+tail beats plain prefix truncation).
+/// Returns the input unchanged when it already fits.
+pub fn truncate_to_tokens(text: &str, max_tokens: usize) -> String {
+    if count_tokens(text) <= max_tokens {
+        return text.to_string();
+    }
+    let words: Vec<&str> = text.split_inclusive(char::is_whitespace).collect();
+    let half_budget = max_tokens.saturating_sub(4) / 2;
+    let mut head = String::new();
+    let mut used = 0usize;
+    let mut head_end = 0usize;
+    for (i, w) in words.iter().enumerate() {
+        let t = count_tokens(w);
+        if used + t > half_budget {
+            head_end = i;
+            break;
+        }
+        head.push_str(w);
+        used += t;
+        head_end = i + 1;
+    }
+    let mut tail = String::new();
+    used = 0;
+    let mut tail_start = words.len();
+    for (i, w) in words.iter().enumerate().rev() {
+        if i < head_end {
+            break;
+        }
+        let t = count_tokens(w);
+        if used + t > half_budget {
+            break;
+        }
+        tail.insert_str(0, w);
+        used += t;
+        tail_start = i;
+    }
+    if tail_start <= head_end {
+        format!("{head}{tail}")
+    } else {
+        format!("{head}\n…\n{tail}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(count_tokens(""), 0);
+    }
+
+    #[test]
+    fn whitespace_is_free() {
+        assert_eq!(count_tokens("   \n\t  "), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(count_tokens("the cat sat"), 3);
+    }
+
+    #[test]
+    fn long_words_split() {
+        // "internationalization" = 20 chars -> 5 tokens
+        assert_eq!(count_tokens("internationalization"), 5);
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        assert_eq!(count_tokens("a,b"), 3);
+        assert_eq!(count_tokens("end."), 2);
+    }
+
+    #[test]
+    fn url_costs_multiple_tokens() {
+        let n = count_tokens("https://portal.gdc.cancer.gov/projects/TCGA-COAD");
+        assert!(n >= 10, "urls should be token-expensive, got {n}");
+    }
+
+    #[test]
+    fn truncate_noop_when_fits() {
+        assert_eq!(truncate_to_tokens("short text", 100), "short text");
+    }
+
+    #[test]
+    fn truncate_keeps_head_and_tail() {
+        let text = format!(
+            "Title: colorectal cancer study\n{}\nURL: https://portal.example.org/data\n",
+            "filler words here ".repeat(500)
+        );
+        let cut = truncate_to_tokens(&text, 200);
+        assert!(count_tokens(&cut) <= 210, "got {}", count_tokens(&cut));
+        assert!(cut.contains("colorectal cancer"), "head lost");
+        assert!(cut.contains("portal.example.org"), "tail lost");
+        assert!(cut.contains('…'));
+    }
+
+    #[test]
+    fn truncate_respects_budget_property() {
+        for budget in [16, 64, 256] {
+            let text = "word ".repeat(2000);
+            let cut = truncate_to_tokens(&text, budget);
+            assert!(count_tokens(&cut) <= budget + 8, "budget {budget}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn truncate_never_exceeds_budget_much(
+            text in "[a-z ]{0,400}", budget in 8usize..64
+        ) {
+            let cut = truncate_to_tokens(&text, budget);
+            prop_assert!(count_tokens(&cut) <= budget + 8);
+        }
+
+        #[test]
+        fn monotone_under_concat(a in ".{0,64}", b in ".{0,64}") {
+            let ab = format!("{a}{b}");
+            prop_assert!(count_tokens(&ab) >= count_tokens(&a).max(count_tokens(&b)) ||
+                // Concatenation can merge two short runs into one longer run,
+                // which never *reduces* the count below either side by more
+                // than the merge saving of one token.
+                count_tokens(&ab) + 1 >= count_tokens(&a).max(count_tokens(&b)));
+        }
+
+        #[test]
+        fn bounded_by_char_count(s in ".{0,256}") {
+            prop_assert!(count_tokens(&s) <= s.chars().count());
+        }
+
+        #[test]
+        fn concat_subadditive(a in "[a-z ]{0,64}", b in "[a-z ]{0,64}") {
+            let ab = format!("{a}{b}");
+            prop_assert!(count_tokens(&ab) <= count_tokens(&a) + count_tokens(&b) + 1);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Token and dollar accounting.
+//!
+//! Figure 5 of the paper shows per-pipeline cost and runtime summaries; the
+//! ledger here is the substrate that makes those numbers available: every
+//! simulated model call records its token usage and cost, tagged by model.
+
+use crate::catalog::ModelId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Token counts for a single request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Usage {
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+}
+
+impl Usage {
+    pub fn new(input_tokens: usize, output_tokens: usize) -> Self {
+        Self {
+            input_tokens,
+            output_tokens,
+        }
+    }
+
+    pub fn total_tokens(&self) -> usize {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+impl std::ops::Add for Usage {
+    type Output = Usage;
+    fn add(self, rhs: Usage) -> Usage {
+        Usage {
+            input_tokens: self.input_tokens + rhs.input_tokens,
+            output_tokens: self.output_tokens + rhs.output_tokens,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Usage {
+    fn add_assign(&mut self, rhs: Usage) {
+        self.input_tokens += rhs.input_tokens;
+        self.output_tokens += rhs.output_tokens;
+    }
+}
+
+/// Per-model accumulated usage.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelUsage {
+    pub requests: usize,
+    pub usage: Usage,
+    pub cost_usd: f64,
+    pub latency_secs: f64,
+}
+
+/// Thread-safe ledger of all model usage. Clones share state.
+#[derive(Clone, Debug, Default)]
+pub struct UsageLedger {
+    inner: Arc<Mutex<BTreeMap<ModelId, ModelUsage>>>,
+}
+
+impl UsageLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request against `model`.
+    pub fn record(&self, model: &ModelId, usage: Usage, cost_usd: f64, latency_secs: f64) {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(model.clone()).or_default();
+        entry.requests += 1;
+        entry.usage += usage;
+        entry.cost_usd += cost_usd;
+        entry.latency_secs += latency_secs;
+    }
+
+    /// Total dollar cost across all models.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.inner.lock().values().map(|m| m.cost_usd).sum()
+    }
+
+    /// Total request count across all models.
+    pub fn total_requests(&self) -> usize {
+        self.inner.lock().values().map(|m| m.requests).sum()
+    }
+
+    /// Total token usage across all models.
+    pub fn total_usage(&self) -> Usage {
+        self.inner
+            .lock()
+            .values()
+            .fold(Usage::default(), |acc, m| acc + m.usage)
+    }
+
+    /// Sum of modelled latencies (i.e. total model-time; an upper bound on
+    /// pipeline runtime when calls are sequential).
+    pub fn total_latency_secs(&self) -> f64 {
+        self.inner.lock().values().map(|m| m.latency_secs).sum()
+    }
+
+    /// Snapshot of the per-model breakdown (sorted by model id).
+    pub fn by_model(&self) -> Vec<(ModelId, ModelUsage)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Reset all counters. Used between experiments.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let l = UsageLedger::new();
+        let m: ModelId = "gpt-4o".into();
+        l.record(&m, Usage::new(100, 10), 0.001, 0.5);
+        l.record(&m, Usage::new(200, 20), 0.002, 0.7);
+        let by = l.by_model();
+        assert_eq!(by.len(), 1);
+        assert_eq!(by[0].1.requests, 2);
+        assert_eq!(by[0].1.usage, Usage::new(300, 30));
+        assert!((by[0].1.cost_usd - 0.003).abs() < 1e-12);
+        assert!((l.total_latency_secs() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_span_models() {
+        let l = UsageLedger::new();
+        l.record(&"a".into(), Usage::new(1, 2), 0.5, 0.1);
+        l.record(&"b".into(), Usage::new(3, 4), 0.25, 0.2);
+        assert_eq!(l.total_usage(), Usage::new(4, 6));
+        assert!((l.total_cost_usd() - 0.75).abs() < 1e-12);
+        assert_eq!(l.total_requests(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let l = UsageLedger::new();
+        let l2 = l.clone();
+        l.record(&"a".into(), Usage::new(5, 5), 0.1, 0.0);
+        assert_eq!(l2.total_requests(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let l = UsageLedger::new();
+        l.record(&"a".into(), Usage::new(5, 5), 0.1, 0.0);
+        l.reset();
+        assert_eq!(l.total_requests(), 0);
+        assert_eq!(l.total_cost_usd(), 0.0);
+    }
+
+    #[test]
+    fn usage_add() {
+        assert_eq!(Usage::new(1, 2) + Usage::new(10, 20), Usage::new(11, 22));
+        assert_eq!(Usage::new(3, 4).total_tokens(), 7);
+    }
+
+    #[test]
+    fn concurrent_records() {
+        let l = UsageLedger::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = l.clone();
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        l.record(&"m".into(), Usage::new(1, 1), 0.001, 0.01);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.total_requests(), 1000);
+        assert_eq!(l.total_usage(), Usage::new(1000, 1000));
+    }
+}

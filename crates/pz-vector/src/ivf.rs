@@ -1,0 +1,385 @@
+//! IVF (inverted-file) approximate index.
+//!
+//! Classic two-level design: k-means clusters the corpus into `nlist`
+//! partitions; a query probes only the `nprobe` partitions whose centroids
+//! score best, trading recall for a ~`nlist/nprobe` scan reduction. The
+//! k-means is deterministic given the seed (kmeans++-style seeding driven by
+//! a splitmix64 PRNG, fixed iteration count), so builds reproduce exactly.
+
+use crate::flat::{top_k, Scored};
+use crate::metric::Metric;
+use crate::VecId;
+
+/// IVF build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfConfig {
+    /// Number of partitions (clamped to the corpus size at build).
+    pub nlist: usize,
+    /// Partitions probed per query (clamped to `nlist`).
+    pub nprobe: usize,
+    /// k-means iterations.
+    pub iterations: usize,
+    /// PRNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            nlist: 16,
+            nprobe: 4,
+            iterations: 10,
+            seed: 7,
+        }
+    }
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Built IVF index. Construction is batch-only (build once over a corpus);
+/// the store layer rebuilds when a collection grows past a threshold.
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    nprobe: usize,
+    centroids: Vec<Vec<f32>>,
+    /// Per-centroid postings: (id, vector) pairs.
+    lists: Vec<Vec<(VecId, Vec<f32>)>>,
+    len: usize,
+}
+
+impl IvfIndex {
+    /// Build an index over `(id, vector)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any vector's length differs from `dim`.
+    pub fn build(
+        dim: usize,
+        metric: Metric,
+        config: IvfConfig,
+        items: &[(VecId, Vec<f32>)],
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        for (_, v) in items {
+            assert_eq!(v.len(), dim, "dimension mismatch");
+        }
+        let nlist = config.nlist.clamp(1, items.len().max(1));
+        let centroids = kmeans(dim, config, nlist, items);
+        let mut lists: Vec<Vec<(VecId, Vec<f32>)>> = vec![Vec::new(); centroids.len()];
+        for (id, v) in items {
+            let c = nearest_centroid(&centroids, v, metric);
+            lists[c].push((*id, v.clone()));
+        }
+        Self {
+            dim,
+            metric,
+            nprobe: config.nprobe.clamp(1, centroids.len().max(1)),
+            centroids,
+            lists,
+            len: items.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Approximate top-k: scan only the `nprobe` best partitions.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Scored> {
+        self.search_with_nprobe(query, k, self.nprobe)
+    }
+
+    /// Approximate top-k with an explicit probe count (for recall sweeps).
+    pub fn search_with_nprobe(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Scored> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if self.len == 0 || k == 0 {
+            return Vec::new();
+        }
+        let probes = top_k(
+            self.centroids.iter().enumerate().map(|(i, c)| Scored {
+                id: i as VecId,
+                score: self.metric.score(query, c),
+            }),
+            nprobe.clamp(1, self.centroids.len()),
+        );
+        let metric = self.metric;
+        top_k(
+            probes.iter().flat_map(|p| {
+                self.lists[p.id as usize].iter().map(move |(id, v)| Scored {
+                    id: *id,
+                    score: metric.score(query, v),
+                })
+            }),
+            k,
+        )
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32], metric: Metric) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f32::NEG_INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let s = metric.score(v, c);
+        if s > best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Deterministic k-means with greedy farthest-point seeding.
+/// Assignment uses Euclidean distance regardless of query metric: centroids
+/// are means, which is only meaningful in L2 space.
+fn kmeans(
+    dim: usize,
+    config: IvfConfig,
+    nlist: usize,
+    items: &[(VecId, Vec<f32>)],
+) -> Vec<Vec<f32>> {
+    if items.is_empty() {
+        return vec![vec![0.0; dim]];
+    }
+    let mut rng = SplitMix(config.seed);
+    // Seeding: first centroid random, rest farthest-first.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
+    centroids.push(items[rng.below(items.len())].1.clone());
+    while centroids.len() < nlist {
+        let mut far_idx = 0usize;
+        let mut far_d = -1.0f32;
+        for (i, (_, v)) in items.items_iter() {
+            let d = centroids
+                .iter()
+                .map(|c| l2sq(v, c))
+                .fold(f32::INFINITY, f32::min);
+            if d > far_d {
+                far_d = d;
+                far_idx = i;
+            }
+        }
+        centroids.push(items[far_idx].1.clone());
+    }
+    // Lloyd iterations.
+    for _ in 0..config.iterations {
+        let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (_, v) in items {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (i, c) in centroids.iter().enumerate() {
+                let d = l2sq(v, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            counts[best] += 1;
+            for (s, x) in sums[best].iter_mut().zip(v) {
+                *s += f64::from(*x);
+            }
+        }
+        for (i, c) in centroids.iter_mut().enumerate() {
+            if counts[i] > 0 {
+                for (j, x) in c.iter_mut().enumerate() {
+                    *x = (sums[i][j] / counts[i] as f64) as f32;
+                }
+            }
+            // Empty clusters keep their previous centroid.
+        }
+    }
+    centroids
+}
+
+// Tiny extension trait so the seeding loop reads naturally without clippy's
+// needless_range_loop.
+trait ItemsIter {
+    fn items_iter(&self) -> std::iter::Enumerate<std::slice::Iter<'_, (VecId, Vec<f32>)>>;
+}
+
+impl ItemsIter for [(VecId, Vec<f32>)] {
+    fn items_iter(&self) -> std::iter::Enumerate<std::slice::Iter<'_, (VecId, Vec<f32>)>> {
+        self.iter().enumerate()
+    }
+}
+
+#[inline]
+fn l2sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_corpus(n: usize, dim: usize, seed: u64) -> Vec<(VecId, Vec<f32>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+                (i as VecId, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_search_smoke() {
+        let corpus = random_corpus(200, 8, 1);
+        let idx = IvfIndex::build(8, Metric::Cosine, IvfConfig::default(), &corpus);
+        assert_eq!(idx.len(), 200);
+        let hits = idx.search(&corpus[0].1, 5);
+        assert!(!hits.is_empty());
+        // The query vector itself must be found when probing its own cell.
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let idx = IvfIndex::build(4, Metric::Cosine, IvfConfig::default(), &[]);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 3).is_empty());
+    }
+
+    #[test]
+    fn nlist_clamped_to_corpus() {
+        let corpus = random_corpus(3, 4, 2);
+        let idx = IvfIndex::build(
+            4,
+            Metric::Cosine,
+            IvfConfig {
+                nlist: 100,
+                ..Default::default()
+            },
+            &corpus,
+        );
+        assert!(idx.nlist() <= 3);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let corpus = random_corpus(100, 8, 3);
+        let a = IvfIndex::build(8, Metric::Cosine, IvfConfig::default(), &corpus);
+        let b = IvfIndex::build(8, Metric::Cosine, IvfConfig::default(), &corpus);
+        let q = &corpus[7].1;
+        assert_eq!(
+            a.search(q, 10).iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.search(q, 10).iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let corpus = random_corpus(150, 8, 4);
+        let cfg = IvfConfig {
+            nlist: 10,
+            nprobe: 10,
+            ..Default::default()
+        };
+        let ivf = IvfIndex::build(8, Metric::Euclidean, cfg, &corpus);
+        let mut flat = FlatIndex::new(8, Metric::Euclidean);
+        for (_, v) in &corpus {
+            flat.add(v);
+        }
+        for qi in [0usize, 33, 77] {
+            let q = &corpus[qi].1;
+            let ivf_ids: Vec<VecId> = ivf.search(q, 10).iter().map(|h| h.id).collect();
+            let flat_ids: Vec<VecId> = flat.search(q, 10).iter().map(|h| h.id).collect();
+            assert_eq!(ivf_ids, flat_ids, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let corpus = random_corpus(500, 16, 5);
+        let cfg = IvfConfig {
+            nlist: 25,
+            nprobe: 1,
+            ..Default::default()
+        };
+        let ivf = IvfIndex::build(16, Metric::Euclidean, cfg, &corpus);
+        let mut flat = FlatIndex::new(16, Metric::Euclidean);
+        for (_, v) in &corpus {
+            flat.add(v);
+        }
+        let recall_at = |nprobe: usize| -> f64 {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for qi in (0..500).step_by(25) {
+                let q = &corpus[qi].1;
+                let truth: Vec<VecId> = flat.search(q, 10).iter().map(|h| h.id).collect();
+                let approx: Vec<VecId> = ivf
+                    .search_with_nprobe(q, 10, nprobe)
+                    .iter()
+                    .map(|h| h.id)
+                    .collect();
+                hit += truth.iter().filter(|t| approx.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        let r1 = recall_at(1);
+        let r8 = recall_at(8);
+        let r25 = recall_at(25);
+        assert!(r8 >= r1, "r1={r1} r8={r8}");
+        assert!(
+            (r25 - 1.0).abs() < 1e-9,
+            "full probe must be exact, r25={r25}"
+        );
+    }
+
+    #[test]
+    fn clustered_data_high_recall_low_probe() {
+        // Data with clear cluster structure: IVF with 1 probe should do well.
+        let mut corpus = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..300u64 {
+            let cluster = (i % 3) as usize;
+            let mut v = vec![0.0f32; 8];
+            v[cluster] = 10.0;
+            for x in v.iter_mut() {
+                *x += rng.random_range(-0.1..0.1);
+            }
+            corpus.push((i, v));
+        }
+        let cfg = IvfConfig {
+            nlist: 3,
+            nprobe: 1,
+            iterations: 20,
+            ..Default::default()
+        };
+        let ivf = IvfIndex::build(8, Metric::Euclidean, cfg, &corpus);
+        let mut flat = FlatIndex::new(8, Metric::Euclidean);
+        for (_, v) in &corpus {
+            flat.add(v);
+        }
+        let q = &corpus[0].1;
+        let truth: Vec<VecId> = flat.search(q, 10).iter().map(|h| h.id).collect();
+        let approx: Vec<VecId> = ivf.search(q, 10).iter().map(|h| h.id).collect();
+        let recall = truth.iter().filter(|t| approx.contains(t)).count();
+        assert!(recall >= 9, "recall {recall}/10");
+    }
+}

@@ -1,0 +1,26 @@
+//! # pz-vector — vector store substrate
+//!
+//! The PalimpChat paper's introduction motivates declarative AI frameworks
+//! partly by the pain of "coordinating multiple software stacks — vector
+//! databases, relational operators, and novel programming practices". This
+//! crate is the vector-database leg of that stack for the reproduction: an
+//! in-process store with exact ([`FlatIndex`]) and approximate
+//! ([`IvfIndex`], inverted-file with k-means centroids) top-k search, used
+//! by Palimpzest's `Retrieve` operator and by embedding-based physical
+//! filter implementations.
+//!
+//! Everything is deterministic: k-means uses a caller-supplied seed and the
+//! tie-breaking rules are fixed, so index builds are reproducible.
+
+pub mod flat;
+pub mod ivf;
+pub mod metric;
+pub mod store;
+
+pub use flat::FlatIndex;
+pub use ivf::{IvfConfig, IvfIndex};
+pub use metric::Metric;
+pub use store::{Collection, SearchHit, VectorStore, VectorStoreError};
+
+/// Identifier assigned to a vector when it is added to an index.
+pub type VecId = u64;

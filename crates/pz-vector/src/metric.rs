@@ -1,0 +1,99 @@
+//! Similarity metrics.
+//!
+//! All indexes score candidates with a [`Metric`]. Scores are oriented so
+//! that **greater is better** for every metric (Euclidean distance is
+//! negated), which lets the top-k machinery be metric-agnostic.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported similarity metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cosine similarity in [-1, 1]; zero vectors score 0.
+    #[default]
+    Cosine,
+    /// Raw inner product.
+    Dot,
+    /// Negated Euclidean distance (so that greater is better).
+    Euclidean,
+}
+
+impl Metric {
+    /// Score `a` against `b`. Panics in debug builds on length mismatch.
+    #[inline]
+    pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match self {
+            Metric::Cosine => {
+                let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot / (na.sqrt() * nb.sqrt())
+                }
+            }
+            Metric::Dot => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Metric::Euclidean => -a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_parallel_is_one() {
+        let m = Metric::Cosine;
+        assert!((m.score(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(Metric::Cosine.score(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_scores_zero() {
+        assert_eq!(Metric::Cosine.score(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Metric::Dot.score(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn euclidean_is_negated_distance() {
+        let s = Metric::Euclidean.score(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((s + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_self_is_best() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(Metric::Euclidean.score(&v, &v), 0.0);
+        assert!(Metric::Euclidean.score(&v, &[1.1, 2.0, 3.0]) < 0.0);
+    }
+
+    #[test]
+    fn greater_is_better_for_all_metrics() {
+        // Same near/far pair must order identically under every metric.
+        let q = [1.0f32, 0.0, 0.0];
+        let near = [0.9f32, 0.1, 0.0];
+        let far = [-1.0f32, 0.2, 0.3];
+        for m in [Metric::Cosine, Metric::Dot, Metric::Euclidean] {
+            assert!(m.score(&q, &near) > m.score(&q, &far), "{m:?}");
+        }
+    }
+}

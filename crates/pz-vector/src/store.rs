@@ -1,0 +1,445 @@
+//! Collection-oriented store facade.
+//!
+//! What the `Retrieve` operator actually talks to: named collections of
+//! `(vector, payload)` pairs with metric-aware top-k search. Small
+//! collections are scanned exactly; once a collection crosses
+//! [`Collection::IVF_THRESHOLD`] the store builds an IVF index and routes
+//! queries through it (rebuilding lazily after enough inserts).
+
+use crate::flat::FlatIndex;
+use crate::ivf::{IvfConfig, IvfIndex};
+use crate::metric::Metric;
+use crate::VecId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use thiserror::Error;
+
+/// Store-level errors.
+#[derive(Clone, Debug, Error, PartialEq, Eq)]
+pub enum VectorStoreError {
+    #[error("collection not found: {0}")]
+    CollectionNotFound(String),
+    #[error("collection already exists: {0}")]
+    CollectionExists(String),
+    #[error("dimension mismatch: expected {expected}, got {got}")]
+    DimensionMismatch { expected: usize, got: usize },
+    #[error("snapshot error: {0}")]
+    Snapshot(String),
+}
+
+/// A search result: the payload attached at insert time plus the score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchHit {
+    pub id: VecId,
+    pub score: f32,
+    pub payload: String,
+}
+
+/// One named collection.
+pub struct Collection {
+    dim: usize,
+    metric: Metric,
+    flat: FlatIndex,
+    payloads: Vec<String>,
+    ivf: Option<IvfIndex>,
+    inserts_since_build: usize,
+}
+
+impl Collection {
+    /// Below this size, exact scan; above, IVF.
+    pub const IVF_THRESHOLD: usize = 1024;
+    /// Rebuild the IVF index after this many unindexed inserts.
+    const REBUILD_SLACK: usize = 256;
+
+    fn new(dim: usize, metric: Metric) -> Self {
+        Self {
+            dim,
+            metric,
+            flat: FlatIndex::new(dim, metric),
+            payloads: Vec::new(),
+            ivf: None,
+            inserts_since_build: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn add(&mut self, v: &[f32], payload: String) -> Result<VecId, VectorStoreError> {
+        if v.len() != self.dim {
+            return Err(VectorStoreError::DimensionMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        let id = self.flat.add(v);
+        self.payloads.push(payload);
+        self.inserts_since_build += 1;
+        if self.flat.len() >= Self::IVF_THRESHOLD && self.inserts_since_build >= Self::REBUILD_SLACK
+        {
+            self.rebuild_ivf();
+        }
+        Ok(id)
+    }
+
+    fn rebuild_ivf(&mut self) {
+        let items: Vec<(VecId, Vec<f32>)> = (0..self.flat.len() as VecId)
+            .map(|id| (id, self.flat.get(id).expect("sequential ids").to_vec()))
+            .collect();
+        let nlist = (items.len() as f64).sqrt().ceil() as usize;
+        let cfg = IvfConfig {
+            nlist,
+            nprobe: (nlist / 4).max(4),
+            ..Default::default()
+        };
+        self.ivf = Some(IvfIndex::build(self.dim, self.metric, cfg, &items));
+        self.inserts_since_build = 0;
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<SearchHit>, VectorStoreError> {
+        if query.len() != self.dim {
+            return Err(VectorStoreError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        // The IVF index may be stale by up to REBUILD_SLACK inserts; exact
+        // scan remains authoritative until the collection is large enough
+        // that the approximation matters.
+        let scored = match (&self.ivf, self.flat.len() >= Self::IVF_THRESHOLD) {
+            (Some(ivf), true) if self.inserts_since_build == 0 => ivf.search(query, k),
+            _ => self.flat.search(query, k),
+        };
+        Ok(scored
+            .into_iter()
+            .map(|s| SearchHit {
+                id: s.id,
+                score: s.score,
+                payload: self.payloads[s.id as usize].clone(),
+            })
+            .collect())
+    }
+}
+
+/// Serializable snapshot of one collection (vectors + payloads). The IVF
+/// index is not persisted — it is derived state, rebuilt on demand after
+/// restore.
+#[derive(Serialize, Deserialize)]
+struct CollectionSnapshot {
+    dim: usize,
+    metric: Metric,
+    vectors: Vec<Vec<f32>>,
+    payloads: Vec<String>,
+}
+
+/// Serializable snapshot of a whole store.
+#[derive(Serialize, Deserialize)]
+struct StoreSnapshot {
+    collections: BTreeMap<String, CollectionSnapshot>,
+}
+
+/// Thread-safe store of named collections. Clones share state.
+#[derive(Clone, Default)]
+pub struct VectorStore {
+    collections: Arc<RwLock<BTreeMap<String, Arc<RwLock<Collection>>>>>,
+}
+
+impl VectorStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a collection. Errors if the name is taken.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        dim: usize,
+        metric: Metric,
+    ) -> Result<(), VectorStoreError> {
+        let mut map = self.collections.write();
+        if map.contains_key(name) {
+            return Err(VectorStoreError::CollectionExists(name.to_string()));
+        }
+        map.insert(
+            name.to_string(),
+            Arc::new(RwLock::new(Collection::new(dim, metric))),
+        );
+        Ok(())
+    }
+
+    /// Create the collection if missing; no-op if present.
+    pub fn ensure_collection(&self, name: &str, dim: usize, metric: Metric) {
+        let _ = self.create_collection(name, dim, metric);
+    }
+
+    fn get_collection(&self, name: &str) -> Result<Arc<RwLock<Collection>>, VectorStoreError> {
+        self.collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VectorStoreError::CollectionNotFound(name.to_string()))
+    }
+
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    pub fn collection_len(&self, name: &str) -> Result<usize, VectorStoreError> {
+        let coll = self.get_collection(name)?;
+        let len = coll.read().len();
+        Ok(len)
+    }
+
+    /// Insert a vector with an opaque payload, returning the assigned id.
+    pub fn add(
+        &self,
+        collection: &str,
+        vector: &[f32],
+        payload: impl Into<String>,
+    ) -> Result<VecId, VectorStoreError> {
+        let coll = self.get_collection(collection)?;
+        let id = coll.write().add(vector, payload.into())?;
+        Ok(id)
+    }
+
+    /// Top-k search in a collection.
+    pub fn search(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+    ) -> Result<Vec<SearchHit>, VectorStoreError> {
+        let coll = self.get_collection(collection)?;
+        let hits = coll.read().search(query, k)?;
+        Ok(hits)
+    }
+
+    /// Drop a collection; `Ok` even if it did not exist.
+    pub fn drop_collection(&self, name: &str) {
+        self.collections.write().remove(name);
+    }
+
+    /// Serialize the whole store (vectors + payloads; indexes are derived
+    /// state and are rebuilt after restore).
+    pub fn to_json(&self) -> Result<String, VectorStoreError> {
+        let mut snap = StoreSnapshot {
+            collections: BTreeMap::new(),
+        };
+        for (name, coll) in self.collections.read().iter() {
+            let c = coll.read();
+            let vectors: Vec<Vec<f32>> = (0..c.flat.len() as VecId)
+                .map(|id| c.flat.get(id).expect("sequential ids").to_vec())
+                .collect();
+            snap.collections.insert(
+                name.clone(),
+                CollectionSnapshot {
+                    dim: c.dim,
+                    metric: c.metric,
+                    vectors,
+                    payloads: c.payloads.clone(),
+                },
+            );
+        }
+        serde_json::to_string(&snap).map_err(|e| VectorStoreError::Snapshot(e.to_string()))
+    }
+
+    /// Restore a store from [`Self::to_json`] output. Returns a fresh
+    /// store; collection contents (ids, payloads, search results) match the
+    /// snapshotted store exactly.
+    pub fn from_json(json: &str) -> Result<Self, VectorStoreError> {
+        let snap: StoreSnapshot =
+            serde_json::from_str(json).map_err(|e| VectorStoreError::Snapshot(e.to_string()))?;
+        let store = Self::new();
+        for (name, c) in snap.collections {
+            if c.vectors.len() != c.payloads.len() {
+                return Err(VectorStoreError::Snapshot(format!(
+                    "collection {name:?}: {} vectors vs {} payloads",
+                    c.vectors.len(),
+                    c.payloads.len()
+                )));
+            }
+            store.create_collection(&name, c.dim, c.metric)?;
+            for (v, payload) in c.vectors.iter().zip(c.payloads) {
+                store.add(&name, v, payload)?;
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_add_search() {
+        let store = VectorStore::new();
+        store.create_collection("docs", 2, Metric::Cosine).unwrap();
+        store.add("docs", &[1.0, 0.0], "alpha").unwrap();
+        store.add("docs", &[0.0, 1.0], "beta").unwrap();
+        let hits = store.search("docs", &[1.0, 0.1], 1).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].payload, "alpha");
+    }
+
+    #[test]
+    fn duplicate_collection_rejected() {
+        let store = VectorStore::new();
+        store.create_collection("c", 2, Metric::Dot).unwrap();
+        assert_eq!(
+            store.create_collection("c", 2, Metric::Dot),
+            Err(VectorStoreError::CollectionExists("c".into()))
+        );
+        // ensure_collection tolerates it.
+        store.ensure_collection("c", 2, Metric::Dot);
+    }
+
+    #[test]
+    fn missing_collection_errors() {
+        let store = VectorStore::new();
+        assert!(matches!(
+            store.search("nope", &[1.0], 1),
+            Err(VectorStoreError::CollectionNotFound(_))
+        ));
+        assert!(matches!(
+            store.add("nope", &[1.0], "x"),
+            Err(VectorStoreError::CollectionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let store = VectorStore::new();
+        store.create_collection("c", 3, Metric::Cosine).unwrap();
+        assert_eq!(
+            store.add("c", &[1.0], "x"),
+            Err(VectorStoreError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+        store.add("c", &[1.0, 2.0, 3.0], "x").unwrap();
+        assert_eq!(
+            store.search("c", &[1.0], 1),
+            Err(VectorStoreError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn drop_collection() {
+        let store = VectorStore::new();
+        store.create_collection("c", 2, Metric::Cosine).unwrap();
+        store.drop_collection("c");
+        assert!(store.collection_names().is_empty());
+        store.drop_collection("never-existed");
+    }
+
+    #[test]
+    fn large_collection_switches_to_ivf_and_stays_searchable() {
+        let store = VectorStore::new();
+        store
+            .create_collection("big", 4, Metric::Euclidean)
+            .unwrap();
+        // Push past the IVF threshold plus the rebuild slack.
+        for i in 0..(Collection::IVF_THRESHOLD + 300) {
+            let f = i as f32;
+            store
+                .add(
+                    "big",
+                    &[f.sin(), f.cos(), (f * 0.1).sin(), (f * 0.1).cos()],
+                    format!("p{i}"),
+                )
+                .unwrap();
+        }
+        let n = store.collection_len("big").unwrap();
+        assert_eq!(n, Collection::IVF_THRESHOLD + 300);
+        let hits = store.search("big", &[0.0, 1.0, 0.0, 1.0], 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        // Best hit should be very close to the query.
+        assert!(hits[0].score > -0.5, "score {}", hits[0].score);
+    }
+
+    #[test]
+    fn payloads_follow_ids() {
+        let store = VectorStore::new();
+        store.create_collection("c", 1, Metric::Dot).unwrap();
+        for i in 0..10 {
+            store.add("c", &[i as f32], format!("payload-{i}")).unwrap();
+        }
+        let hits = store.search("c", &[100.0], 3).unwrap();
+        assert_eq!(hits[0].payload, "payload-9");
+        assert_eq!(hits[1].payload, "payload-8");
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let store = VectorStore::new();
+        store.create_collection("docs", 3, Metric::Cosine).unwrap();
+        for i in 0..20 {
+            let f = i as f32;
+            store
+                .add("docs", &[f.sin(), f.cos(), f * 0.1], format!("p{i}"))
+                .unwrap();
+        }
+        store
+            .create_collection("other", 2, Metric::Euclidean)
+            .unwrap();
+        store.add("other", &[1.0, 2.0], "x").unwrap();
+
+        let json = store.to_json().unwrap();
+        let restored = VectorStore::from_json(&json).unwrap();
+        assert_eq!(restored.collection_names(), store.collection_names());
+        assert_eq!(restored.collection_len("docs").unwrap(), 20);
+        // Search results identical.
+        let q = [0.3f32, 0.9, 0.5];
+        let a = store.search("docs", &q, 5).unwrap();
+        let b = restored.search("docs", &q, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        assert!(matches!(
+            VectorStore::from_json("not json"),
+            Err(VectorStoreError::Snapshot(_))
+        ));
+        let bad = r#"{"collections":{"c":{"dim":2,"metric":"Cosine","vectors":[[1.0,2.0]],"payloads":[]}}}"#;
+        assert!(matches!(
+            VectorStore::from_json(bad),
+            Err(VectorStoreError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_adds() {
+        let store = VectorStore::new();
+        store.create_collection("c", 2, Metric::Cosine).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        store
+                            .add("c", &[t as f32, i as f32], format!("{t}-{i}"))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.collection_len("c").unwrap(), 400);
+    }
+}

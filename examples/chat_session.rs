@@ -1,0 +1,48 @@
+//! A free-form chat session against your own files: point PalimpChat at a
+//! directory and query it, mirroring the demo's "apply PalimpChat to their
+//! own datasets".
+//!
+//! ```text
+//! cargo run -p pz-examples --bin chat_session --release -- /path/to/folder
+//! ```
+//!
+//! Without an argument a small corpus is synthesized into a temp directory
+//! first, so the example is always runnable.
+
+use palimpchat::PalimpChat;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Synthesize a small folder of "PDFs" so the example is standalone.
+            let dir =
+                std::env::temp_dir().join(format!("palimpchat-own-data-{}", std::process::id()));
+            let (docs, _) = pz_datagen::science::demo_corpus();
+            pz_datagen::write_corpus_to_dir(&docs, &dir).expect("write corpus files");
+            println!(
+                "(no folder given; synthesized demo corpus at {})\n",
+                dir.display()
+            );
+            dir
+        });
+
+    let mut chat = PalimpChat::new();
+    let turns = [
+        format!("load the folder of papers \"{}\"", dir.display()),
+        "I'm interested in papers that are about colorectal cancer, and for these papers, \
+         extract whatever public dataset is used by the study"
+            .to_string(),
+        "run the pipeline with maximum quality".to_string(),
+        "show me the extracted records".to_string(),
+    ];
+    for turn in &turns {
+        println!("you> {turn}");
+        match chat.handle(turn) {
+            Ok(resp) => println!("palimpchat> {}\n", resp.reply),
+            Err(e) => println!("palimpchat> error: {e}\n"),
+        }
+    }
+}

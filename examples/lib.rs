@@ -1,0 +1,52 @@
+//! Shared helpers for the runnable examples. Each example is a standalone
+//! binary (`cargo run -p pz-examples --bin quickstart`).
+
+use pz_core::prelude::*;
+use std::sync::Arc;
+
+/// Register one of the built-in demo corpora and return the context.
+pub fn context_with_corpus(corpus: &str) -> PzContext {
+    let ctx = PzContext::simulated();
+    let (name, schema, items): (&str, Schema, Vec<(String, String)>) = match corpus {
+        "legal" => {
+            let (docs, _) = pz_datagen::legal::demo_corpus();
+            (
+                "legal-demo",
+                Schema::text_file(),
+                docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+            )
+        }
+        "realestate" => {
+            let (docs, _) = pz_datagen::realestate::demo_corpus();
+            (
+                "realestate-demo",
+                Schema::text_file(),
+                docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+            )
+        }
+        _ => {
+            let (docs, _) = pz_datagen::science::demo_corpus();
+            (
+                "sigmod-demo",
+                Schema::pdf_file(),
+                docs.into_iter().map(|d| (d.filename, d.content)).collect(),
+            )
+        }
+    };
+    ctx.registry
+        .register(Arc::new(MemorySource::new(name, schema, items)));
+    ctx
+}
+
+/// Print an execution outcome the way the demo UI would: the EXPLAIN
+/// report followed by the output records.
+pub fn report(outcome: &ExecutionOutcome) {
+    print!("{}", outcome.explain());
+    println!("records:");
+    for r in outcome.records.iter().take(10) {
+        println!(
+            "  {}",
+            serde_json::to_string(&r.to_json()).unwrap_or_default()
+        );
+    }
+}

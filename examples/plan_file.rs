@@ -1,0 +1,67 @@
+//! Plans as data: logical plans serialize to JSON, so pipelines can be
+//! saved, versioned, shipped, and re-run — the artifact the chat session
+//! exports next to the notebook.
+//!
+//! ```text
+//! cargo run -p pz-examples --bin plan_file --release
+//! ```
+//!
+//! Builds the demo plan, writes it to a JSON file, reloads it, and runs the
+//! reloaded plan. Both plans produce identical results (determinism).
+
+use pz_core::prelude::*;
+use pz_examples::context_with_corpus;
+
+fn main() -> PzResult<()> {
+    let clinical = Schema::new(
+        "ClinicalData",
+        "A schema for extracting clinical data datasets from papers.",
+        vec![
+            FieldDef::text("name", "The name of the clinical data dataset"),
+            FieldDef::text("url", "The public URL where the dataset can be accessed"),
+        ],
+    )?;
+    let plan = Dataset::source("sigmod-demo")
+        .filter("The papers are about colorectal cancer")
+        .convert(
+            clinical,
+            Cardinality::OneToMany,
+            "extract clinical datasets",
+        )
+        .build()?;
+
+    // Save the plan as JSON.
+    let path = std::env::temp_dir().join(format!("pz-plan-{}.json", std::process::id()));
+    let json = serde_json::to_string_pretty(&plan).expect("plans serialize");
+    std::fs::write(&path, &json).expect("write plan file");
+    println!(
+        "plan written to {} ({} bytes):\n",
+        path.display(),
+        json.len()
+    );
+    println!("{}\n", &json[..json.len().min(600)]);
+
+    // Reload and verify it round-trips.
+    let reloaded: LogicalPlan =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read plan file"))
+            .expect("plans deserialize");
+    assert_eq!(reloaded, plan, "round-trip must be lossless");
+
+    // Run the reloaded plan.
+    let ctx = context_with_corpus("science");
+    let outcome = execute(
+        &ctx,
+        &reloaded,
+        &Policy::MinCost,
+        ExecutionConfig::sequential(),
+    )?;
+    println!(
+        "reloaded plan ran: {} records, ${:.4}, {:.1}s (virtual) via {}",
+        outcome.records.len(),
+        outcome.stats.total_cost_usd,
+        outcome.stats.total_time_secs,
+        outcome.chosen_plan.describe()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the Figure 6 pipeline in ~30 lines.
+//!
+//! ```text
+//! cargo run -p pz-examples --bin quickstart --release
+//! ```
+//!
+//! Builds the scientific-discovery pipeline declaratively, lets the
+//! optimizer pick the physical plan under `MaxQuality`, executes it on the
+//! 11-paper demo corpus, and prints the Figure-5-style statistics.
+
+use pz_core::prelude::*;
+use pz_examples::{context_with_corpus, report};
+
+fn main() -> PzResult<()> {
+    // 1. A runtime context with the simulated LLM substrate and the demo
+    //    corpus registered as "sigmod-demo".
+    let ctx = context_with_corpus("science");
+
+    // 2. The extraction schema (Figure 6's ClinicalData).
+    let clinical = Schema::new(
+        "ClinicalData",
+        "A schema for extracting clinical data datasets from papers.",
+        vec![
+            FieldDef::text("name", "The name of the clinical data dataset"),
+            FieldDef::text(
+                "description",
+                "A short description of the content of the dataset",
+            ),
+            FieldDef::text("url", "The public URL where the dataset can be accessed"),
+        ],
+    )?;
+
+    // 3. The logical plan: filter, then convert (one paper may cite many
+    //    datasets).
+    let plan = Dataset::source("sigmod-demo")
+        .filter("The papers are about colorectal cancer")
+        .convert(
+            clinical,
+            Cardinality::OneToMany,
+            "extract clinical datasets",
+        )
+        .build()?;
+
+    // 4. Optimize + execute under the user's policy.
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )?;
+    report(&outcome);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Real-estate search: a subjective semantic filter ("modern homes with a
+//! garden") combined with conventional numeric operators over extracted
+//! fields — the mixed LLM/relational pipelines the paper motivates.
+//!
+//! ```text
+//! cargo run -p pz-examples --bin real_estate_search --release
+//! ```
+
+use pz_core::prelude::*;
+use pz_examples::{context_with_corpus, report};
+
+fn main() -> PzResult<()> {
+    let ctx = context_with_corpus("realestate");
+
+    // Extract typed fields so conventional operators can work on them.
+    let listing = Schema::new(
+        "Listing",
+        "Structured view of a real estate listing.",
+        vec![
+            FieldDef::text("address", "The street address of the listing"),
+            FieldDef::typed("price", FieldType::Int, "The listing price in dollars"),
+            FieldDef::typed("bedrooms", FieldType::Int, "The number of bedrooms"),
+        ],
+    )?;
+
+    // Affordability is exact arithmetic — a UDF, not an LLM call.
+    ctx.udfs.register_filter("under_2m", |r| {
+        r.get("price")
+            .and_then(|v| v.as_int())
+            .is_some_and(|p| p < 2_000_000)
+    });
+
+    let plan = Dataset::source("realestate-demo")
+        .filter(pz_datagen::realestate::FILTER_PREDICATE)
+        .convert(listing, Cardinality::OneToOne, "extract listing fields")
+        .filter_udf("under_2m")
+        .sort("price", false)
+        .build()?;
+
+    println!("logical plan: {}\n", plan.describe());
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )?;
+    report(&outcome);
+
+    let (_, truth) = pz_datagen::realestate::demo_corpus();
+    println!(
+        "\nground truth: {} of {} listings are modern with a garden",
+        truth.matching_count(),
+        truth.listings.len()
+    );
+    Ok(())
+}

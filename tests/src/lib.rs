@@ -1,0 +1,2 @@
+//! Shared fixtures for the integration tests (the tests themselves live in
+//! `tests/tests/*.rs` and exercise the crates together).

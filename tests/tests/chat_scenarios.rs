@@ -1,0 +1,130 @@
+//! Integration: the three SIGMOD'25 demo scenarios driven entirely through
+//! the chat interface (abstract: "participants can explore three
+//! real-world scenarios — scientific discovery, legal discovery, and real
+//! estate search").
+
+use palimpchat::PalimpChat;
+
+#[test]
+fn scientific_discovery_scenario() {
+    let mut chat = PalimpChat::new();
+    chat.handle("load the dataset of scientific papers")
+        .unwrap();
+    let r = chat
+        .handle(
+            "I'm interested in papers that are about colorectal cancer, and for these papers, \
+             extract whatever public dataset is used by the study",
+        )
+        .unwrap();
+    assert_eq!(
+        r.trace.tools_used(),
+        vec!["add_filter", "create_schema", "add_convert"]
+    );
+    let r = chat
+        .handle("run the pipeline with maximum quality")
+        .unwrap();
+    assert!(r.reply.contains("output record"), "{}", r.reply);
+
+    let state = chat.session().lock();
+    let outcome = state.last_outcome.as_ref().unwrap();
+    assert!((4..=8).contains(&outcome.records.len()));
+    // Every extracted record carries a URL field (possibly null on weak
+    // extractions, but the schema must be applied).
+    for rec in &outcome.records {
+        assert!(rec.fields.contains_key("url"));
+        assert!(rec.fields.contains_key("name"));
+    }
+}
+
+#[test]
+fn legal_discovery_scenario() {
+    let mut chat = PalimpChat::new();
+    chat.handle("load the legal discovery emails").unwrap();
+    let r = chat
+        .handle(
+            "I'm interested in emails discussing the acme initech merger and extract the \
+             sender, date and subject of each email",
+        )
+        .unwrap();
+    assert_eq!(
+        r.trace.tools_used(),
+        vec!["add_filter", "create_schema", "add_convert"]
+    );
+    chat.handle("run the pipeline with minimum cost").unwrap();
+    let state = chat.session().lock();
+    let outcome = state.last_outcome.as_ref().unwrap();
+    // The demo corpus has 5 responsive mails of 12; MinCost plans are noisy
+    // but should keep a plausible subset.
+    assert!(!outcome.records.is_empty());
+    assert!(outcome.records.len() <= 12);
+    for rec in &outcome.records {
+        assert!(rec.fields.contains_key("sender"));
+        assert!(rec.fields.contains_key("subject"));
+    }
+    assert!(outcome.stats.total_cost_usd < 0.05, "MinCost stayed cheap");
+}
+
+#[test]
+fn real_estate_scenario() {
+    let mut chat = PalimpChat::new();
+    chat.handle("load the real estate listings").unwrap();
+    let r = chat
+        .handle("keep only the listings that describe modern homes with a garden")
+        .unwrap();
+    assert_eq!(r.trace.tools_used(), vec!["add_filter"]);
+    chat.handle("run the pipeline with maximum quality")
+        .unwrap();
+    let state = chat.session().lock();
+    let outcome = state.last_outcome.as_ref().unwrap();
+    let (_, truth) = pz_datagen::realestate::demo_corpus();
+    let expected = truth.matching_count();
+    // High-quality filter should land near the true match count.
+    let got = outcome.records.len();
+    assert!(
+        (got as i64 - expected as i64).unsigned_abs() <= 2,
+        "got {got}, truth {expected}"
+    );
+}
+
+#[test]
+fn switching_datasets_resets_the_pipeline() {
+    let mut chat = PalimpChat::new();
+    chat.handle("load the dataset of scientific papers")
+        .unwrap();
+    chat.handle("keep only papers about colorectal cancer")
+        .unwrap();
+    assert_eq!(chat.session().lock().pending_ops.len(), 1);
+    // Loading another dataset clears the half-built pipeline.
+    chat.handle("load the real estate listings").unwrap();
+    assert!(chat.session().lock().pending_ops.is_empty());
+    assert_eq!(
+        chat.session().lock().dataset.as_deref(),
+        Some("realestate-demo")
+    );
+}
+
+#[test]
+fn full_dialogue_notebook_accumulates_all_artifacts() {
+    let mut chat = PalimpChat::new();
+    for turn in [
+        "load the dataset of scientific papers",
+        "I'm interested in papers about colorectal cancer and extract the datasets used",
+        "run the pipeline with minimum cost",
+    ] {
+        chat.handle(turn).unwrap();
+    }
+    let state = chat.session().lock();
+    let code = state.notebook.code();
+    // Registration cell + filter cell + schema cell + convert cell +
+    // pipeline cell all present.
+    assert!(code.contains("pz.Dataset(source="));
+    assert!(code.contains("dataset.filter("));
+    assert!(code.contains("type(class_name, (pz.Schema,), schema)"));
+    assert!(code.contains("Execute(output, policy=policy)"));
+    // And an Output cell with the Figure 5 table.
+    assert!(state
+        .notebook
+        .cells
+        .iter()
+        .any(|c| c.kind == palimpchat::CellKind::Output && c.source.contains("TOTAL")));
+}

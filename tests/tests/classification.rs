@@ -1,0 +1,176 @@
+//! Integration: the Classify operator composing with conventional
+//! operators — categorize the legal corpus, then group-by the label.
+
+use pz_core::prelude::*;
+use std::sync::Arc;
+
+fn legal_ctx() -> (PzContext, pz_datagen::legal::LegalTruth) {
+    let ctx = PzContext::simulated();
+    let (docs, truth) = pz_datagen::legal::demo_corpus();
+    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "legal-demo",
+        Schema::text_file(),
+        items,
+    )));
+    (ctx, truth)
+}
+
+const LABELS: [&str; 2] = ["acme initech merger deal", "office social staff"];
+
+#[test]
+fn classify_then_group_by_counts_categories() {
+    let (ctx, truth) = legal_ctx();
+    let plan = Dataset::source("legal-demo")
+        .classify(&LABELS, "category")
+        .aggregate(&["category"], vec![AggExpr::new(AggFunc::Count, "", "n")])
+        .build()
+        .unwrap();
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    // Two categories come back with counts summing to the corpus size.
+    assert_eq!(outcome.records.len(), 2, "{:?}", outcome.records);
+    let total: f64 = outcome
+        .records
+        .iter()
+        .map(|r| r.get("n").unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(total as usize, 12);
+    // The merger bucket should be near the true responsive count (5).
+    let merger = outcome
+        .records
+        .iter()
+        .find(|r| r.get("category").unwrap().as_display().contains("merger"))
+        .expect("merger bucket");
+    let n = merger.get("n").unwrap().as_f64().unwrap() as i64;
+    let want = truth.responsive_count() as i64;
+    assert!((n - want).abs() <= 2, "classified {n}, truth {want}");
+}
+
+#[test]
+fn classify_label_feeds_udf_filter() {
+    let (ctx, _) = legal_ctx();
+    ctx.udfs.register_filter("merger_only", |r: &DataRecord| {
+        r.get("category")
+            .map(|v| v.as_display().contains("merger"))
+            .unwrap_or(false)
+    });
+    let plan = Dataset::source("legal-demo")
+        .classify(&LABELS, "category")
+        .filter_udf("merger_only")
+        .build()
+        .unwrap();
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    assert!(
+        (3..=7).contains(&outcome.records.len()),
+        "{} merger mails",
+        outcome.records.len()
+    );
+    for r in &outcome.records {
+        assert!(r.get("category").unwrap().as_display().contains("merger"));
+    }
+}
+
+#[test]
+fn classify_validates_at_plan_time() {
+    let (ctx, _) = legal_ctx();
+    // Too few labels.
+    assert!(Dataset::source("legal-demo")
+        .classify(&["only-one"], "c")
+        .build()
+        .is_err());
+    // Bad output field name caught during schema propagation.
+    let plan = Dataset::source("legal-demo")
+        .classify(&LABELS, "bad name")
+        .build()
+        .unwrap();
+    assert!(plan.schemas(&ctx.registry).is_err());
+    // Good plan propagates the new field.
+    let good = Dataset::source("legal-demo")
+        .classify(&LABELS, "category")
+        .build()
+        .unwrap();
+    let out = good.output_schema(&ctx.registry).unwrap();
+    assert!(out.has_field("category"));
+    assert!(out.has_field("contents"));
+}
+
+#[test]
+fn policies_trade_classification_cost() {
+    let run = |policy: Policy| {
+        let (ctx, _) = legal_ctx();
+        let plan = Dataset::source("legal-demo")
+            .classify(&LABELS, "category")
+            .build()
+            .unwrap();
+        execute(&ctx, &plan, &policy, ExecutionConfig::sequential())
+            .unwrap()
+            .stats
+            .total_cost_usd
+    };
+    assert!(run(Policy::MinCost) < run(Policy::MaxQuality));
+}
+
+#[test]
+fn union_merges_two_archives() {
+    // UNION ALL of two e-mail archives, then classify the merged stream.
+    let (ctx, _) = legal_ctx();
+    let (docs2, _) = pz_datagen::legal::generate(pz_datagen::legal::LegalConfig {
+        n_emails: 8,
+        seed: 77,
+        ..Default::default()
+    });
+    let items: Vec<(String, String)> = docs2
+        .into_iter()
+        .map(|d| (format!("b-{}", d.filename), d.content))
+        .collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "legal-archive-b",
+        Schema::text_file(),
+        items,
+    )));
+    let plan = Dataset::source("legal-demo")
+        .union("legal-archive-b")
+        .classify(&LABELS, "category")
+        .build()
+        .unwrap();
+    let outcome = execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+    assert_eq!(outcome.records.len(), 20, "12 + 8 mails survive the union");
+    assert!(outcome
+        .records
+        .iter()
+        .all(|r| r.fields.contains_key("category")));
+    // The union itself is free.
+    let union_row = outcome
+        .stats
+        .operators
+        .iter()
+        .find(|o| o.logical == "union")
+        .unwrap();
+    assert_eq!(union_row.llm_calls, 0);
+    assert_eq!(union_row.output_records, 20);
+}
+
+#[test]
+fn union_validates_schema_compatibility() {
+    let (ctx, _) = legal_ctx();
+    // Missing dataset detected at planning time.
+    let ghost = Dataset::source("legal-demo")
+        .union("ghost")
+        .build()
+        .unwrap();
+    assert!(ghost.schemas(&ctx.registry).is_err());
+    // Empty dataset name rejected at build time.
+    assert!(Dataset::source("legal-demo").union("").build().is_err());
+}

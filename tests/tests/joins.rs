@@ -1,0 +1,217 @@
+//! Integration: joins inside full pipelines — enriching extracted records
+//! against reference datasets (the relational-completeness extension).
+
+use pz_core::prelude::*;
+use pz_datagen::science;
+use std::sync::Arc;
+
+/// Scientific context plus a curated repository catalog as a second
+/// registered dataset.
+fn ctx_with_catalog() -> PzContext {
+    let ctx = PzContext::simulated();
+    let (docs, _) = science::demo_corpus();
+    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "sigmod-demo",
+        Schema::pdf_file(),
+        items,
+    )));
+    // One catalog entry per dataset in the pool, with its repository.
+    let catalog: Vec<(String, String)> = science::CRC_DATASETS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, desc, _url))| {
+            let repo = [
+                "GDC",
+                "GEO",
+                "CPTAC",
+                "cBioPortal",
+                "ICGC",
+                "COSMIC",
+                "DepMap",
+                "Atlas",
+            ][i % 8];
+            (
+                format!("catalog-{i}.txt"),
+                format!(
+                    "repository: {repo}\ncatalog_entry: {} {}\n",
+                    name.replace('-', " "),
+                    desc
+                ),
+            )
+        })
+        .collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "repo-catalog",
+        Schema::text_file(),
+        catalog,
+    )));
+    ctx
+}
+
+fn clinical() -> Schema {
+    Schema::new(
+        "ClinicalData",
+        "datasets used by papers",
+        vec![
+            FieldDef::text("name", "The name of the clinical data dataset"),
+            FieldDef::text(
+                "description",
+                "A short description of the content of the dataset",
+            ),
+            FieldDef::text("url", "The public URL where the dataset can be accessed"),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn semantic_join_enriches_extractions_with_catalog_entries() {
+    let ctx = ctx_with_catalog();
+    let plan = Dataset::source("sigmod-demo")
+        .filter(science::FILTER_PREDICATE)
+        .convert(clinical(), Cardinality::OneToMany, "extract datasets")
+        .join_semantic("repo-catalog", "the records refer to the same dataset")
+        .build()
+        .unwrap();
+    assert_eq!(plan.semantic_op_count(), 3);
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    // Most extracted datasets find their catalog entry.
+    assert!(
+        (4..=10).contains(&outcome.records.len()),
+        "{} joined records",
+        outcome.records.len()
+    );
+    for rec in &outcome.records {
+        // Enriched with the catalog side.
+        assert!(
+            rec.fields.contains_key("contents"),
+            "catalog entry text carried over"
+        );
+        let name = rec.get("name").unwrap().as_display().to_lowercase();
+        let entry = rec.get("contents").unwrap().as_display().to_lowercase();
+        // The joined entry shares the dataset vocabulary.
+        let first_token = name
+            .split(['-', ' '])
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            entry.contains(&first_token),
+            "joined entry {entry:?} does not mention {name:?}"
+        );
+    }
+    // The join's stats row shows the pair-wise calls.
+    let join_row = outcome.stats.operators.last().unwrap();
+    assert_eq!(join_row.logical, "join");
+    assert!(
+        join_row.llm_calls >= 6 * 8 / 2,
+        "{} pair judgements",
+        join_row.llm_calls
+    );
+}
+
+#[test]
+fn hash_join_is_free_and_exact() {
+    let ctx = ctx_with_catalog();
+    // Join papers with themselves by filename through a second registration.
+    let (docs, _) = science::demo_corpus();
+    let labels: Vec<(String, String)> = docs
+        .iter()
+        .map(|d| (d.filename.clone(), format!("label for {}", d.id)))
+        .collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "labels",
+        Schema::text_file(),
+        labels,
+    )));
+    let plan = Dataset::source("sigmod-demo")
+        .join_eq("labels", "filename", "filename")
+        .build()
+        .unwrap();
+    let outcome = execute(&ctx, &plan, &Policy::MinCost, ExecutionConfig::sequential()).unwrap();
+    assert_eq!(
+        outcome.records.len(),
+        11,
+        "every paper matches its label row"
+    );
+    assert_eq!(outcome.stats.total_llm_calls, 0);
+    assert_eq!(outcome.stats.total_cost_usd, 0.0);
+    // Colliding fields from the build side are prefixed.
+    assert!(
+        outcome.records[0].fields.contains_key("labels_contents")
+            || outcome.records[0].fields.contains_key("labels_filename")
+    );
+}
+
+#[test]
+fn join_schema_propagation_and_validation() {
+    let ctx = ctx_with_catalog();
+    let good = Dataset::source("sigmod-demo")
+        .join_eq("repo-catalog", "filename", "filename")
+        .build()
+        .unwrap();
+    let schema = good.output_schema(&ctx.registry).unwrap();
+    assert!(schema.has_field("repo_catalog_filename") || schema.has_field("filename"));
+
+    // Unknown join fields are caught at planning time.
+    let bad = Dataset::source("sigmod-demo")
+        .join_eq("repo-catalog", "nope", "filename")
+        .build()
+        .unwrap();
+    assert!(bad.schemas(&ctx.registry).is_err());
+
+    // Unknown build dataset caught too.
+    let ghost = Dataset::source("sigmod-demo")
+        .join_semantic("ghost", "same thing")
+        .build()
+        .unwrap();
+    assert!(ghost.schemas(&ctx.registry).is_err());
+}
+
+#[test]
+fn narrowing_before_semantic_join_cuts_cost() {
+    let ctx1 = ctx_with_catalog();
+    let narrowed = Dataset::source("sigmod-demo")
+        .filter(science::FILTER_PREDICATE)
+        .convert(clinical(), Cardinality::OneToMany, "extract")
+        .limit(2)
+        .join_semantic("repo-catalog", "the records refer to the same dataset")
+        .build()
+        .unwrap();
+    let o1 = execute(
+        &ctx1,
+        &narrowed,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+
+    let ctx2 = ctx_with_catalog();
+    let full = Dataset::source("sigmod-demo")
+        .filter(science::FILTER_PREDICATE)
+        .convert(clinical(), Cardinality::OneToMany, "extract")
+        .join_semantic("repo-catalog", "the records refer to the same dataset")
+        .build()
+        .unwrap();
+    let o2 = execute(
+        &ctx2,
+        &full,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    let join_cost = |o: &ExecutionOutcome| o.stats.operators.last().unwrap().cost_usd;
+    assert!(
+        join_cost(&o1) < join_cost(&o2),
+        "limit(2) join {} vs full join {}",
+        join_cost(&o1),
+        join_cost(&o2)
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration: Beaker-style notebook state and Figure 6 code generation
+//! across a chat session.
+
+use palimpchat::{CellKind, PalimpChat};
+
+fn run_demo_dialogue() -> PalimpChat {
+    let mut chat = PalimpChat::new();
+    for turn in [
+        "load the dataset of scientific papers",
+        "I'm interested in papers that are about colorectal cancer, and for these papers, \
+         extract whatever public dataset is used by the study",
+        "run the pipeline with maximum quality",
+    ] {
+        chat.handle(turn).unwrap();
+    }
+    chat
+}
+
+#[test]
+fn exported_notebook_is_valid_nbformat_json() {
+    let chat = run_demo_dialogue();
+    let state = chat.session().lock();
+    let json = state.notebook.to_json();
+    assert_eq!(json["nbformat"], 4);
+    let cells = json["cells"].as_array().unwrap();
+    assert!(cells.len() >= 5, "{} cells", cells.len());
+    // Round-trips through serde.
+    let s = serde_json::to_string(&json).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&s).unwrap();
+    assert_eq!(back, json);
+}
+
+#[test]
+fn figure6_landmarks_in_generated_code() {
+    let chat = run_demo_dialogue();
+    let state = chat.session().lock();
+    let code = state.notebook.code();
+    for landmark in [
+        "pz.Dataset(source=\"scientific-demo\", schema=PDFFile)",
+        "dataset.filter(",
+        "class_name = \"ClinicalData\"",
+        "pz.Field(desc=",
+        "type(class_name, (pz.Schema,), schema)",
+        "cardinality=pz.Cardinality.ONE_TO_MANY",
+        "policy = pz.MaxQuality()",
+        "records, execution_stats = Execute(output, policy=policy)",
+    ] {
+        assert!(
+            code.contains(landmark),
+            "missing Figure 6 landmark: {landmark}\n{code}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_restore_supports_iteration() {
+    // §2.3: "comprehensive state management that allows users to restore
+    // previous notebook states."
+    let chat = run_demo_dialogue();
+    let mut state = chat.session().lock();
+    let before = state.notebook.len();
+    let snap = state.notebook.snapshot();
+    state.notebook.push_code("experimental_cell = True");
+    assert_eq!(state.notebook.len(), before + 1);
+    assert!(state.notebook.restore(snap));
+    assert_eq!(state.notebook.len(), before);
+}
+
+#[test]
+fn output_cells_carry_figure5_statistics() {
+    let chat = run_demo_dialogue();
+    let state = chat.session().lock();
+    let outputs: Vec<&str> = state
+        .notebook
+        .cells
+        .iter()
+        .filter(|c| c.kind == CellKind::Output)
+        .map(|c| c.source.as_str())
+        .collect();
+    assert!(!outputs.is_empty());
+    let table = outputs.last().unwrap();
+    assert!(table.contains("operator"));
+    assert!(table.contains("cost($)"));
+    assert!(table.contains("TOTAL"));
+}
+
+#[test]
+fn export_tool_writes_readable_file() {
+    let mut chat = run_demo_dialogue();
+    let path = std::env::temp_dir().join(format!("it-nb-{}.json", std::process::id()));
+    let turn = format!("export the notebook to \"{}\"", path.display());
+    // The planner does not parse paths from quotes for export; call the
+    // tool directly to test the file path branch end to end.
+    let session = chat.session().clone();
+    let tool = palimpchat::tools::export_notebook_tool(session);
+    let mut args = archytas::tool::ToolArgs::new();
+    args.insert("path".into(), serde_json::json!(path.to_str().unwrap()));
+    tool.invoke(&args).unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    let json: serde_json::Value = serde_json::from_str(&content).unwrap();
+    assert_eq!(json["nbformat"], 4);
+    std::fs::remove_file(&path).unwrap();
+    // The chat path still answers something sensible for the export turn.
+    let r = chat.handle(&turn).unwrap();
+    assert!(r.trace.tools_used().contains(&"export_notebook"));
+}

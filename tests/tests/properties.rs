@@ -1,0 +1,135 @@
+//! Cross-crate property tests: invariants of the relational operators and
+//! lossless plan serialization.
+
+use proptest::prelude::*;
+use pz_core::ops::relational::{distinct, limit, project, sort};
+use pz_core::prelude::*;
+
+fn rec(id: u64, x: i64, s: &str) -> DataRecord {
+    DataRecord::new(id).with_field("x", x).with_field("s", s)
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<DataRecord>> {
+    proptest::collection::vec((0i64..50, "[a-d]{0,3}"), 0..25).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, s))| rec(i as u64, x, &s))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn sort_is_a_permutation(input in arb_records(), desc in any::<bool>()) {
+        let sorted = sort(input.clone(), "x", desc);
+        prop_assert_eq!(sorted.len(), input.len());
+        let mut in_ids: Vec<u64> = input.iter().map(|r| r.id).collect();
+        let mut out_ids: Vec<u64> = sorted.iter().map(|r| r.id).collect();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        prop_assert_eq!(in_ids, out_ids);
+        // And it is ordered.
+        let xs: Vec<i64> = sorted.iter().map(|r| r.get("x").unwrap().as_int().unwrap()).collect();
+        for w in xs.windows(2) {
+            if desc {
+                prop_assert!(w[0] >= w[1]);
+            } else {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_idempotent(input in arb_records()) {
+        let once = sort(input, "x", false);
+        let twice = sort(once.clone(), "x", false);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_shrinking(input in arb_records()) {
+        let fields = vec!["x".to_string()];
+        let once = distinct(input.clone(), &fields);
+        prop_assert!(once.len() <= input.len());
+        let twice = distinct(once.clone(), &fields);
+        prop_assert_eq!(once.clone(), twice);
+        // Keys are unique afterwards.
+        let mut keys: Vec<i64> =
+            once.iter().map(|r| r.get("x").unwrap().as_int().unwrap()).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn limit_bounds_and_prefixes(input in arb_records(), n in 0usize..30) {
+        let out = limit(input.clone(), n);
+        prop_assert_eq!(out.len(), input.len().min(n));
+        prop_assert_eq!(out.as_slice(), &input[..out.len()]);
+    }
+
+    #[test]
+    fn project_only_keeps_requested(input in arb_records()) {
+        let out = project(input, &["x".to_string()]);
+        for r in &out {
+            prop_assert!(r.get("x").is_some());
+            prop_assert!(r.get("s").is_none());
+        }
+    }
+
+    #[test]
+    fn logical_plans_round_trip_serde(
+        predicate in "[a-z ]{1,30}",
+        n in 1usize..20,
+        desc in any::<bool>(),
+        k in 1usize..10,
+    ) {
+        let plan = Dataset::source("src")
+            .filter(predicate)
+            .retrieve("some query", k)
+            .sort("x", desc)
+            .limit(n)
+            .join_eq("other", "a", "b")
+            .distinct(&["x"])
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: LogicalPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn physical_plans_round_trip_serde(n in 1usize..6) {
+        use pz_llm::protocol::Effort;
+        let mut ops = vec![PhysicalOp::Scan { dataset: "d".into() }];
+        for i in 0..n {
+            ops.push(PhysicalOp::LlmFilter {
+                predicate: format!("pred {i}"),
+                model: "gpt-4o".into(),
+                effort: if i % 2 == 0 { Effort::Standard } else { Effort::High },
+            });
+        }
+        let plan = PhysicalPlan { ops };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PhysicalPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+}
+
+#[test]
+fn schemas_round_trip_serde() {
+    let s = Schema::new(
+        "ClinicalData",
+        "doc",
+        vec![
+            FieldDef::text("name", "The name"),
+            FieldDef::typed("price", FieldType::Int, "dollars").required(),
+        ],
+    )
+    .unwrap();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: Schema = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}

@@ -1,0 +1,136 @@
+//! Integration: the Retrieve operator + vector store + embedding substrate
+//! inside full pipelines (the intro's "vector databases" leg).
+
+use pz_core::prelude::*;
+use pz_datagen::science::{self, ScienceConfig};
+use std::sync::Arc;
+
+fn big_science_ctx(n: usize) -> PzContext {
+    let ctx = PzContext::simulated();
+    let (docs, _) = science::generate(ScienceConfig {
+        n_papers: n,
+        ..Default::default()
+    });
+    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "sci",
+        Schema::pdf_file(),
+        items,
+    )));
+    ctx
+}
+
+#[test]
+fn retrieve_narrows_before_expensive_filter() {
+    let ctx = big_science_ctx(40);
+    // RAG-style: semantic top-10 narrowing, then the LLM filter only sees
+    // 10 records instead of 40.
+    let plan = Dataset::source("sci")
+        .retrieve("colorectal cancer tumor genomic mutation", 10)
+        .filter(science::FILTER_PREDICATE)
+        .build()
+        .unwrap();
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    let retrieve_stats = &outcome.stats.operators[1];
+    let filter_stats = &outcome.stats.operators[2];
+    assert_eq!(retrieve_stats.output_records, 10);
+    assert_eq!(
+        filter_stats.llm_calls, 10,
+        "filter must only see the retrieved subset"
+    );
+    // Retrieval should be topical: most retrieved records pass the filter.
+    assert!(
+        filter_stats.output_records >= 5,
+        "{}",
+        filter_stats.output_records
+    );
+}
+
+#[test]
+fn retrieve_is_cheaper_than_filtering_everything() {
+    let ctx1 = big_science_ctx(40);
+    let narrowed = Dataset::source("sci")
+        .retrieve("colorectal cancer tumor genomic mutation", 10)
+        .filter(science::FILTER_PREDICATE)
+        .build()
+        .unwrap();
+    let o1 = execute(
+        &ctx1,
+        &narrowed,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+
+    let ctx2 = big_science_ctx(40);
+    let full = Dataset::source("sci")
+        .filter(science::FILTER_PREDICATE)
+        .build()
+        .unwrap();
+    let o2 = execute(
+        &ctx2,
+        &full,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    assert!(
+        o1.stats.total_cost_usd < o2.stats.total_cost_usd / 2.0,
+        "narrowed {} vs full {}",
+        o1.stats.total_cost_usd,
+        o2.stats.total_cost_usd
+    );
+}
+
+#[test]
+fn vector_store_shared_through_context() {
+    use pz_vector::Metric;
+    let ctx = big_science_ctx(5);
+    ctx.vectors
+        .create_collection("notes", 4, Metric::Cosine)
+        .unwrap();
+    ctx.vectors
+        .add("notes", &[1.0, 0.0, 0.0, 0.0], "a")
+        .unwrap();
+    // Clones of the context observe the same store.
+    let clone = ctx.clone();
+    assert_eq!(clone.vectors.collection_len("notes").unwrap(), 1);
+}
+
+#[test]
+fn embedding_filter_agrees_with_topics_at_scale() {
+    let ctx = big_science_ctx(60);
+    let plan = PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: "sci".into(),
+            },
+            PhysicalOp::EmbeddingFilter {
+                predicate: "colorectal cancer tumor genomic mutation cohort".into(),
+                model: "text-embedding-3-small".into(),
+                threshold: 0.30,
+            },
+        ],
+    };
+    let (records, stats) =
+        pz_core::exec::execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap();
+    // Embedding filtering is imperfect but must be topical: the majority of
+    // kept records mention colorectal vocabulary.
+    let relevant = records
+        .iter()
+        .filter(|r| r.prompt_text().to_lowercase().contains("colorectal"))
+        .count();
+    assert!(
+        relevant * 2 >= records.len(),
+        "{relevant} of {} kept records are on-topic",
+        records.len()
+    );
+    // And it is nearly free compared to LLM filtering.
+    assert!(stats.total_cost_usd < 0.01, "{}", stats.total_cost_usd);
+}

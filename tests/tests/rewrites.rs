@@ -1,0 +1,115 @@
+//! Integration: logical rewrites preserve results and cut cost.
+
+use pz_core::prelude::*;
+use pz_datagen::science;
+use std::sync::Arc;
+
+fn science_ctx() -> PzContext {
+    let ctx = PzContext::simulated();
+    let (docs, _) = science::demo_corpus();
+    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "sigmod-demo",
+        Schema::pdf_file(),
+        items,
+    )));
+    // A free predicate that drops more than half the corpus: only papers
+    // with an even index survive.
+    ctx.udfs.register_filter("even_papers", |r: &DataRecord| {
+        r.get("filename")
+            .and_then(|v| v.as_text())
+            .and_then(|f| {
+                f.trim_end_matches(".pdf")
+                    .rsplit('-')
+                    .next()?
+                    .parse::<u32>()
+                    .ok()
+            })
+            .is_some_and(|n| n % 2 == 0)
+    });
+    ctx
+}
+
+#[test]
+fn reordered_plan_same_records_lower_cost() {
+    // User writes the expensive filter first; the rewriter runs the free
+    // UDF first, so the LLM filter sees fewer records.
+    let user_plan = Dataset::source("sigmod-demo")
+        .filter(science::FILTER_PREDICATE)
+        .filter_udf("even_papers")
+        .build()
+        .unwrap();
+
+    let ctx1 = science_ctx();
+    let optimized = execute(
+        &ctx1,
+        &user_plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    assert_eq!(optimized.report.rewrites.filters_reordered, 1);
+    // The chosen physical plan has the UDF filter before the LLM filter.
+    let desc = optimized.chosen_plan.describe();
+    let udf_pos = desc.find("UDFFilter").expect("udf in plan");
+    let llm_pos = desc.find("LLMFilter").expect("llm in plan");
+    assert!(udf_pos < llm_pos, "{desc}");
+
+    // Execute the un-rewritten order directly for comparison.
+    let ctx2 = science_ctx();
+    let manual = PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: "sigmod-demo".into(),
+            },
+            PhysicalOp::LlmFilter {
+                predicate: science::FILTER_PREDICATE.into(),
+                model: "gpt-4o".into(),
+                effort: pz_llm::protocol::Effort::High,
+            },
+            PhysicalOp::UdfFilter {
+                udf: "even_papers".into(),
+            },
+        ],
+    };
+    let (manual_records, manual_stats) =
+        pz_core::exec::execute_plan(&ctx2, &manual, ExecutionConfig::sequential()).unwrap();
+
+    // Same output set (filters commute)...
+    let ids = |rs: &[DataRecord]| {
+        let mut v: Vec<String> = rs
+            .iter()
+            .map(|r| r.get("filename").unwrap().as_display())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(ids(&optimized.records), ids(&manual_records));
+    // ...at strictly lower cost (the LLM only judged the surviving half).
+    assert!(
+        optimized.stats.total_cost_usd < manual_stats.total_cost_usd * 0.7,
+        "optimized {} vs manual {}",
+        optimized.stats.total_cost_usd,
+        manual_stats.total_cost_usd
+    );
+}
+
+#[test]
+fn duplicate_filters_run_once() {
+    let ctx = science_ctx();
+    let plan = Dataset::source("sigmod-demo")
+        .filter(science::FILTER_PREDICATE)
+        .filter(science::FILTER_PREDICATE)
+        .build()
+        .unwrap();
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    assert_eq!(outcome.report.rewrites.filters_deduped, 1);
+    // Only one filter row in the stats (scan + filter).
+    assert_eq!(outcome.stats.operators.len(), 2);
+}
