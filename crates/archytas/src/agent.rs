@@ -10,6 +10,7 @@ use crate::error::{ArchytasError, ArchytasResult};
 use crate::planner::{PlannerDecision, Reasoner};
 use crate::react::{Action, ReactStep, ReactTrace};
 use crate::registry::ToolRegistry;
+use pz_obs::{Layer, Tracer};
 use serde_json::Value;
 use std::sync::Arc;
 
@@ -18,6 +19,7 @@ pub struct Agent {
     registry: ToolRegistry,
     reasoner: Arc<dyn Reasoner>,
     max_steps: usize,
+    tracer: Option<Tracer>,
 }
 
 impl Agent {
@@ -26,11 +28,18 @@ impl Agent {
             registry,
             reasoner,
             max_steps: 16,
+            tracer: None,
         }
     }
 
     pub fn with_max_steps(mut self, n: usize) -> Self {
         self.max_steps = n.max(1);
+        self
+    }
+
+    /// Record thought / act / observe spans for every step on `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -44,10 +53,20 @@ impl Agent {
             goal: goal.to_string(),
             ..Default::default()
         };
-        for _ in 0..self.max_steps {
+        let run_span = self.tracer.as_ref().map(|t| {
+            let s = t.span(Layer::Agent, "react");
+            s.set_attr("goal", clip(goal));
+            s
+        });
+        for i in 0..self.max_steps {
             let decision = self.reasoner.decide(goal, &self.registry, &trace.steps)?;
             match decision {
                 PlannerDecision::Finish { thought, answer } => {
+                    if let Some(t) = &self.tracer {
+                        let s = t.leaf_span(Layer::Agent, "finish");
+                        s.set_attr("thought", clip(&thought));
+                        s.set_attr("answer", clip(&answer));
+                    }
                     trace.steps.push(ReactStep {
                         thought,
                         action: None,
@@ -56,6 +75,10 @@ impl Agent {
                         failed: false,
                     });
                     trace.answer = answer;
+                    if let Some(s) = run_span {
+                        s.set_attr("steps", trace.steps.len().to_string());
+                        s.set_attr("actions", trace.action_count().to_string());
+                    }
                     return Ok(trace);
                 }
                 PlannerDecision::Act {
@@ -63,6 +86,20 @@ impl Agent {
                     tool,
                     args,
                 } => {
+                    if let Some(t) = &self.tracer {
+                        let s = t.leaf_span(Layer::Agent, &format!("thought:{}", i + 1));
+                        s.set_attr("text", clip(&thought));
+                    }
+                    // Structural: spans the tool produces (optimizer,
+                    // executor, LLM calls) nest under the act span.
+                    let act_span = self.tracer.as_ref().map(|t| {
+                        let s = t.span(Layer::Agent, &format!("act:{tool}"));
+                        s.set_attr(
+                            "args",
+                            clip(&serde_json::to_string(&args).unwrap_or_default()),
+                        );
+                        s
+                    });
                     let (observation, data, failed) = match self.registry.get(&tool) {
                         Ok(t) => match t.invoke(&args) {
                             Ok(out) => (out.text, out.data, false),
@@ -70,6 +107,15 @@ impl Agent {
                         },
                         Err(e) => (format!("error: {e}"), Value::Null, true),
                     };
+                    if let Some(s) = act_span {
+                        s.set_attr("failed", failed.to_string());
+                        s.finish();
+                    }
+                    if let Some(t) = &self.tracer {
+                        let s = t.leaf_span(Layer::Agent, &format!("observe:{}", i + 1));
+                        s.set_attr("text", clip(&observation));
+                        s.set_attr("failed", failed.to_string());
+                    }
                     trace.steps.push(ReactStep {
                         thought,
                         action: Some(Action { tool, args }),
@@ -81,6 +127,17 @@ impl Agent {
             }
         }
         Err(ArchytasError::MaxStepsExceeded(self.max_steps))
+    }
+}
+
+/// Cap attribute text so traces stay readable and exports stay small.
+fn clip(s: &str) -> String {
+    const MAX: usize = 120;
+    if s.chars().count() <= MAX {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(MAX - 1).collect();
+        format!("{cut}…")
     }
 }
 
@@ -208,6 +265,30 @@ mod tests {
         assert!(trace.steps[0].failed);
         assert!(trace.steps[0].observation.contains("unknown tool"));
         assert_eq!(trace.answer, "done");
+    }
+
+    #[test]
+    fn tracer_records_thought_act_observe_spans() {
+        let tracer = pz_obs::Tracer::new(Arc::new(pz_obs::FrozenClock(7)));
+        let agent =
+            Agent::new(registry(), Arc::new(KeywordReasoner::new())).with_tracer(tracer.clone());
+        agent
+            .run(r#"load the dataset "demo" and then filter for "cancer" records"#)
+            .unwrap();
+        let snap = tracer.snapshot();
+        let agent_spans = snap.spans_in_layer(pz_obs::Layer::Agent);
+        let names: Vec<&str> = agent_spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"react"));
+        assert!(names.contains(&"thought:1"));
+        assert!(names.contains(&"act:load_dataset"));
+        assert!(names.contains(&"observe:1"));
+        assert!(names.contains(&"act:filter_records"));
+        assert!(names.contains(&"finish"));
+        // Everything nests under the single react root.
+        let root = &agent_spans[0];
+        assert!(root.id.is_root());
+        assert!(agent_spans[1..].iter().all(|s| root.id.contains(&s.id)));
+        assert_eq!(root.attrs["actions"], "2");
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! pz-obs recording overhead: raw span/event/counter costs, and the
+//! end-to-end pipeline with tracing (always on in `PzContext`) vs the
+//! trace being snapshotted/exported. The point: per-span cost is a mutex
+//! lock + a couple of allocations — invisible next to a simulated (let
+//! alone real) model call.
+
+use bench::{demo_context, demo_plan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::prelude::*;
+use pz_obs::{FrozenClock, Layer, Tracer};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    group.bench_function("leaf_span_with_attrs", |b| {
+        let t = Tracer::new(Arc::new(FrozenClock(1)));
+        b.iter(|| {
+            let s = t.leaf_span(Layer::Llm, "complete");
+            s.set_attr("model", "gpt-4o");
+            s.set_attr("cost_usd", "0.000123");
+            black_box(s.id().to_string())
+        })
+    });
+    group.bench_function("structural_span_nesting", |b| {
+        let t = Tracer::new(Arc::new(FrozenClock(1)));
+        b.iter(|| {
+            let outer = t.span(Layer::Executor, "op:filter");
+            let inner = t.leaf_span(Layer::Llm, "complete");
+            drop(inner);
+            black_box(outer.id().is_root())
+        })
+    });
+    group.bench_function("event", |b| {
+        let t = Tracer::new(Arc::new(FrozenClock(1)));
+        b.iter(|| t.event(Layer::Llm, "cache_hit", &[("model", "gpt-4o".to_string())]))
+    });
+    group.bench_function("counter_incr", |b| {
+        let t = Tracer::new(Arc::new(FrozenClock(1)));
+        b.iter(|| t.incr("vector.probes", 1))
+    });
+    group.bench_function("histogram_observe", |b| {
+        let t = Tracer::new(Arc::new(FrozenClock(1)));
+        b.iter(|| t.observe("llm.latency_secs", 0.25))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_pipeline");
+    group.sample_size(10);
+    group.bench_function("traced_execution", |b| {
+        b.iter(|| {
+            let (ctx, _) = demo_context();
+            let o = execute(
+                &ctx,
+                &demo_plan(),
+                &Policy::MinCost,
+                ExecutionConfig::sequential(),
+            )
+            .unwrap();
+            black_box((o.records.len(), ctx.tracer.span_count()))
+        })
+    });
+    group.bench_function("snapshot_and_export_jsonl", |b| {
+        let (ctx, _) = demo_context();
+        execute(
+            &ctx,
+            &demo_plan(),
+            &Policy::MinCost,
+            ExecutionConfig::sequential(),
+        )
+        .unwrap();
+        b.iter(|| black_box(ctx.tracer.snapshot().to_jsonl().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_pipeline);
+criterion_main!(benches);

@@ -3,10 +3,12 @@
 //! ```text
 //! cargo run -p bench --bin repro --release            # all experiments
 //! cargo run -p bench --bin repro --release -- e1 e3   # a subset
+//! cargo run -p bench --bin repro --release -- e1 --trace-out trace.jsonl
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §4 (E1–E10). Output is plain text so it
-//! can be diffed against EXPERIMENTS.md.
+//! can be diffed against EXPERIMENTS.md. `--trace-out <path>` additionally
+//! runs the §3 chat dialogue and exports its full pz-obs trace as JSONL.
 
 use bench::{
     chain_plan, clinical_schema, demo_context, demo_plan, science_context, science_context_with,
@@ -20,7 +22,19 @@ use pz_vector::{FlatIndex, IvfConfig, IvfIndex, Metric};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--trace-out requires a path argument");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     if run("e1") {
         e1_headline();
@@ -61,6 +75,33 @@ fn main() {
     if run("e13") {
         e13_convert_strategy_ablation();
     }
+    if let Some(path) = trace_out {
+        export_trace(&path);
+    }
+}
+
+/// Run the §3 demo dialogue and export its unified pz-obs trace as JSONL
+/// (one span/event/counter/histogram per line — the CI smoke artifact).
+fn export_trace(path: &str) {
+    banner("TRACE", "unified observability trace of the §3 dialogue");
+    let mut chat = PalimpChat::new();
+    for turn in [
+        "Please load the dataset of scientific papers from my folder",
+        "I'm interested in papers that are about colorectal cancer, and for these papers, \
+         extract whatever public dataset is used by the study",
+        "run the pipeline with maximum quality",
+    ] {
+        chat.handle(turn).expect("chat turn");
+    }
+    let snap = chat.tracer().snapshot();
+    std::fs::write(path, snap.to_jsonl()).expect("write trace");
+    println!(
+        "{} spans, {} events, {} counters -> {path}",
+        snap.spans.len(),
+        snap.events.len(),
+        snap.counters.len()
+    );
+    print!("{}", pz_obs::render_tree(&snap));
 }
 
 fn banner(id: &str, title: &str) {

@@ -6,7 +6,9 @@
 //! ...
 //! ```
 //!
-//! Type `:trace` to toggle the ReAct trace display, `:quit` to exit.
+//! Type `:trace` to toggle the ReAct trace display, `:spans` to print the
+//! session's observability trace tree, `:export <path>` to write the trace
+//! as JSONL, `:quit` to exit.
 
 use palimpchat::PalimpChat;
 use std::io::{self, BufRead, Write};
@@ -20,7 +22,8 @@ fn main() {
          Try: \"load the dataset of scientific papers\", then\n\
          \"I'm interested in papers about colorectal cancer, and for these papers, \
          extract whatever public dataset is used by the study\",\n\
-         then \"run the pipeline with maximum quality\". (:trace toggles traces, :quit exits)\n"
+         then \"run the pipeline with maximum quality\".\n\
+         (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, :quit exits)\n"
     );
     loop {
         print!("you> ");
@@ -45,7 +48,19 @@ fn main() {
                 println!("trace display: {}", if show_trace { "on" } else { "off" });
                 continue;
             }
+            ":spans" => {
+                print!("{}", pz_obs::render_tree(&chat.tracer().snapshot()));
+                continue;
+            }
             _ => {}
+        }
+        if let Some(path) = line.strip_prefix(":export ") {
+            let path = path.trim();
+            match std::fs::write(path, chat.tracer().snapshot().to_jsonl()) {
+                Ok(()) => println!("trace exported to {path}"),
+                Err(e) => println!("export failed: {e}"),
+            }
+            continue;
         }
         match chat.handle(line) {
             Ok(resp) => {

@@ -38,8 +38,11 @@ impl PalimpChat {
     /// Build over an existing session (used by tests and examples that
     /// pre-register data).
     pub fn with_session(session: SessionHandle) -> Self {
+        let tracer = session.lock().ctx.tracer.clone();
         let registry = build_registry(session.clone());
-        let agent = Agent::new(registry, Arc::new(PalimpPlanner::new())).with_max_steps(24);
+        let agent = Agent::new(registry, Arc::new(PalimpPlanner::new()))
+            .with_max_steps(24)
+            .with_tracer(tracer);
         Self {
             session,
             agent,
@@ -51,14 +54,36 @@ impl PalimpChat {
         &self.session
     }
 
+    /// The session's tracer: one span tree per chat turn, covering the
+    /// agent, optimizer, executor, and LLM layers.
+    pub fn tracer(&self) -> pz_obs::Tracer {
+        self.session.lock().ctx.tracer.clone()
+    }
+
     pub fn history(&self) -> &[ChatMessage] {
         &self.history
     }
 
-    /// Handle one user turn: run the agent, record the conversation.
+    /// Handle one user turn: run the agent, record the conversation. Each
+    /// turn is one root span (`turn:<n>`) in the session trace.
     pub fn handle(&mut self, user_message: &str) -> ArchytasResult<ChatResponse> {
         self.history.push(ChatMessage::user(user_message));
-        let trace = self.agent.run(user_message)?;
+        let tracer = self.tracer();
+        let turn = tracer.span(
+            pz_obs::Layer::Chat,
+            &format!("turn:{}", self.history.len() / 2 + 1),
+        );
+        turn.set_attr("utterance", user_message);
+        let result = self.agent.run(user_message);
+        let trace = match result {
+            Ok(trace) => trace,
+            Err(e) => {
+                turn.set_attr("error", e.to_string());
+                return Err(e);
+            }
+        };
+        turn.set_attr("actions", trace.action_count().to_string());
+        turn.finish();
         let reply = if trace.answer.is_empty() {
             "Done.".to_string()
         } else {

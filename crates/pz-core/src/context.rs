@@ -8,9 +8,10 @@
 
 use crate::datasource::{DataRegistry, UdfRegistry};
 use pz_llm::{
-    CachingClient, Catalog, LlmClient, ModelId, RetryPolicy, SimConfig, SimulatedLlm, UsageLedger,
-    VirtualClock,
+    CachingClient, Catalog, LlmClient, ModelId, RetryPolicy, SimConfig, SimulatedLlm, TracedClient,
+    UsageLedger, VirtualClock,
 };
+use pz_obs::Tracer;
 use pz_vector::VectorStore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +36,9 @@ pub struct PzContext {
     pub clock: VirtualClock,
     /// Shared usage ledger (token / dollar accounting).
     pub ledger: UsageLedger,
+    /// Shared tracer: spans and metrics from every layer, timestamped on
+    /// [`Self::clock`] so traces reconcile with the ledger and stats.
+    pub tracer: Tracer,
     /// Retry policy for transient model failures.
     pub retry: RetryPolicy,
     /// Default embedding model.
@@ -54,21 +58,26 @@ impl PzContext {
         let catalog = Catalog::builtin();
         let clock = VirtualClock::new();
         let ledger = UsageLedger::new();
-        let llm: Arc<dyn LlmClient> = Arc::new(SimulatedLlm::new(
+        let tracer = Tracer::new(Arc::new(clock.clone()));
+        let sim: Arc<dyn LlmClient> = Arc::new(SimulatedLlm::new(
             catalog.clone(),
             config,
             clock.clone(),
             ledger.clone(),
         ));
+        // Every call that reaches the provider gets a leaf span; a cache
+        // added later wraps *outside* this, so hits never record LLM spans.
+        let llm: Arc<dyn LlmClient> = Arc::new(TracedClient::new(sim, tracer.clone()));
         Self {
             llm,
             cache: None,
             catalog,
             registry: DataRegistry::new(),
             udfs: UdfRegistry::new(),
-            vectors: VectorStore::new(),
+            vectors: VectorStore::new().with_tracer(tracer.clone()),
             clock,
             ledger,
+            tracer,
             retry: RetryPolicy::default(),
             embed_model: "text-embedding-3-small".into(),
             ids: Arc::new(AtomicU64::new(1)),
@@ -78,9 +87,12 @@ impl PzContext {
     /// Wrap the model client in an exact-match response cache: repeated
     /// prompts (sentinel + execution, retried calls, re-runs over unchanged
     /// data) are served for free. Returns the modified context; cache
-    /// statistics are available via `self.cache`.
+    /// statistics are available via `self.cache`. Cache hits and misses
+    /// land on the tracer (events) and the ledger (per-model counts).
     pub fn with_cache(mut self) -> Self {
-        let cache = CachingClient::new(self.llm.clone());
+        let cache = CachingClient::new(self.llm.clone())
+            .with_tracer(self.tracer.clone())
+            .with_ledger(self.ledger.clone());
         self.cache = Some(cache.clone());
         self.llm = Arc::new(cache);
         self
@@ -96,11 +108,12 @@ impl PzContext {
         self.ids.fetch_add(n, Ordering::Relaxed)
     }
 
-    /// Reset accounting (clock + ledger) between experiments. Record ids
-    /// keep increasing — they only need uniqueness.
+    /// Reset accounting (clock + ledger + trace) between experiments.
+    /// Record ids keep increasing — they only need uniqueness.
     pub fn reset_accounting(&self) {
         self.clock.reset();
         self.ledger.reset();
+        self.tracer.reset();
     }
 }
 
@@ -139,6 +152,17 @@ mod tests {
         ctx.reset_accounting();
         assert_eq!(ctx.clock.now_secs(), 0.0);
         assert_eq!(ctx.ledger.total_requests(), 0);
+    }
+
+    #[test]
+    fn tracer_shares_the_virtual_clock() {
+        let ctx = PzContext::simulated();
+        ctx.clock.advance_secs(2.0);
+        let span = ctx.tracer.span(pz_obs::Layer::Executor, "op");
+        assert_eq!(ctx.tracer.now_micros(), 2_000_000);
+        span.finish();
+        let snap = ctx.tracer.snapshot();
+        assert_eq!(snap.spans[0].start_us, 2_000_000);
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub fn execute_plan(
         plan: plan.describe(),
         ..Default::default()
     };
+    let plan_span = ctx.tracer.span(pz_obs::Layer::Executor, "execute_plan");
+    plan_span.set_attr("plan", plan.describe());
+    plan_span.set_attr("workers", config.workers.to_string());
 
     for op in &plan.ops {
         let input_count = if matches!(op, PhysicalOp::Scan { .. }) {
@@ -57,6 +60,11 @@ pub fn execute_plan(
         };
         let ledger_before = snapshot(ctx);
         let clock_before = ctx.clock.now_secs();
+        // Structural span: LLM leaf spans made by this operator (from any
+        // worker thread) nest under it.
+        let op_span = ctx
+            .tracer
+            .span(pz_obs::Layer::Executor, &format!("op:{}", op.describe()));
 
         let workers = config.workers.min(records.len().max(1));
         let result = if workers > 1 && op.is_parallelizable() {
@@ -76,7 +84,7 @@ pub fn execute_plan(
             raw_elapsed
         };
 
-        stats.operators.push(OperatorStats {
+        let op_stats = OperatorStats {
             logical: op.logical_kind().to_string(),
             physical: op.describe(),
             model: op.model().map(|m| m.to_string()),
@@ -87,9 +95,19 @@ pub fn execute_plan(
             output_tokens: ledger_after.2 - ledger_before.2,
             cost_usd: ledger_after.3 - ledger_before.3,
             time_secs: elapsed,
-        });
+        };
+        op_span.set_attr("in", op_stats.input_records.to_string());
+        op_span.set_attr("out", op_stats.output_records.to_string());
+        op_span.set_attr("llm_calls", op_stats.llm_calls.to_string());
+        op_span.set_attr("cost_usd", format!("{:.6}", op_stats.cost_usd));
+        op_span.set_attr("time_secs", format!("{:.6}", op_stats.time_secs));
+        op_span.finish();
+        stats.operators.push(op_stats);
     }
     stats.finalize();
+    plan_span.set_attr("output_records", stats.output_records.to_string());
+    plan_span.set_attr("llm_calls", stats.total_llm_calls.to_string());
+    plan_span.set_attr("cost_usd", format!("{:.6}", stats.total_cost_usd));
     Ok((records, stats))
 }
 

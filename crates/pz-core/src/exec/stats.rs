@@ -70,17 +70,19 @@ impl ExecutionStats {
         }
         let _ = writeln!(
             s,
-            "{:<34} {:>6} {:>6} {:>7} {:>10} {:>10}",
-            "operator", "in", "out", "calls", "cost($)", "time(s)"
+            "{:<34} {:>6} {:>6} {:>6} {:>7} {:>9} {:>10} {:>10}",
+            "operator", "in", "out", "sel", "calls", "tokens", "cost($)", "time(s)"
         );
         for op in &self.operators {
             let _ = writeln!(
                 s,
-                "{:<34} {:>6} {:>6} {:>7} {:>10.4} {:>10.2}",
+                "{:<34} {:>6} {:>6} {:>6.2} {:>7} {:>9} {:>10.4} {:>10.2}",
                 truncate(&op.physical, 34),
                 op.input_records,
                 op.output_records,
+                op.selectivity(),
                 op.llm_calls,
+                op.input_tokens + op.output_tokens,
                 op.cost_usd,
                 op.time_secs
             );
@@ -165,6 +167,35 @@ mod tests {
         let t = truncate(&long, 10);
         assert!(t.chars().count() <= 10);
         assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn truncate_keeps_exact_fit_strings_intact() {
+        // A string of exactly n chars must NOT be ellipsized.
+        let exact = "Y".repeat(10);
+        assert_eq!(truncate(&exact, 10), exact);
+        // Multi-byte chars count as chars, not bytes.
+        let unicode = "é".repeat(10);
+        assert_eq!(truncate(&unicode, 10), unicode);
+        assert_eq!(truncate("short", 10), "short");
+    }
+
+    #[test]
+    fn render_includes_selectivity_and_tokens() {
+        let mut o = op("LLMFilter[gpt-4o]", 10, 5, 0.1, 1.0);
+        o.input_tokens = 1200;
+        o.output_tokens = 34;
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            operators: vec![o],
+            ..Default::default()
+        };
+        stats.finalize();
+        let t = stats.render_table();
+        assert!(t.contains("sel"), "{t}");
+        assert!(t.contains("tokens"), "{t}");
+        assert!(t.contains("0.50"), "selectivity column: {t}");
+        assert!(t.contains("1234"), "token column: {t}");
     }
 
     #[test]

@@ -81,6 +81,9 @@ impl Optimizer {
         // Validate schemas eagerly so bad plans fail before any model call.
         plan.schemas(&ctx.registry)?;
 
+        let span = ctx.tracer.span(pz_obs::Layer::Optimizer, "optimize");
+        span.set_attr("policy", policy.name());
+
         // Logical normalization: semantics-preserving, always beneficial.
         let (plan, rewrites) = rewrite::rewrite(plan);
         let plan = &plan;
@@ -93,6 +96,15 @@ impl Optimizer {
         };
         if let Some(sample) = self.sentinel_sample {
             let calib = sentinel::calibrate(ctx, plan, sample)?;
+            ctx.tracer.event(
+                pz_obs::Layer::Optimizer,
+                "sentinel_calibrated",
+                &[
+                    ("sample", sample.to_string()),
+                    ("selectivities", calib.selectivity.len().to_string()),
+                    ("quality_points", calib.quality.len().to_string()),
+                ],
+            );
             cost_ctx.calibration = Some(calib);
             report.calibrated = true;
         }
@@ -115,10 +127,20 @@ impl Optimizer {
 
         let frontier = pareto::pareto_front(candidates);
         report.pareto_size = frontier.len();
+        ctx.tracer
+            .incr("optimizer.plans_considered", report.plans_considered as u64);
+        ctx.tracer.incr(
+            "optimizer.pareto_pruned",
+            report.plans_considered.saturating_sub(report.pareto_size) as u64,
+        );
         let idx = policy
             .choose(&frontier)
             .ok_or_else(|| PzError::Optimizer("no candidate plans".into()))?;
         let (chosen, est) = frontier.into_iter().nth(idx).expect("index from choose");
+        span.set_attr("plan_space", report.plan_space_size.to_string());
+        span.set_attr("considered", report.plans_considered.to_string());
+        span.set_attr("pareto", report.pareto_size.to_string());
+        span.set_attr("chosen", chosen.describe());
         Ok((chosen, est, report))
     }
 }

@@ -16,8 +16,9 @@ use crate::client::{
     CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient, LlmError,
 };
 use crate::stable_hash;
-use crate::usage::Usage;
+use crate::usage::{Usage, UsageLedger};
 use parking_lot::Mutex;
+use pz_obs::{Layer, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -53,6 +54,8 @@ pub struct CachingClient {
     completion_misses: Arc<AtomicUsize>,
     embedding_hits: Arc<AtomicUsize>,
     embedding_misses: Arc<AtomicUsize>,
+    tracer: Option<Tracer>,
+    ledger: Option<UsageLedger>,
 }
 
 impl CachingClient {
@@ -65,6 +68,54 @@ impl CachingClient {
             completion_misses: Arc::new(AtomicUsize::new(0)),
             embedding_hits: Arc::new(AtomicUsize::new(0)),
             embedding_misses: Arc::new(AtomicUsize::new(0)),
+            tracer: None,
+            ledger: None,
+        }
+    }
+
+    /// Emit `cache_hit` / `cache_miss` events on `tracer` for every lookup.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Record per-model cache hit/miss counts on `ledger`.
+    pub fn with_ledger(mut self, ledger: UsageLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    fn note_completion(&self, model: &crate::ModelId, hit: bool) {
+        if let Some(t) = &self.tracer {
+            let name = if hit { "cache_hit" } else { "cache_miss" };
+            t.event(Layer::Llm, name, &[("model", model.to_string())]);
+        }
+        if let Some(l) = &self.ledger {
+            if hit {
+                l.record_cache_hits(model, 1);
+            } else {
+                l.record_cache_misses(model, 1);
+            }
+        }
+    }
+
+    fn note_embeddings(&self, model: &crate::ModelId, hits: usize, misses: usize) {
+        if let Some(t) = &self.tracer {
+            if hits + misses > 0 {
+                t.event(
+                    Layer::Llm,
+                    "embed_cache",
+                    &[
+                        ("model", model.to_string()),
+                        ("hits", hits.to_string()),
+                        ("misses", misses.to_string()),
+                    ],
+                );
+            }
+        }
+        if let Some(l) = &self.ledger {
+            l.record_cache_hits(model, hits);
+            l.record_cache_misses(model, misses);
         }
     }
 
@@ -102,6 +153,7 @@ impl LlmClient for CachingClient {
         let key = Self::completion_key(req);
         if let Some(hit) = self.completions.lock().get(&key).cloned() {
             self.completion_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_completion(&req.model, true);
             // A cache hit is free: no provider cost, negligible latency.
             return Ok(CompletionResponse {
                 text: hit.text,
@@ -111,6 +163,7 @@ impl LlmClient for CachingClient {
             });
         }
         self.completion_misses.fetch_add(1, Ordering::Relaxed);
+        self.note_completion(&req.model, false);
         let resp = self.inner.complete(req)?;
         self.completions.lock().insert(key, resp.clone());
         Ok(resp)
@@ -134,6 +187,7 @@ impl LlmClient for CachingClient {
             .fetch_add(vectors.len() - missing.len(), Ordering::Relaxed);
         self.embedding_misses
             .fetch_add(missing.len(), Ordering::Relaxed);
+        self.note_embeddings(&req.model, vectors.len() - missing.len(), missing.len());
 
         let (usage, latency, cost) = if missing.is_empty() {
             (Usage::default(), 0.0, 0.0)
@@ -287,6 +341,26 @@ mod tests {
         };
         assert!((s.completion_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().completion_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hits_and_misses_reach_tracer_and_ledger() {
+        let sim = Arc::new(SimulatedLlm::with_defaults());
+        let tracer = Tracer::new(Arc::new(sim.clock().clone()));
+        let ledger = sim.ledger().clone();
+        let cache = CachingClient::new(sim)
+            .with_tracer(tracer.clone())
+            .with_ledger(ledger.clone());
+        let req = CompletionRequest::new("gpt-4o", filter_prompt("topic", "content"));
+        cache.complete(&req).unwrap();
+        cache.complete(&req).unwrap();
+        let snap = tracer.snapshot();
+        let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["cache_miss", "cache_hit"]);
+        assert_eq!(snap.events[0].attrs["model"], "gpt-4o");
+        let by = ledger.by_model();
+        assert_eq!(by[0].1.cache_hits, 1);
+        assert_eq!(by[0].1.cache_misses, 1);
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl VirtualClock {
     }
 }
 
+/// The virtual clock is the trace timebase: every span and event in the
+/// observability layer is stamped with the same virtual microseconds the
+/// ledger and execution statistics report, so traces reconcile exactly.
+impl pz_obs::TraceClock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        VirtualClock::now_micros(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,7 @@ pub mod embedding;
 pub mod protocol;
 pub mod sim;
 pub mod tokenizer;
+pub mod traced;
 pub mod usage;
 
 pub use cache::{CacheStats, CachingClient};
@@ -44,7 +45,8 @@ pub use clock::VirtualClock;
 pub use embedding::Embedder;
 pub use sim::{SimConfig, SimulatedLlm};
 pub use tokenizer::count_tokens;
-pub use usage::{Usage, UsageLedger};
+pub use traced::TracedClient;
+pub use usage::{ModelUsage, Usage, UsageLedger};
 
 /// Stable 64-bit FNV-1a hash used everywhere the substrate needs seeded,
 /// reproducible pseudo-randomness (error injection, embeddings, latency

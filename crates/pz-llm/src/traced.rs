@@ -1,0 +1,140 @@
+//! Tracing wrapper for model clients.
+//!
+//! [`TracedClient`] wraps any [`LlmClient`] and records one leaf span per
+//! completion / embedding call on the shared [`pz_obs::Tracer`], stamped on
+//! the virtual clock. Because spans are *leaf* spans they adopt whatever
+//! structural span is currently open (an executor operator, an agent step)
+//! without disturbing the scope stack — safe for parallel workers.
+//!
+//! The wrapper sees only calls that actually reach the provider: placed
+//! inside a [`crate::CachingClient`], cache hits never produce an LLM span
+//! (they emit `cache_hit` events instead), so `llm` span counts reconcile
+//! with [`crate::UsageLedger::total_requests`].
+
+use crate::client::{
+    CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient, LlmError,
+};
+use pz_obs::{Layer, Tracer};
+use std::sync::Arc;
+
+/// An [`LlmClient`] that records a span per call.
+#[derive(Clone)]
+pub struct TracedClient {
+    inner: Arc<dyn LlmClient>,
+    tracer: Tracer,
+}
+
+impl TracedClient {
+    pub fn new(inner: Arc<dyn LlmClient>, tracer: Tracer) -> Self {
+        Self { inner, tracer }
+    }
+}
+
+impl LlmClient for TracedClient {
+    fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+        let span = self.tracer.leaf_span(Layer::Llm, "complete");
+        span.set_attr("model", req.model.as_str());
+        let result = self.inner.complete(req);
+        match &result {
+            Ok(resp) => {
+                span.set_attr("input_tokens", resp.usage.input_tokens.to_string());
+                span.set_attr("output_tokens", resp.usage.output_tokens.to_string());
+                span.set_attr("cost_usd", format!("{:.6}", resp.cost_usd));
+                span.set_attr("latency_secs", format!("{:.6}", resp.latency_secs));
+                self.tracer.incr("llm.completions", 1);
+                self.tracer.observe("llm.latency_secs", resp.latency_secs);
+            }
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.tracer.incr("llm.errors", 1);
+            }
+        }
+        result
+    }
+
+    fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+        let span = self.tracer.leaf_span(Layer::Llm, "embed");
+        span.set_attr("model", req.model.as_str());
+        span.set_attr("inputs", req.inputs.len().to_string());
+        let result = self.inner.embed(req);
+        match &result {
+            Ok(resp) => {
+                span.set_attr("input_tokens", resp.usage.input_tokens.to_string());
+                span.set_attr("cost_usd", format!("{:.6}", resp.cost_usd));
+                self.tracer.incr("llm.embeddings", 1);
+            }
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.tracer.incr("llm.errors", 1);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::sim::SimulatedLlm;
+    use pz_obs::Tracer;
+
+    fn traced_sim() -> (TracedClient, Tracer, VirtualClock) {
+        let clock = VirtualClock::new();
+        let tracer = Tracer::new(Arc::new(clock.clone()));
+        let sim = Arc::new(SimulatedLlm::new(
+            crate::Catalog::builtin(),
+            crate::SimConfig::default(),
+            clock.clone(),
+            crate::UsageLedger::new(),
+        ));
+        (TracedClient::new(sim, tracer.clone()), tracer, clock)
+    }
+
+    #[test]
+    fn completion_records_leaf_span_on_virtual_clock() {
+        let (client, tracer, clock) = traced_sim();
+        let resp = client
+            .complete(&CompletionRequest::new("gpt-4o", "hello world"))
+            .unwrap();
+        let snap = tracer.snapshot();
+        let llm = snap.spans_in_layer(Layer::Llm);
+        assert_eq!(llm.len(), 1);
+        assert_eq!(llm[0].name, "complete");
+        assert_eq!(llm[0].attrs["model"], "gpt-4o");
+        // Span duration equals the modelled latency (the sim advanced the
+        // shared clock during the call).
+        let dur_secs = llm[0].duration_us() as f64 / 1e6;
+        assert!((dur_secs - resp.latency_secs).abs() < 1e-5);
+        assert_eq!(llm[0].end_us, Some(clock.now_micros()));
+        assert_eq!(snap.counters["llm.completions"], 1);
+    }
+
+    #[test]
+    fn errors_are_counted_not_hidden() {
+        let (client, tracer, _) = traced_sim();
+        assert!(client
+            .complete(&CompletionRequest::new("no-such-model", "x"))
+            .is_err());
+        let snap = tracer.snapshot();
+        assert_eq!(snap.counters["llm.errors"], 1);
+        let llm = snap.spans_in_layer(Layer::Llm);
+        assert!(llm[0].attrs["error"].contains("unknown model"));
+    }
+
+    #[test]
+    fn embeddings_traced_with_batch_size() {
+        let (client, tracer, _) = traced_sim();
+        client
+            .embed(&EmbeddingRequest {
+                model: "text-embedding-3-small".into(),
+                inputs: vec!["a".into(), "b".into(), "c".into()],
+            })
+            .unwrap();
+        let snap = tracer.snapshot();
+        let llm = snap.spans_in_layer(Layer::Llm);
+        assert_eq!(llm[0].name, "embed");
+        assert_eq!(llm[0].attrs["inputs"], "3");
+        assert_eq!(snap.counters["llm.embeddings"], 1);
+    }
+}

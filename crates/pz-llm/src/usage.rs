@@ -54,6 +54,22 @@ pub struct ModelUsage {
     pub usage: Usage,
     pub cost_usd: f64,
     pub latency_secs: f64,
+    /// Lookups served from a response cache (no request was issued).
+    pub cache_hits: usize,
+    /// Lookups that missed the cache and became real requests.
+    pub cache_misses: usize,
+}
+
+impl ModelUsage {
+    /// Fraction of cache lookups served from cache; 0.0 when uncached.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Thread-safe ledger of all model usage. Clones share state.
@@ -75,6 +91,40 @@ impl UsageLedger {
         entry.usage += usage;
         entry.cost_usd += cost_usd;
         entry.latency_secs += latency_secs;
+    }
+
+    /// Record `n` cache hits against `model` (lookups served without a
+    /// request).
+    pub fn record_cache_hits(&self, model: &ModelId, n: usize) {
+        if n > 0 {
+            self.inner
+                .lock()
+                .entry(model.clone())
+                .or_default()
+                .cache_hits += n;
+        }
+    }
+
+    /// Record `n` cache misses against `model` (lookups that became real
+    /// requests).
+    pub fn record_cache_misses(&self, model: &ModelId, n: usize) {
+        if n > 0 {
+            self.inner
+                .lock()
+                .entry(model.clone())
+                .or_default()
+                .cache_misses += n;
+        }
+    }
+
+    /// Total cache hits across all models.
+    pub fn total_cache_hits(&self) -> usize {
+        self.inner.lock().values().map(|m| m.cache_hits).sum()
+    }
+
+    /// Total cache misses across all models.
+    pub fn total_cache_misses(&self) -> usize {
+        self.inner.lock().values().map(|m| m.cache_misses).sum()
     }
 
     /// Total dollar cost across all models.
@@ -159,6 +209,26 @@ mod tests {
         l.reset();
         assert_eq!(l.total_requests(), 0);
         assert_eq!(l.total_cost_usd(), 0.0);
+    }
+
+    #[test]
+    fn cache_counts_per_model() {
+        let l = UsageLedger::new();
+        let m: ModelId = "gpt-4o".into();
+        l.record_cache_misses(&m, 2);
+        l.record_cache_hits(&m, 6);
+        l.record_cache_hits(&"gpt-4o-mini".into(), 1);
+        let by = l.by_model();
+        assert_eq!(by[0].1.cache_hits, 6);
+        assert_eq!(by[0].1.cache_misses, 2);
+        assert!((by[0].1.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(l.total_cache_hits(), 7);
+        assert_eq!(l.total_cache_misses(), 2);
+        // Cache bookkeeping never counts as a request.
+        assert_eq!(l.total_requests(), 0);
+        // Zero-count records are no-ops (no entry churn).
+        l.record_cache_hits(&"untouched".into(), 0);
+        assert_eq!(l.by_model().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Text tree renderer for trace snapshots (the REPL `:spans` view).
+
+use crate::sink::TraceSnapshot;
+use crate::span::SpanRecord;
+use std::fmt::Write;
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn render_span(snap: &TraceSnapshot, span: &SpanRecord, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let dur = match span.end_us {
+        Some(_) => fmt_us(span.duration_us()),
+        None => "open".to_string(),
+    };
+    let mut attrs = String::new();
+    for (k, v) in &span.attrs {
+        let _ = write!(attrs, " {k}={v}");
+    }
+    let _ = writeln!(
+        out,
+        "{pad}[{}] {} #{} @{} +{dur}{attrs}",
+        span.layer,
+        span.name,
+        span.id,
+        fmt_us(span.start_us),
+    );
+    for event in snap.events_for(&span.id) {
+        let mut eattrs = String::new();
+        for (k, v) in &event.attrs {
+            let _ = write!(eattrs, " {k}={v}");
+        }
+        let _ = writeln!(
+            out,
+            "{pad}  · {} @{}{eattrs}",
+            event.name,
+            fmt_us(event.at_us)
+        );
+    }
+    for child in snap.children(&span.id) {
+        render_span(snap, child, indent + 1, out);
+    }
+}
+
+/// Render the whole snapshot as an indented text tree: spans with their
+/// events and children, then counters and histograms.
+pub fn render_tree(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    if snap.spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+    for root in snap.roots() {
+        render_span(snap, root, 0, &mut out);
+    }
+    // Events that fired outside any span.
+    for event in snap.events.iter().filter(|e| e.span.is_none()) {
+        let _ = writeln!(out, "· {} @{}", event.name, fmt_us(event.at_us));
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: n={} mean={:.2} min={:.2} max={:.2}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrozenClock, Layer, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_nested_tree_with_events_and_metrics() {
+        let t = Tracer::new(Arc::new(FrozenClock(2_500)));
+        {
+            let turn = t.span(Layer::Chat, "turn");
+            turn.set_attr("utterance", "load papers");
+            let _op = t.span(Layer::Executor, "op:scan");
+            t.event(Layer::Llm, "cache_miss", &[]);
+        }
+        t.incr("vector.probes", 4);
+        t.observe("llm.latency_us", 1_500.0);
+
+        let text = render_tree(&t.snapshot());
+        assert!(text.contains("[chat] turn #1"));
+        assert!(text.contains("utterance=load papers"));
+        assert!(text.contains("  [executor] op:scan #1.1"));
+        assert!(text.contains("· cache_miss"));
+        assert!(text.contains("vector.probes = 4"));
+        assert!(text.contains("llm.latency_us: n=1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let t = Tracer::new(Arc::new(FrozenClock(0)));
+        assert!(render_tree(&t.snapshot()).contains("no spans"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The thread-safe in-memory trace sink and its snapshot/export types.
+
+use crate::span::{Event, Layer, SpanGuard, SpanId, SpanRecord};
+use crate::TraceClock;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Running summary of an observed distribution (count/sum/min/max — the
+/// moments Figure-5-style reports need, without storing every sample).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn new(value: f64) -> Self {
+        Self {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct TraceState {
+    spans: Vec<SpanRecord>,
+    /// span id → index into `spans`.
+    index: HashMap<SpanId, usize>,
+    events: Vec<Event>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    /// Stack of open *structural* spans; the top is the parent for
+    /// whatever starts next.
+    scope: Vec<SpanId>,
+    root_count: u32,
+    child_count: HashMap<SpanId, u32>,
+}
+
+impl TraceState {
+    fn alloc_id(&mut self, parent: Option<&SpanId>) -> SpanId {
+        match parent {
+            None => {
+                self.root_count += 1;
+                SpanId::root(self.root_count)
+            }
+            Some(p) => {
+                let n = self.child_count.entry(p.clone()).or_insert(0);
+                *n += 1;
+                p.child(*n)
+            }
+        }
+    }
+}
+
+/// Cloneable handle to a shared trace sink. All palimpchat layers hold
+/// the same `Tracer`, so their spans land on one timeline.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    clock: Arc<dyn TraceClock>,
+    state: Mutex<TraceState>,
+}
+
+impl Tracer {
+    pub fn new(clock: Arc<dyn TraceClock>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                state: Mutex::new(TraceState::default()),
+            }),
+        }
+    }
+
+    pub fn now_micros(&self) -> u64 {
+        self.inner.clock.now_micros()
+    }
+
+    fn open_span(&self, layer: Layer, name: &str, push: bool) -> SpanGuard {
+        let start = self.now_micros();
+        let mut st = self.inner.state.lock();
+        let parent = st.scope.last().cloned();
+        let id = st.alloc_id(parent.as_ref());
+        let record = SpanRecord {
+            id: id.clone(),
+            parent,
+            layer,
+            name: name.to_string(),
+            start_us: start,
+            end_us: None,
+            attrs: BTreeMap::new(),
+        };
+        let idx = st.spans.len();
+        st.index.insert(id.clone(), idx);
+        st.spans.push(record);
+        if push {
+            st.scope.push(id.clone());
+        }
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+            pushed: push,
+            done: false,
+        }
+    }
+
+    /// Open a *structural* span: it becomes the parent of everything
+    /// started (from any thread) until its guard drops. Use for chat
+    /// turns, agent phases, optimizer runs, and executor operators.
+    pub fn span(&self, layer: Layer, name: &str) -> SpanGuard {
+        self.open_span(layer, name, true)
+    }
+
+    /// Open a *leaf* span: parented under the current scope but not
+    /// pushed onto it. Safe to open concurrently from worker threads
+    /// (e.g. per-LLM-call spans under one operator span).
+    pub fn leaf_span(&self, layer: Layer, name: &str) -> SpanGuard {
+        self.open_span(layer, name, false)
+    }
+
+    pub(crate) fn end_span(&self, id: &SpanId, pushed: bool) {
+        let end = self.now_micros();
+        let mut st = self.inner.state.lock();
+        if let Some(&i) = st.index.get(id) {
+            st.spans[i].end_us = Some(end);
+        }
+        if pushed {
+            // Pop this span (and anything accidentally left above it).
+            while let Some(top) = st.scope.pop() {
+                if top == *id {
+                    break;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn set_span_attr(&self, id: &SpanId, key: String, value: String) {
+        let mut st = self.inner.state.lock();
+        if let Some(&i) = st.index.get(id) {
+            st.spans[i].attrs.insert(key, value);
+        }
+    }
+
+    /// Record a point-in-time event under the current scope.
+    pub fn event(&self, layer: Layer, name: &str, attrs: &[(&str, String)]) {
+        let at = self.now_micros();
+        let mut st = self.inner.state.lock();
+        let span = st.scope.last().cloned();
+        st.events.push(Event {
+            span,
+            layer,
+            name: name.to_string(),
+            at_us: at,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Add `by` to a named monotonic counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut st = self.inner.state.lock();
+        *st.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record one observation into a named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut st = self.inner.state.lock();
+        match st.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                st.histograms
+                    .insert(name.to_string(), HistogramSummary::new(value));
+            }
+        }
+    }
+
+    /// Number of spans recorded so far (cheap liveness probe).
+    pub fn span_count(&self) -> usize {
+        self.inner.state.lock().spans.len()
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let st = self.inner.state.lock();
+        TraceSnapshot {
+            spans: st.spans.clone(),
+            events: st.events.clone(),
+            counters: st.counters.clone(),
+            histograms: st.histograms.clone(),
+        }
+    }
+
+    /// Drop all recorded data (scope stack included).
+    pub fn reset(&self) {
+        *self.inner.state.lock() = TraceState::default();
+    }
+}
+
+/// One line of a JSONL trace export.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum TraceLine {
+    Span(SpanRecord),
+    Event(Event),
+    Counter {
+        name: String,
+        value: u64,
+    },
+    Histogram {
+        name: String,
+        summary: HistogramSummary,
+    },
+}
+
+/// An immutable copy of a trace, exportable as JSON Lines.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<Event>,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl TraceSnapshot {
+    /// Serialize as JSON Lines: one span/event/counter/histogram per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&serde_json::to_string(&TraceLine::Span(s.clone())).expect("span json"));
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(&TraceLine::Event(e.clone())).expect("event json"));
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            out.push_str(
+                &serde_json::to_string(&TraceLine::Counter {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .expect("counter json"),
+            );
+            out.push('\n');
+        }
+        for (name, summary) in &self.histograms {
+            out.push_str(
+                &serde_json::to_string(&TraceLine::Histogram {
+                    name: name.clone(),
+                    summary: *summary,
+                })
+                .expect("histogram json"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a snapshot.
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let mut snap = TraceSnapshot::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<TraceLine>(line)? {
+                TraceLine::Span(s) => snap.spans.push(s),
+                TraceLine::Event(e) => snap.events.push(e),
+                TraceLine::Counter { name, value } => {
+                    snap.counters.insert(name, value);
+                }
+                TraceLine::Histogram { name, summary } => {
+                    snap.histograms.insert(name, summary);
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// All spans from one layer, in creation order.
+    pub fn spans_in_layer(&self, layer: Layer) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.layer == layer).collect()
+    }
+
+    /// Sum a numeric attribute across all spans of a layer (spans
+    /// without the attribute contribute 0).
+    pub fn attr_sum(&self, layer: Layer, key: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.layer == layer)
+            .filter_map(|s| s.attrs.get(key))
+            .filter_map(|v| v.parse::<f64>().ok())
+            .sum()
+    }
+
+    /// Root spans (no parent), in creation order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct children of `id`, in creation order.
+    pub fn children(&self, id: &SpanId) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.as_ref() == Some(id))
+            .collect()
+    }
+
+    /// Events attached to `id` (not descendants), in record order.
+    pub fn events_for(&self, id: &SpanId) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.span.as_ref() == Some(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrozenClock;
+
+    fn tracer() -> Tracer {
+        Tracer::new(Arc::new(FrozenClock(1_000)))
+    }
+
+    #[test]
+    fn structural_spans_nest_and_leaves_attach() {
+        let t = tracer();
+        let outer = t.span(Layer::Chat, "turn");
+        let inner = t.span(Layer::Executor, "op:filter");
+        let leaf = t.leaf_span(Layer::Llm, "complete");
+        leaf.set_attr("model", "sim");
+        drop(leaf);
+        drop(inner);
+        drop(outer);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].id.to_string(), "1");
+        assert_eq!(snap.spans[1].id.to_string(), "1.1");
+        assert_eq!(snap.spans[2].id.to_string(), "1.1.1");
+        assert_eq!(snap.spans[2].parent, Some(SpanId(vec![1, 1])));
+        assert_eq!(snap.spans[2].attrs["model"], "sim");
+        assert!(snap.spans.iter().all(|s| s.end_us.is_some()));
+    }
+
+    #[test]
+    fn leaf_spans_do_not_become_parents() {
+        let t = tracer();
+        let _outer = t.span(Layer::Executor, "op");
+        let leaf = t.leaf_span(Layer::Llm, "call-1");
+        let sibling = t.leaf_span(Layer::Llm, "call-2");
+        assert_eq!(leaf.id().to_string(), "1.1");
+        assert_eq!(sibling.id().to_string(), "1.2");
+    }
+
+    #[test]
+    fn events_counters_histograms() {
+        let t = tracer();
+        let _s = t.span(Layer::Llm, "call");
+        t.event(Layer::Llm, "cache_hit", &[("model", "sim".to_string())]);
+        t.incr("llm.cache.hits", 2);
+        t.incr("llm.cache.hits", 1);
+        t.observe("llm.latency_us", 10.0);
+        t.observe("llm.latency_us", 30.0);
+
+        assert_eq!(t.counter("llm.cache.hits"), 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].span, Some(SpanId(vec![1])));
+        let h = snap.histograms["llm.latency_us"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 30.0);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = tracer();
+        {
+            let s = t.span(Layer::Optimizer, "optimize");
+            s.set_attr("plans", "12");
+            t.event(
+                Layer::Optimizer,
+                "pareto_pruned",
+                &[("kept", "3".to_string())],
+            );
+        }
+        t.incr("optimizer.plans_enumerated", 12);
+        t.observe("optimizer.plan_cost_usd", 0.25);
+
+        let snap = t.snapshot();
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        let back = TraceSnapshot::from_jsonl(&jsonl).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = tracer();
+        t.span(Layer::Chat, "turn").finish();
+        t.incr("c", 1);
+        t.reset();
+        let snap = t.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        // ids restart from 1
+        let s = t.span(Layer::Chat, "turn2");
+        assert_eq!(s.id().to_string(), "1");
+    }
+}

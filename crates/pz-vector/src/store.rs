@@ -76,7 +76,8 @@ impl Collection {
         self.dim
     }
 
-    fn add(&mut self, v: &[f32], payload: String) -> Result<VecId, VectorStoreError> {
+    /// Returns the new id and whether the insert triggered an IVF rebuild.
+    fn add(&mut self, v: &[f32], payload: String) -> Result<(VecId, bool), VectorStoreError> {
         if v.len() != self.dim {
             return Err(VectorStoreError::DimensionMismatch {
                 expected: self.dim,
@@ -86,11 +87,12 @@ impl Collection {
         let id = self.flat.add(v);
         self.payloads.push(payload);
         self.inserts_since_build += 1;
-        if self.flat.len() >= Self::IVF_THRESHOLD && self.inserts_since_build >= Self::REBUILD_SLACK
-        {
+        let rebuild = self.flat.len() >= Self::IVF_THRESHOLD
+            && self.inserts_since_build >= Self::REBUILD_SLACK;
+        if rebuild {
             self.rebuild_ivf();
         }
-        Ok(id)
+        Ok((id, rebuild))
     }
 
     fn rebuild_ivf(&mut self) {
@@ -153,11 +155,19 @@ struct StoreSnapshot {
 #[derive(Clone, Default)]
 pub struct VectorStore {
     collections: Arc<RwLock<BTreeMap<String, Arc<RwLock<Collection>>>>>,
+    tracer: Option<pz_obs::Tracer>,
 }
 
 impl VectorStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record `vector.*` counters (inserts, probes, index builds) on
+    /// `tracer`. Clones made after this call share the tracer.
+    pub fn with_tracer(mut self, tracer: pz_obs::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Create a collection. Errors if the name is taken.
@@ -209,7 +219,21 @@ impl VectorStore {
         payload: impl Into<String>,
     ) -> Result<VecId, VectorStoreError> {
         let coll = self.get_collection(collection)?;
-        let id = coll.write().add(vector, payload.into())?;
+        let (id, rebuilt) = coll.write().add(vector, payload.into())?;
+        if let Some(t) = &self.tracer {
+            t.incr("vector.inserts", 1);
+            if rebuilt {
+                t.incr("vector.index_builds", 1);
+                t.event(
+                    pz_obs::Layer::Vector,
+                    "ivf_build",
+                    &[
+                        ("collection", collection.to_string()),
+                        ("len", coll.read().len().to_string()),
+                    ],
+                );
+            }
+        }
         Ok(id)
     }
 
@@ -222,6 +246,9 @@ impl VectorStore {
     ) -> Result<Vec<SearchHit>, VectorStoreError> {
         let coll = self.get_collection(collection)?;
         let hits = coll.read().search(query, k)?;
+        if let Some(t) = &self.tracer {
+            t.incr("vector.probes", 1);
+        }
         Ok(hits)
     }
 
@@ -422,6 +449,26 @@ mod tests {
             VectorStore::from_json(bad),
             Err(VectorStoreError::Snapshot(_))
         ));
+    }
+
+    #[test]
+    fn tracer_counts_inserts_probes_and_builds() {
+        let tracer = pz_obs::Tracer::new(Arc::new(pz_obs::FrozenClock(0)));
+        let store = VectorStore::new().with_tracer(tracer.clone());
+        store.create_collection("c", 2, Metric::Cosine).unwrap();
+        for i in 0..(Collection::IVF_THRESHOLD + 300) {
+            store.add("c", &[i as f32, 1.0], format!("p{i}")).unwrap();
+        }
+        store.search("c", &[1.0, 1.0], 3).unwrap();
+        store.search("c", &[2.0, 1.0], 3).unwrap();
+        let snap = tracer.snapshot();
+        assert_eq!(
+            snap.counters["vector.inserts"],
+            (Collection::IVF_THRESHOLD + 300) as u64
+        );
+        assert_eq!(snap.counters["vector.probes"], 2);
+        assert!(snap.counters["vector.index_builds"] >= 1);
+        assert!(snap.events.iter().any(|e| e.name == "ivf_build"));
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since 1.63), keeping crossbeam's API shape: the orchestrating
+//! closure receives `&Scope`, spawn closures receive the scope as an
+//! argument, and `scope()` returns a `Result`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Unlike real crossbeam this cannot observe child
+    /// panics (std's scope re-raises them), so the error arm is vestigial.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

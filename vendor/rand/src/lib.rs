@@ -1,0 +1,108 @@
+//! Offline stand-in for `rand` (0.9 API surface).
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over numeric ranges — the subset used by this
+//! workspace's tests and benches. The generator is xorshift64*, which is
+//! deterministic and plenty uniform for test-data generation (it is NOT
+//! the CSPRNG real `StdRng` uses).
+
+pub mod rngs {
+    /// Deterministic xorshift64* generator.
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn step(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+}
+
+/// Element types drawable from a range. Mirrors real rand's
+/// `SampleUniform` so `Range<T>` has ONE blanket `SampleRange` impl and
+/// float-literal ranges unify with the surrounding type (e.g. `f32`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                let (l, h) = (lo as f64, hi as f64);
+                let v = l + unit * (h - l);
+                (if v >= h { l } else { v }) as $t
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32 f64);
+
+macro_rules! int_sample_uniform {
+    ($($t:ty)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range");
+                let off = (next() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(*self.start(), *self.end(), true, next)
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}

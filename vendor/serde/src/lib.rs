@@ -1,0 +1,330 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` is a data-model-generic framework; this vendored
+//! replacement collapses the data model to a JSON [`json::Value`] tree,
+//! which is the only format the workspace serializes to. The public
+//! surface mirrors the subset of serde the workspace uses:
+//!
+//! - `serde::Serialize` / `serde::Deserialize` traits (via `#[derive]`)
+//! - `serde_json::{Value, Number, Map, to_string, from_str, json!, ...}`
+//!   (re-exported from [`json`] by the vendored `serde_json` crate)
+//!
+//! It exists because this build environment has no network access to
+//! crates.io; see `vendor/README.md`.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Serialize `self` into a JSON value tree.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(json::Number::from_i64(v))
+                } else {
+                    Value::Number(json::Number::from_u64(v as u64))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(json::Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8 u16 u32 u64 usize);
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(json::Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(json::Number::from_f64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.serialize_value()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.serialize_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.serialize_value()).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+/// Render a map key as a JSON object key. String keys pass through;
+/// anything else (ints, tuples) becomes its compact JSON text — mirroring
+/// how this JSON-only serde must flatten non-string keys.
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    match k.serialize_value() {
+        Value::String(s) => s,
+        other => json::write_compact(&other),
+    }
+}
+
+/// Inverse of [`key_to_string`]: try the raw string first, then fall back
+/// to parsing the key text as JSON (for ints, tuples, ...).
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    match K::deserialize_value(&Value::String(s.to_string())) {
+        Ok(k) => Ok(k),
+        Err(first) => match json::parse(s) {
+            Ok(v) => K::deserialize_value(&v),
+            Err(_) => Err(first),
+        },
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().or_else(|| v.as_u64().map(|u| u as i64));
+                match n {
+                    Some(i) => <$t>::try_from(i).map_err(|_| Error::expected(stringify!($t), v)),
+                    None => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8 i16 i32 i64 isize u8 u16 u32 usize);
+
+impl Deserialize for u64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64().ok_or_else(|| Error::expected("u64", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("f32", v))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("f64", v))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        if arr.len() != 2 {
+            return Err(Error::expected("2-element array", v));
+        }
+        Ok((
+            A::deserialize_value(&arr[0])?,
+            B::deserialize_value(&arr[1])?,
+        ))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        let mut out = std::collections::BTreeMap::new();
+        for (k, val) in obj.iter() {
+            out.insert(key_from_string(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        let mut out = std::collections::HashMap::new();
+        for (k, val) in obj.iter() {
+            out.insert(key_from_string(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for json::Map<String, Value> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Deserialize for json::Map<String, Value> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .cloned()
+            .ok_or_else(|| Error::expected("object", v))
+    }
+}

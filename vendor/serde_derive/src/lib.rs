@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (which collapse serde's data model to a JSON `Value` tree). Token
+//! parsing is hand-rolled — no `syn`/`quote` — covering the shapes this
+//! workspace uses:
+//!
+//! - structs with named fields (`#[serde(skip)]` supported)
+//! - tuple ("newtype") structs, serialized transparently
+//! - enums with unit, newtype, tuple, and struct variants, externally
+//!   tagged exactly like real serde (`"Variant"`, `{"Variant": ...}`)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let mut kind = None;
+    while let Some(t) = toks.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // outer attribute: consume the bracket group
+                toks.next();
+            }
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if s == "pub" {
+                    // possible pub(crate): consume the paren group
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Generic parameters are not supported by this stand-in.
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    let body = if kind == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        }
+    };
+    Item { name, body }
+}
+
+/// Does an attribute token group (the `[...]` contents) spell `serde(skip)`?
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // per-field: attributes, visibility, name, ':', type, ','
+        let mut skip = false;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        skip |= attr_is_serde_skip(g.stream());
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Ident(i)) => {
+                    let s = i.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                        continue;
+                    }
+                    break s;
+                }
+                other => panic!("expected field name, got {other:?}"),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Consume the type, tracking angle-bracket depth so commas inside
+        // `BTreeMap<String, f64>` don't end the field early.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: name.trim_start_matches("r#").to_string(),
+            skip,
+        });
+    }
+}
+
+/// Count fields of a tuple struct / tuple variant by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    count + usize::from(saw_tokens)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // attributes
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            None => return variants,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // consume up to and including the variant-separating comma
+        // (skips discriminants, which this workspace doesn't use on
+        // serde-derived enums)
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const V: &str = "serde::json::Value";
+const MAP: &str = "serde::json::Map";
+const ERR: &str = "serde::json::Error";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{V}::Null"),
+        Body::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("{V}::Array(vec![{}])", elems.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let mut out = format!("let mut __m = {MAP}::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "__m.insert(\"{0}\".to_string(), serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            out.push_str(&format!("{V}::Object(__m)"));
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {V}::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let mut __m = {MAP}::new();\n\
+                         __m.insert(\"{vname}\".to_string(), serde::Serialize::serialize_value(__f0));\n\
+                         {V}::Object(__m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(\"{vname}\".to_string(), {V}::Array(vec![{}]));\n\
+                             {V}::Object(__m)\n}}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = format!("let mut __inner = {MAP}::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{0}\".to_string(), serde::Serialize::serialize_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(\"{vname}\".to_string(), {V}::Object(__inner));\n\
+                             {V}::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> {V} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Build a `Name { field: ..., }` literal body from an object bound as `__m`.
+/// Field types are resolved by inference from the struct/variant definition,
+/// so the macro never has to reproduce type tokens.
+fn named_fields_literal(fields: &[Field], ctor: &str) -> String {
+    let mut out = format!("Ok({ctor} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{0}: serde::Deserialize::deserialize_value(__m.get(\"{0}\").unwrap_or(&{V}::Null)).map_err(|e| e.context(\"{0}\"))?,\n",
+                f.name
+            ));
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("let _ = v; Ok({name})"),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = v.as_array().ok_or_else(|| {ERR}::expected(\"array\", v))?;\n\
+                 if __a.len() != {n} {{ return Err({ERR}::new(\"wrong tuple length for {name}\")); }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            format!(
+                "let __m = v.as_object().ok_or_else(|| {ERR}::expected(\"object\", v))?;\n{}",
+                named_fields_literal(fields, name)
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Shape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::deserialize_value(__inner).map_err(|e| e.context(\"{vname}\"))?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| {ERR}::expected(\"array\", __inner))?;\n\
+                             if __a.len() != {n} {{ return Err({ERR}::new(\"wrong tuple length for {name}::{vname}\")); }}\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __m = __inner.as_object().ok_or_else(|| {ERR}::expected(\"object\", __inner))?;\n\
+                             {}\n}}\n",
+                            named_fields_literal(fields, &format!("{name}::{vname}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 {V}::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err({ERR}::new(format!(\"unknown {name} variant '{{__other}}'\"))),\n}},\n\
+                 {V}::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __inner) = __obj.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err({ERR}::new(format!(\"unknown {name} variant '{{__other}}'\"))),\n}}\n}},\n\
+                 _ => Err({ERR}::expected(\"{name} variant\", v)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &{V}) -> Result<Self, {ERR}> {{\n{body}\n}}\n}}\n"
+    )
+}

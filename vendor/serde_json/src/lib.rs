@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A thin facade over the vendored `serde` crate's [`serde::json`] module:
+//! re-exports [`Value`], [`Number`], [`Map`], [`Error`], and provides the
+//! familiar free functions plus the [`json!`] macro. See `vendor/README.md`
+//! for why this exists.
+
+pub use serde::json::{Error, Map, Number, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a JSON [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Deserialize a typed value out of a JSON [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_compact(&value.serialize_value()))
+}
+
+/// Serialize `value` as a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_pretty(&value.serialize_value()))
+}
+
+/// Parse a JSON string into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    T::deserialize_value(&serde::json::parse(s)?)
+}
+
+/// Build a [`Value`] from a JSON-like literal. Keys must be string
+/// literals; values may be nested literals or arbitrary serializable
+/// expressions — the subset of `serde_json::json!` this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@array __arr $($tt)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_internal!(@object __map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serialization")
+    };
+}
+
+/// Recursive muncher backing [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array elements ----
+    (@array $arr:ident) => {};
+    (@array $arr:ident null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!(null));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident true $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!(true));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident false $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!(false));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@array $arr $($($rest)*)?);
+    };
+    (@array $arr:ident $value:expr , $($rest:tt)*) => {
+        $arr.push($crate::json!($value));
+        $crate::json_internal!(@array $arr $($rest)*);
+    };
+    (@array $arr:ident $value:expr) => {
+        $arr.push($crate::json!($value));
+    };
+
+    // ---- object entries (string-literal keys) ----
+    (@object $map:ident) => {};
+    (@object $map:ident $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!(null));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:tt : true $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!(true));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:tt : false $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!(false));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:tt : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:tt : $value:expr) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+    };
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! Exports the `Error` derive macro directly (the real crate re-exports it
+//! from `thiserror-impl`; `use thiserror::Error` resolves identically).
+//! Supports the shapes this workspace uses — error *enums* with:
+//!
+//! - `#[error("literal with {0} or {named} interpolations")]`
+//! - `#[error(transparent)]` on newtype variants
+//! - `#[from]` on single-field tuple variants (generates `impl From`)
+//!
+//! Generates `impl Display`, `impl std::error::Error`, and the `From`
+//! impls. Token parsing is hand-rolled (no `syn`/`quote`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let item = parse_enum(input);
+    generate(&item).parse().expect("generated Error impl")
+}
+
+struct ErrorEnum {
+    name: String,
+    variants: Vec<Variant>,
+}
+
+struct Variant {
+    name: String,
+    /// The `#[error(...)]` payload: either a format-string literal
+    /// (verbatim, including quotes) or the `transparent` marker.
+    display: Display,
+    shape: Shape,
+}
+
+enum Display {
+    Format(String),
+    Transparent,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple fields: (type text, has `#[from]`).
+    Tuple(Vec<(String, bool)>),
+    /// Named field names.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_enum(input: TokenStream) -> ErrorEnum {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            None => panic!("thiserror stand-in: expected an enum"),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => break,
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {
+                panic!("thiserror stand-in supports enums only")
+            }
+            _ => {}
+        }
+    }
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected enum name, got {other:?}"),
+    };
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, got {other:?}"),
+    };
+
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // variant attributes: capture #[error(...)]
+        let mut display = None;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        if let Some(d) = parse_error_attr(g.stream()) {
+                            display = Some(d);
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let vname = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_field_names(g.stream());
+                toks.next();
+                Shape::Struct(names)
+            }
+            _ => Shape::Unit,
+        };
+        // consume the trailing comma
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push(Variant {
+            display: display.unwrap_or_else(|| panic!("variant {vname} is missing #[error(...)]")),
+            name: vname,
+            shape,
+        });
+    }
+    ErrorEnum { name, variants }
+}
+
+/// If the attribute tokens are `error(...)`, extract the payload.
+fn parse_error_attr(stream: TokenStream) -> Option<Display> {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "error" => {}
+        _ => return None,
+    }
+    let payload = match toks.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut inner = payload.into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "transparent" => Some(Display::Transparent),
+        Some(TokenTree::Literal(l)) => Some(Display::Format(l.to_string())),
+        other => panic!("unsupported #[error(...)] payload: {other:?}"),
+    }
+}
+
+/// Tuple-variant fields: type text + whether `#[from]` is present.
+/// Splits on top-level commas (angle-bracket aware).
+fn parse_tuple_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    'outer: loop {
+        let mut has_from = false;
+        // field attributes
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        has_from |= g
+                            .stream()
+                            .into_iter()
+                            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "from"));
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if toks.peek().is_none() {
+            break 'outer;
+        }
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            let t = toks.next().expect("peeked");
+            if !ty.is_empty() && !matches!(&t, TokenTree::Punct(_)) && !ty.ends_with(':') {
+                ty.push(' ');
+            }
+            ty.push_str(&t.to_string());
+        }
+        fields.push((ty, has_from));
+    }
+    fields
+}
+
+/// Named-struct-variant field names (types skipped, angle-bracket aware).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // attributes / visibility
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            None => return names,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {name}, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        names.push(name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn generate(item: &ErrorEnum) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    let mut from_impls = String::new();
+
+    for v in &item.variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let fmt = match &v.display {
+                    Display::Format(f) => f.clone(),
+                    Display::Transparent => {
+                        panic!("#[error(transparent)] needs exactly one field ({vname})")
+                    }
+                };
+                arms.push_str(&format!("{name}::{vname} => write!(f, {fmt}),\n"));
+            }
+            Shape::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("_{i}")).collect();
+                let pat = binds.join(", ");
+                match &v.display {
+                    Display::Transparent => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => write!(f, \"{{}}\", _0),\n"
+                        ));
+                    }
+                    Display::Format(fmt) => {
+                        // `{0}`-style placeholders resolve against the
+                        // positional args appended after the format string.
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => write!(f, {fmt}, {pat}),\n"
+                        ));
+                    }
+                }
+                for (ty, has_from) in fields {
+                    if *has_from {
+                        if fields.len() != 1 {
+                            panic!("#[from] requires a single-field variant ({vname})");
+                        }
+                        from_impls.push_str(&format!(
+                            "impl From<{ty}> for {name} {{\n\
+                             fn from(v: {ty}) -> Self {{ {name}::{vname}(v) }}\n}}\n"
+                        ));
+                    }
+                }
+            }
+            Shape::Struct(field_names) => {
+                let pat = field_names.join(", ");
+                match &v.display {
+                    Display::Transparent => {
+                        panic!("#[error(transparent)] needs a tuple variant ({vname})")
+                    }
+                    Display::Format(fmt) => {
+                        // Named placeholders capture the destructured
+                        // bindings via inline format-args capture.
+                        arms.push_str(&format!(
+                            "#[allow(unused_variables)]\n\
+                             {name}::{vname} {{ {pat} }} => write!(f, {fmt}),\n"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    format!(
+        "impl std::fmt::Display for {name} {{\n\
+         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n\
+         impl std::error::Error for {name} {{}}\n\
+         {from_impls}"
+    )
+}
