@@ -1,0 +1,61 @@
+//! Streaming pipelined executor vs operator-at-a-time materializing
+//! executor on the multi-stage demo plan.
+//!
+//! Two things are measured:
+//!   * wall-clock throughput of each executor (criterion) — the streaming
+//!     machinery (channels + stage threads + per-stage meters) must not
+//!     cost more than the work it overlaps;
+//!   * modelled *virtual-clock* time, printed once per mode — this is the
+//!     paper-facing number: pipelining turns the sum of per-operator
+//!     latencies into the bottleneck stage plus fill delay.
+
+use bench::{demo_context, demo_plan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::prelude::*;
+use std::hint::black_box;
+
+fn run_once(config: ExecutionConfig) -> (usize, f64, f64) {
+    let (ctx, _) = demo_context();
+    let o = execute(&ctx, &demo_plan(), &Policy::MaxQuality, config).unwrap();
+    (
+        o.records.len(),
+        o.stats.total_time_secs,
+        ctx.ledger.total_cost_usd(),
+    )
+}
+
+fn bench_modes(c: &mut Criterion) {
+    // Report the modelled speedup once, outside the measurement loop.
+    let (n_m, t_m, cost_m) = run_once(ExecutionConfig::sequential());
+    let (n_s, t_s, cost_s) = run_once(ExecutionConfig::streaming());
+    assert_eq!(n_m, n_s, "modes must agree on output size");
+    assert!(
+        (cost_m - cost_s).abs() < 1e-9,
+        "modes must agree on cost: ${cost_m} vs ${cost_s}"
+    );
+    assert!(
+        t_s < t_m,
+        "streaming must be faster on the virtual clock: {t_s}s vs {t_m}s"
+    );
+    println!(
+        "virtual-clock time: materializing {t_m:.1}s, streaming {t_s:.1}s \
+         ({:.2}x speedup), identical cost ${cost_m:.3}, {n_m} records",
+        t_m / t_s
+    );
+
+    let mut group = c.benchmark_group("streaming_vs_materializing");
+    group.sample_size(10);
+    group.bench_function("materializing", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::sequential())))
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::streaming())))
+    });
+    group.bench_function("streaming_small_batches", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::streaming_with(1, 1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

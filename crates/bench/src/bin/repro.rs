@@ -9,6 +9,8 @@
 //! Experiment ids follow DESIGN.md §4 (E1–E10). Output is plain text so it
 //! can be diffed against EXPERIMENTS.md. `--trace-out <path>` additionally
 //! runs the §3 chat dialogue and exports its full pz-obs trace as JSONL.
+//! `--exec-mode streaming|materializing` selects the executor used by every
+//! experiment (default: materializing).
 
 use bench::{
     chain_plan, clinical_schema, demo_context, demo_plan, science_context, science_context_with,
@@ -20,6 +22,21 @@ use pz_core::optimizer::{enumerate, pareto, sentinel, Optimizer};
 use pz_core::prelude::*;
 use pz_vector::{FlatIndex, IvfConfig, IvfIndex, Metric};
 use std::time::Instant;
+
+/// Execution mode applied to every experiment (`--exec-mode`).
+static EXEC_MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+
+fn exec_mode() -> ExecMode {
+    EXEC_MODE.get().copied().unwrap_or(ExecMode::Materializing)
+}
+
+fn cfg_seq() -> ExecutionConfig {
+    ExecutionConfig::sequential().with_mode(exec_mode())
+}
+
+fn cfg_par(workers: usize) -> ExecutionConfig {
+    ExecutionConfig::parallel(workers).with_mode(exec_mode())
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +52,24 @@ fn main() {
         }
         None => None,
     };
+    if let Some(i) = args.iter().position(|a| a == "--exec-mode") {
+        if i + 1 >= args.len() {
+            eprintln!("--exec-mode requires streaming | materializing");
+            std::process::exit(2);
+        }
+        let mode = args.remove(i + 1);
+        args.remove(i);
+        let mode = match mode.as_str() {
+            "streaming" => ExecMode::streaming(),
+            "materializing" => ExecMode::Materializing,
+            other => {
+                eprintln!("unknown --exec-mode {other:?} (try streaming | materializing)");
+                std::process::exit(2);
+            }
+        };
+        let _ = EXEC_MODE.set(mode);
+        println!("exec mode: {mode:?}");
+    }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     if run("e1") {
         e1_headline();
@@ -85,6 +120,7 @@ fn main() {
 fn export_trace(path: &str) {
     banner("TRACE", "unified observability trace of the §3 dialogue");
     let mut chat = PalimpChat::new();
+    chat.session().lock().ctx.exec_mode = exec_mode();
     for turn in [
         "Please load the dataset of scientific papers from my folder",
         "I'm interested in papers that are about colorectal cancer, and for these papers, \
@@ -114,13 +150,8 @@ fn banner(id: &str, title: &str) {
 fn e1_headline() {
     banner("E1", "scientific discovery headline (paper §3)");
     let (ctx, truth) = demo_context();
-    let outcome = execute(
-        &ctx,
-        &demo_plan(),
-        &Policy::MaxQuality,
-        ExecutionConfig::sequential(),
-    )
-    .expect("demo pipeline runs");
+    let outcome =
+        execute(&ctx, &demo_plan(), &Policy::MaxQuality, cfg_seq()).expect("demo pipeline runs");
     let filter_out = outcome.operators_out(1);
     let score = score_extractions(&outcome.records, &truth);
     println!("{:<38} {:>12} {:>12}", "metric", "paper", "measured");
@@ -171,13 +202,8 @@ impl OperatorsOut for ExecutionOutcome {
 fn e2_stats_breakdown() {
     banner("E2", "per-operator execution statistics (Figure 5)");
     let (ctx, _) = demo_context();
-    let outcome = execute(
-        &ctx,
-        &demo_plan(),
-        &Policy::MaxQuality,
-        ExecutionConfig::sequential(),
-    )
-    .expect("demo pipeline runs");
+    let outcome =
+        execute(&ctx, &demo_plan(), &Policy::MaxQuality, cfg_seq()).expect("demo pipeline runs");
     print!("{}", outcome.stats.render_table());
     println!("\nsample output records:");
     for r in outcome.records.iter().take(3) {
@@ -205,8 +231,7 @@ fn e3_policy_sweep() {
     ];
     for policy in policies {
         let (ctx, truth) = demo_context();
-        let outcome = execute(&ctx, &demo_plan(), &policy, ExecutionConfig::sequential())
-            .expect("demo pipeline runs");
+        let outcome = execute(&ctx, &demo_plan(), &policy, cfg_seq()).expect("demo pipeline runs");
         let score = score_extractions(&outcome.records, &truth);
         println!(
             "{:<28} {:>9.4} {:>9.1} {:>7} {:>7.2} | {}",
@@ -374,13 +399,8 @@ fn e8_scaling() {
     for &n in &[11usize, 50, 200] {
         for &workers in &[1usize, 4, 8] {
             let (ctx, _) = science_context(n, 17);
-            let outcome = execute(
-                &ctx,
-                &demo_plan(),
-                &Policy::MinCost,
-                ExecutionConfig::parallel(workers),
-            )
-            .expect("pipeline runs");
+            let outcome = execute(&ctx, &demo_plan(), &Policy::MinCost, cfg_par(workers))
+                .expect("pipeline runs");
             println!(
                 "{:<9} {:>9} {:>11.1} {:>11.4} {:>9} {:>10.2}",
                 n,
@@ -427,8 +447,7 @@ fn e9_sentinel() {
 
     // Ground truth: actually run it.
     ctx.reset_accounting();
-    let (_, stats) = pz_core::exec::execute_plan(&ctx, &chosen, ExecutionConfig::sequential())
-        .expect("execution");
+    let (_, stats) = pz_core::exec::execute_plan(&ctx, &chosen, cfg_seq()).expect("execution");
 
     let err = |est: f64, act: f64| (est - act).abs() / act.max(1e-9) * 100.0;
     println!(
@@ -475,21 +494,9 @@ fn e11_cache_ablation() {
             mut_ctx
         };
         let plan = demo_plan();
-        execute(
-            &ctx,
-            &plan,
-            &Policy::MaxQuality,
-            ExecutionConfig::sequential(),
-        )
-        .expect("first run");
+        execute(&ctx, &plan, &Policy::MaxQuality, cfg_seq()).expect("first run");
         let run1 = ctx.ledger.total_cost_usd();
-        execute(
-            &ctx,
-            &plan,
-            &Policy::MaxQuality,
-            ExecutionConfig::sequential(),
-        )
-        .expect("second run");
+        execute(&ctx, &plan, &Policy::MaxQuality, cfg_seq()).expect("second run");
         let run2 = ctx.ledger.total_cost_usd() - run1;
         println!(
             "{:<44} {:>12.4} {:>12.4}",
@@ -575,8 +582,7 @@ fn e12_filter_strategy_ablation() {
                 op,
             ],
         };
-        let (records, stats) =
-            pz_core::exec::execute_plan(&ctx, &plan, ExecutionConfig::sequential()).expect("runs");
+        let (records, stats) = pz_core::exec::execute_plan(&ctx, &plan, cfg_seq()).expect("runs");
         // Score kept-vs-truth per paper id.
         let kept: std::collections::BTreeSet<String> = records
             .iter()
@@ -653,8 +659,7 @@ fn e13_convert_strategy_ablation() {
                 convert,
             ],
         };
-        let (records, stats) =
-            pz_core::exec::execute_plan(&ctx, &plan, ExecutionConfig::sequential()).expect("runs");
+        let (records, stats) = pz_core::exec::execute_plan(&ctx, &plan, cfg_seq()).expect("runs");
         let m = score_extractions(&records, &truth);
         println!(
             "{:<34} {:>9.4} {:>9.1} {:>6.2} {:>6.2} {:>6.2}",

@@ -8,9 +8,11 @@
 //!
 //! Type `:trace` to toggle the ReAct trace display, `:spans` to print the
 //! session's observability trace tree, `:export <path>` to write the trace
-//! as JSONL, `:quit` to exit.
+//! as JSONL, `:exec streaming|materializing` to switch the execution mode,
+//! `:quit` to exit.
 
 use palimpchat::PalimpChat;
+use pz_core::prelude::ExecMode;
 use std::io::{self, BufRead, Write};
 
 fn main() {
@@ -23,7 +25,8 @@ fn main() {
          \"I'm interested in papers about colorectal cancer, and for these papers, \
          extract whatever public dataset is used by the study\",\n\
          then \"run the pipeline with maximum quality\".\n\
-         (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, :quit exits)\n"
+         (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, \
+         :exec streaming|materializing switches the executor, :quit exits)\n"
     );
     loop {
         print!("you> ");
@@ -53,6 +56,20 @@ fn main() {
                 continue;
             }
             _ => {}
+        }
+        if let Some(mode) = line.strip_prefix(":exec ") {
+            match mode.trim() {
+                "streaming" => {
+                    chat.session().lock().ctx.exec_mode = ExecMode::streaming();
+                    println!("execution mode: streaming (pipelined stages, bounded channels)");
+                }
+                "materializing" => {
+                    chat.session().lock().ctx.exec_mode = ExecMode::Materializing;
+                    println!("execution mode: materializing (operator-at-a-time)");
+                }
+                other => println!("unknown mode {other:?} — try :exec streaming | materializing"),
+            }
+            continue;
         }
         if let Some(path) = line.strip_prefix(":export ") {
             let path = path.trim();

@@ -293,7 +293,9 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             &state.ctx,
             &plan,
             &policy,
-            ExecutionConfig::parallel(workers),
+            // The session's `:exec` switch decides materializing vs
+            // streaming; workers only matter for materializing.
+            ExecutionConfig::parallel(workers).with_mode(state.ctx.exec_mode),
         )
         .map_err(|e| tool_err("execute_pipeline", e))?;
         let summary = format!(

@@ -43,6 +43,9 @@ pub struct PzContext {
     pub retry: RetryPolicy,
     /// Default embedding model.
     pub embed_model: ModelId,
+    /// How plans are driven by default (the REPL's `:exec` switch and the
+    /// pipeline tool read this; explicit `ExecutionConfig`s override it).
+    pub exec_mode: crate::exec::ExecMode,
     ids: Arc<AtomicU64>,
 }
 
@@ -80,8 +83,15 @@ impl PzContext {
             tracer,
             retry: RetryPolicy::default(),
             embed_model: "text-embedding-3-small".into(),
+            exec_mode: crate::exec::ExecMode::Materializing,
             ids: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Set the default execution mode for plans run through this context.
+    pub fn with_exec_mode(mut self, mode: crate::exec::ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     /// Wrap the model client in an exact-match response cache: repeated

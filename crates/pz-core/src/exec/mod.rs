@@ -1,8 +1,10 @@
-//! Execution engine: materializing executors over physical plans, with
-//! per-operator statistics (Figure 5).
+//! Execution engine: materializing and streaming-pipelined executors over
+//! physical plans, with per-operator statistics (Figure 5).
 
+pub mod channel;
 pub mod run;
 pub mod stats;
+mod streaming;
 
-pub use run::{execute_plan, ExecutionConfig};
+pub use run::{execute_plan, ExecMode, ExecutionConfig};
 pub use stats::{ExecutionStats, OperatorStats};

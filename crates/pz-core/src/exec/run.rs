@@ -12,28 +12,84 @@ use crate::exec::stats::{ExecutionStats, OperatorStats};
 use crate::ops::physical::{PhysicalOp, PhysicalPlan};
 use crate::record::DataRecord;
 
-/// Executor configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct ExecutionConfig {
-    /// Worker threads for parallelizable operators. 1 = sequential.
-    pub workers: usize,
+/// How a physical plan is driven.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Operator-at-a-time: each operator consumes the full record set
+    /// before the next starts. `workers` fans parallelizable operators
+    /// out over a thread pool.
+    #[default]
+    Materializing,
+    /// Stage-per-operator pipeline over bounded channels: stages overlap
+    /// on the virtual clock; downstream early termination cancels
+    /// upstream work.
+    Streaming {
+        /// In-flight batches each channel may hold (backpressure knob).
+        channel_capacity: usize,
+        /// Records per batch flowing between stages.
+        batch_size: usize,
+    },
 }
 
-impl Default for ExecutionConfig {
-    fn default() -> Self {
-        Self { workers: 1 }
+impl ExecMode {
+    /// Streaming with the default knobs (capacity 2, batch 4).
+    pub fn streaming() -> Self {
+        ExecMode::Streaming {
+            channel_capacity: 2,
+            batch_size: 4,
+        }
     }
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecutionConfig {
+    /// Worker threads for parallelizable operators (materializing mode
+    /// only; streaming overlap comes from the stage pipeline). 0 and 1
+    /// both mean sequential.
+    pub workers: usize,
+    /// Materializing or streaming execution.
+    pub mode: ExecMode,
 }
 
 impl ExecutionConfig {
     pub fn sequential() -> Self {
-        Self { workers: 1 }
+        Self {
+            workers: 1,
+            mode: ExecMode::Materializing,
+        }
     }
 
     pub fn parallel(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            mode: ExecMode::Materializing,
         }
+    }
+
+    /// Streaming pipeline with default knobs.
+    pub fn streaming() -> Self {
+        Self {
+            workers: 1,
+            mode: ExecMode::streaming(),
+        }
+    }
+
+    /// Streaming pipeline with explicit backpressure knobs.
+    pub fn streaming_with(channel_capacity: usize, batch_size: usize) -> Self {
+        Self {
+            workers: 1,
+            mode: ExecMode::Streaming {
+                channel_capacity: channel_capacity.max(1),
+                batch_size: batch_size.max(1),
+            },
+        }
+    }
+
+    /// Replace the execution mode, keeping the worker count.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -43,6 +99,13 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     config: ExecutionConfig,
 ) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
+    if let ExecMode::Streaming {
+        channel_capacity,
+        batch_size,
+    } = config.mode
+    {
+        return crate::exec::streaming::execute_streaming(ctx, plan, channel_capacity, batch_size);
+    }
     let mut records: Vec<DataRecord> = Vec::new();
     let mut stats = ExecutionStats {
         plan: plan.describe(),
@@ -309,6 +372,157 @@ mod tests {
         assert!(records[0].get("contents").is_none());
         assert_eq!(stats.total_llm_calls, 0);
         assert_eq!(stats.total_cost_usd, 0.0);
+    }
+
+    #[test]
+    fn streaming_same_records_and_cost_less_virtual_time() {
+        let ctx_m = science_ctx();
+        let (rec_m, stats_m) =
+            execute_plan(&ctx_m, &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        let ctx_s = science_ctx();
+        let (rec_s, stats_s) =
+            execute_plan(&ctx_s, &demo_plan(), ExecutionConfig::streaming()).unwrap();
+
+        // Identical outputs: the simulator keys responses on record
+        // content, and stages preserve batch order.
+        assert_eq!(rec_m.len(), rec_s.len());
+        let names = |recs: &[DataRecord]| {
+            let mut v: Vec<String> = recs
+                .iter()
+                .map(|r| r.get("name").unwrap().as_display())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(names(&rec_m), names(&rec_s));
+
+        // Identical cost and calls on the ledger and in the stats.
+        assert!((stats_m.total_cost_usd - stats_s.total_cost_usd).abs() < 1e-9);
+        assert_eq!(stats_m.total_llm_calls, stats_s.total_llm_calls);
+        assert!((ctx_m.ledger.total_cost_usd() - ctx_s.ledger.total_cost_usd()).abs() < 1e-9);
+
+        // Overlapping stages: strictly less attributed virtual time.
+        assert!(
+            stats_s.total_time_secs < stats_m.total_time_secs,
+            "streaming {} vs materializing {}",
+            stats_s.total_time_secs,
+            stats_m.total_time_secs
+        );
+        assert!(stats_s.total_time_secs > 0.0);
+    }
+
+    #[test]
+    fn streaming_per_operator_accounting_sums_to_ledger() {
+        let ctx = science_ctx();
+        let (_, stats) = execute_plan(&ctx, &demo_plan(), ExecutionConfig::streaming()).unwrap();
+        assert_eq!(stats.operators.len(), 3);
+        assert_eq!(stats.operators[0].llm_calls, 0);
+        assert_eq!(stats.operators[1].llm_calls, 11);
+        assert!(stats.operators[2].llm_calls >= 4);
+        let op_cost: f64 = stats.operators.iter().map(|o| o.cost_usd).sum();
+        assert!((op_cost - ctx.ledger.total_cost_usd()).abs() < 1e-9);
+        let op_calls: usize = stats.operators.iter().map(|o| o.llm_calls).sum();
+        assert_eq!(op_calls, ctx.ledger.total_requests());
+    }
+
+    #[test]
+    fn streaming_limit_cancels_upstream_llm_calls() {
+        // scan -> filter -> limit 2: streaming stops filtering once the
+        // limit is satisfied; materializing filters all 11 papers.
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::LlmFilter {
+                    predicate: "The papers are about colorectal cancer".into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+                PhysicalOp::Limit { n: 2 },
+            ],
+        };
+        let ctx_m = science_ctx();
+        let (rec_m, _) = execute_plan(&ctx_m, &plan, ExecutionConfig::sequential()).unwrap();
+        let ctx_s = science_ctx();
+        // batch 1 so cancellation lands at record granularity.
+        let (rec_s, _) =
+            execute_plan(&ctx_s, &plan, ExecutionConfig::streaming_with(1, 1)).unwrap();
+        assert_eq!(rec_m.len(), 2);
+        assert_eq!(rec_s.len(), 2);
+        assert_eq!(ctx_m.ledger.total_requests(), 11);
+        assert!(
+            ctx_s.ledger.total_requests() < ctx_m.ledger.total_requests(),
+            "streaming made {} calls, materializing {}",
+            ctx_s.ledger.total_requests(),
+            ctx_m.ledger.total_requests()
+        );
+    }
+
+    #[test]
+    fn streaming_conventional_ops_match_materializing() {
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::Sort {
+                    field: "filename".into(),
+                    descending: true,
+                },
+                PhysicalOp::Limit { n: 3 },
+                PhysicalOp::Project {
+                    fields: vec!["filename".into()],
+                },
+            ],
+        };
+        let ctx_m = science_ctx();
+        let (rec_m, _) = execute_plan(&ctx_m, &plan, ExecutionConfig::sequential()).unwrap();
+        let ctx_s = science_ctx();
+        let (rec_s, stats_s) = execute_plan(&ctx_s, &plan, ExecutionConfig::streaming()).unwrap();
+        let files = |recs: &[DataRecord]| -> Vec<String> {
+            recs.iter()
+                .map(|r| r.get("filename").unwrap().as_display())
+                .collect()
+        };
+        assert_eq!(files(&rec_m), files(&rec_s));
+        assert_eq!(stats_s.total_llm_calls, 0);
+        assert_eq!(stats_s.total_cost_usd, 0.0);
+    }
+
+    #[test]
+    fn streaming_failing_op_surfaces_first_error_with_context() {
+        let ctx = science_ctx();
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "sigmod-demo".into(),
+                },
+                PhysicalOp::UdfFilter {
+                    udf: "not-registered".into(),
+                },
+                PhysicalOp::Limit { n: 3 },
+            ],
+        };
+        let err = execute_plan(&ctx, &plan, ExecutionConfig::streaming_with(1, 2)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("UDFFilter[not-registered]"), "{msg}");
+        assert!(msg.contains("unknown UDF"), "{msg}");
+    }
+
+    #[test]
+    fn streaming_empty_plan_and_unknown_dataset() {
+        let ctx = PzContext::simulated();
+        let empty = PhysicalPlan { ops: vec![] };
+        let (recs, stats) = execute_plan(&ctx, &empty, ExecutionConfig::streaming()).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(stats.operators.len(), 0);
+        let ghost = PhysicalPlan {
+            ops: vec![PhysicalOp::Scan {
+                dataset: "ghost".into(),
+            }],
+        };
+        assert!(execute_plan(&ctx, &ghost, ExecutionConfig::streaming()).is_err());
     }
 
     #[test]

@@ -61,6 +61,23 @@ impl ExecutionStats {
         self.output_records = self.operators.last().map_or(0, |o| o.output_records);
     }
 
+    /// Recompute totals for a *pipelined* run: stages overlap, so total
+    /// time is not the sum of stage times but the bottleneck stage plus
+    /// the delay before it first received work. `startup[i]` is operator
+    /// `i`'s busy time before it emitted its first output batch (its
+    /// contribution to downstream pipeline-fill delay). Cost and call
+    /// totals are unaffected — only time models the overlap.
+    pub fn finalize_pipelined(&mut self, startup: &[f64]) {
+        self.finalize();
+        let mut fill = 0.0f64;
+        let mut total = 0.0f64;
+        for (i, op) in self.operators.iter().enumerate() {
+            total = total.max(fill + op.time_secs);
+            fill += startup.get(i).copied().unwrap_or(0.0);
+        }
+        self.total_time_secs = total;
+    }
+
     /// Render the Figure-5-style summary table.
     pub fn render_table(&self) -> String {
         let mut s = String::new();
@@ -143,6 +160,28 @@ mod tests {
         assert!((stats.total_time_secs - 3.0).abs() < 1e-12);
         assert_eq!(stats.total_llm_calls, 15);
         assert_eq!(stats.output_records, 5);
+    }
+
+    #[test]
+    fn finalize_pipelined_takes_bottleneck_plus_fill_not_sum() {
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            // scan (free) -> filter (10s busy, 2s to first batch) ->
+            // convert (8s busy).
+            operators: vec![
+                op("Scan", 0, 10, 0.0, 0.0),
+                op("f", 10, 5, 0.1, 10.0),
+                op("c", 5, 5, 0.2, 8.0),
+            ],
+            ..Default::default()
+        };
+        stats.finalize_pipelined(&[0.0, 2.0, 8.0]);
+        // convert starts after 0+2s of fill and runs 8s => ends at 10s;
+        // filter itself runs 10s => bottleneck is 10s, not 18s.
+        assert!((stats.total_time_secs - 10.0).abs() < 1e-12);
+        // Cost and call totals are still plain sums.
+        assert!((stats.total_cost_usd - 0.3).abs() < 1e-12);
+        assert_eq!(stats.total_llm_calls, 15);
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Streaming pipelined execution.
+//!
+//! Each physical operator runs as a *stage* on its own scoped thread,
+//! linked to its neighbours by bounded channels
+//! ([`crate::exec::channel`]): record batches flow downstream as soon as
+//! they are produced, so LLM-bound stages overlap on the virtual clock
+//! instead of serializing. Backpressure comes from channel capacity;
+//! early termination (a satisfied `Limit`, a closed tail) propagates
+//! upstream as a failed `send`, cancelling in-flight work at batch
+//! granularity.
+//!
+//! ## Accounting under concurrency
+//!
+//! The materializing executor attributes per-operator cost by snapshotting
+//! the shared ledger around each operator — invalid when stages run
+//! concurrently. Here every stage gets its own [`StageMeter`]: a thin
+//! `LlmClient` wrapper that serializes provider calls through one global
+//! gate and attributes each call's ledger delta (requests, tokens,
+//! dollars, modelled latency) to its stage. Cache hits never touch the
+//! ledger and therefore bill nothing, exactly as in materializing mode;
+//! retry backoff advances the clock *between* attempts (outside the gate)
+//! and is attributed to no stage.
+//!
+//! Plan time is *modelled*, not measured: the virtual clock advances by
+//! the full latency of every call regardless of mode, so overlap shows up
+//! as `ExecutionStats::finalize_pipelined` — plan time is the bottleneck
+//! stage plus upstream pipeline-fill delay, not the sum of stages.
+//!
+//! ## Spans
+//!
+//! The plan span is structural; per-operator spans are *leaf* spans
+//! opened up-front in plan order (all siblings under the plan span), so
+//! concurrent stage threads never push onto the tracer's shared scope
+//! stack. LLM leaf spans made mid-stream therefore parent under the plan
+//! span; per-operator totals live as attributes on the `op:` spans and
+//! reconcile exactly with `ExecutionStats` and the ledger.
+
+use crate::context::PzContext;
+use crate::error::{PzError, PzResult};
+use crate::exec::channel::{bounded, Receiver, Sender};
+use crate::exec::stats::{ExecutionStats, OperatorStats};
+use crate::ops::physical::{PhysicalOp, PhysicalPlan};
+use crate::record::DataRecord;
+use parking_lot::Mutex;
+use pz_llm::{
+    CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient,
+    LlmError, Usage, UsageLedger,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Per-stage accounting accumulated by [`StageMeter`].
+#[derive(Clone, Copy, Debug, Default)]
+struct MeterTotals {
+    llm_calls: usize,
+    input_tokens: usize,
+    output_tokens: usize,
+    cost_usd: f64,
+    /// Modelled latency attributed to this stage (sum of its calls'
+    /// ledger latency — excludes retry backoff, which no stage owns).
+    busy_secs: f64,
+}
+
+/// `LlmClient` wrapper attributing ledger deltas to one stage.
+///
+/// All stages share one `gate`, so ledger snapshots taken around a call
+/// see exactly that call's contribution even though stages run on
+/// concurrent threads. Failed (transient) attempts bill nothing — the
+/// simulator errors before recording — so retries stay cost-neutral, as
+/// in materializing mode.
+struct StageMeter {
+    inner: Arc<dyn LlmClient>,
+    gate: Arc<Mutex<()>>,
+    ledger: UsageLedger,
+    totals: Mutex<MeterTotals>,
+}
+
+impl StageMeter {
+    fn new(inner: Arc<dyn LlmClient>, gate: Arc<Mutex<()>>, ledger: UsageLedger) -> Self {
+        Self {
+            inner,
+            gate,
+            ledger,
+            totals: Mutex::new(MeterTotals::default()),
+        }
+    }
+
+    fn snap(&self) -> (usize, Usage, f64, f64) {
+        (
+            self.ledger.total_requests(),
+            self.ledger.total_usage(),
+            self.ledger.total_cost_usd(),
+            self.ledger.total_latency_secs(),
+        )
+    }
+
+    fn metered<R>(&self, call: impl FnOnce(&dyn LlmClient) -> R) -> R {
+        let _serialized = self.gate.lock();
+        let before = self.snap();
+        let out = call(self.inner.as_ref());
+        let after = self.snap();
+        let mut t = self.totals.lock();
+        t.llm_calls += after.0 - before.0;
+        t.input_tokens += after.1.input_tokens - before.1.input_tokens;
+        t.output_tokens += after.1.output_tokens - before.1.output_tokens;
+        t.cost_usd += after.2 - before.2;
+        t.busy_secs += after.3 - before.3;
+        out
+    }
+
+    fn totals(&self) -> MeterTotals {
+        *self.totals.lock()
+    }
+
+    fn busy_secs(&self) -> f64 {
+        self.totals.lock().busy_secs
+    }
+}
+
+impl LlmClient for StageMeter {
+    fn complete(&self, req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+        self.metered(|c| c.complete(req))
+    }
+
+    fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+        self.metered(|c| c.embed(req))
+    }
+}
+
+/// What one stage thread reports back after joining.
+#[derive(Default)]
+struct StageReport {
+    input_records: usize,
+    output_records: usize,
+    /// Final-stage only: the plan's output records.
+    collected: Vec<DataRecord>,
+    /// Busy time accumulated before the first output batch was emitted —
+    /// the stage's contribution to downstream pipeline-fill delay.
+    startup_secs: f64,
+}
+
+/// How a stage consumes its input stream.
+enum StageKind {
+    /// Batch-at-a-time: `op.execute` per incoming batch.
+    PerBatch,
+    /// Must see the whole input before producing anything.
+    Blocking,
+    /// Stateful pass-through that cancels upstream once satisfied.
+    Limit(usize),
+    /// Pass-through, then flush the other dataset at end-of-stream.
+    Union,
+}
+
+fn stage_kind(op: &PhysicalOp) -> StageKind {
+    match op {
+        PhysicalOp::Limit { n } => StageKind::Limit(*n),
+        // Sort/Distinct/Aggregate need the full input; Retrieve builds a
+        // temporary vector collection over it, so per-batch top-k would
+        // be wrong. A mid-plan Scan ignores its input entirely — running
+        // it once over the collected stream matches materializing mode.
+        PhysicalOp::Sort { .. }
+        | PhysicalOp::Distinct { .. }
+        | PhysicalOp::Aggregate { .. }
+        | PhysicalOp::Retrieve { .. }
+        | PhysicalOp::Scan { .. } => StageKind::Blocking,
+        PhysicalOp::UnionAll { .. } => StageKind::Union,
+        _ => StageKind::PerBatch,
+    }
+}
+
+/// Where a stage's output goes: the next stage's channel, or (for the
+/// final stage) an in-memory collection.
+struct Emitter {
+    output: Option<Sender<Vec<DataRecord>>>,
+    collected: Vec<DataRecord>,
+    first_emit_busy: Option<f64>,
+}
+
+impl Emitter {
+    /// Deliver a batch downstream. `false` means downstream disconnected
+    /// (early termination) and the stage should stop producing.
+    fn emit(&mut self, meter: &StageMeter, batch: Vec<DataRecord>) -> bool {
+        if self.first_emit_busy.is_none() {
+            self.first_emit_busy = Some(meter.busy_secs());
+        }
+        match &self.output {
+            Some(tx) => tx.send(batch).is_ok(),
+            None => {
+                self.collected.extend(batch);
+                true
+            }
+        }
+    }
+}
+
+struct StageShared {
+    abort: AtomicBool,
+    first_error: Mutex<Option<PzError>>,
+}
+
+impl StageShared {
+    fn fail(&self, op: &PhysicalOp, e: PzError) {
+        self.abort.store(true, Ordering::SeqCst);
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(PzError::Execution(format!(
+                "operator {}: {e}",
+                op.describe()
+            )));
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+}
+
+/// Execute `plan` as a stage-per-operator pipeline.
+pub(crate) fn execute_streaming(
+    ctx: &PzContext,
+    plan: &PhysicalPlan,
+    channel_capacity: usize,
+    batch_size: usize,
+) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
+    let mut stats = ExecutionStats {
+        plan: plan.describe(),
+        ..Default::default()
+    };
+    if plan.ops.is_empty() {
+        return Ok((Vec::new(), stats));
+    }
+    let channel_capacity = channel_capacity.max(1);
+    let batch_size = batch_size.max(1);
+
+    let plan_span = ctx.tracer.span(pz_obs::Layer::Executor, "execute_plan");
+    plan_span.set_attr("plan", plan.describe());
+    plan_span.set_attr("mode", "streaming");
+    plan_span.set_attr("channel_capacity", channel_capacity.to_string());
+    plan_span.set_attr("batch_size", batch_size.to_string());
+
+    // Leaf spans do not push the tracer's scope stack, so opening them
+    // up-front keeps parenting correct while stages run concurrently.
+    let op_spans: Vec<pz_obs::SpanGuard> = plan
+        .ops
+        .iter()
+        .map(|op| {
+            ctx.tracer
+                .leaf_span(pz_obs::Layer::Executor, &format!("op:{}", op.describe()))
+        })
+        .collect();
+
+    let gate = Arc::new(Mutex::new(()));
+    let shared = Arc::new(StageShared {
+        abort: AtomicBool::new(false),
+        first_error: Mutex::new(None),
+    });
+    let meters: Vec<Arc<StageMeter>> = plan
+        .ops
+        .iter()
+        .map(|_| {
+            Arc::new(StageMeter::new(
+                ctx.llm.clone(),
+                gate.clone(),
+                ctx.ledger.clone(),
+            ))
+        })
+        .collect();
+
+    let mut reports: Vec<StageReport> = Vec::with_capacity(plan.ops.len());
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(plan.ops.len());
+        let mut upstream: Option<Receiver<Vec<DataRecord>>> = None;
+        for (idx, op) in plan.ops.iter().enumerate() {
+            let (tx, next_rx) = if idx + 1 < plan.ops.len() {
+                let (tx, rx) = bounded(channel_capacity);
+                (Some(tx), Some(rx))
+            } else {
+                (None, None)
+            };
+            let input = upstream.take();
+            upstream = next_rx;
+
+            let meter = meters[idx].clone();
+            let mut stage_ctx = ctx.clone();
+            stage_ctx.llm = meter.clone();
+            let op = op.clone();
+            let shared = shared.clone();
+            handles.push(s.spawn(move |_| {
+                run_stage(&stage_ctx, &op, idx, input, tx, batch_size, &shared, &meter)
+            }));
+        }
+        for h in handles {
+            reports.push(h.join().expect("stage thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    // A fatal stage error wins over any partial output: the pipeline has
+    // drained (all threads joined above), now surface the first error.
+    if let Some(e) = shared.first_error.lock().take() {
+        return Err(e);
+    }
+
+    let mut startup = Vec::with_capacity(plan.ops.len());
+    for ((op, report), (meter, span)) in plan
+        .ops
+        .iter()
+        .zip(&reports)
+        .zip(meters.iter().zip(op_spans))
+    {
+        let m = meter.totals();
+        let op_stats = OperatorStats {
+            logical: op.logical_kind().to_string(),
+            physical: op.describe(),
+            model: op.model().map(|m| m.to_string()),
+            input_records: report.input_records,
+            output_records: report.output_records,
+            llm_calls: m.llm_calls,
+            input_tokens: m.input_tokens,
+            output_tokens: m.output_tokens,
+            cost_usd: m.cost_usd,
+            time_secs: m.busy_secs,
+        };
+        span.set_attr("in", op_stats.input_records.to_string());
+        span.set_attr("out", op_stats.output_records.to_string());
+        span.set_attr("llm_calls", op_stats.llm_calls.to_string());
+        span.set_attr("cost_usd", format!("{:.6}", op_stats.cost_usd));
+        span.set_attr("time_secs", format!("{:.6}", op_stats.time_secs));
+        span.finish();
+        startup.push(report.startup_secs);
+        stats.operators.push(op_stats);
+    }
+    stats.finalize_pipelined(&startup);
+
+    let records = reports.pop().map(|r| r.collected).unwrap_or_default();
+    stats.output_records = records.len();
+    plan_span.set_attr("output_records", stats.output_records.to_string());
+    plan_span.set_attr("llm_calls", stats.total_llm_calls.to_string());
+    plan_span.set_attr("cost_usd", format!("{:.6}", stats.total_cost_usd));
+    Ok((records, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    idx: usize,
+    input: Option<Receiver<Vec<DataRecord>>>,
+    output: Option<Sender<Vec<DataRecord>>>,
+    batch_size: usize,
+    shared: &StageShared,
+    meter: &StageMeter,
+) -> StageReport {
+    let mut report = StageReport::default();
+    let mut emitter = Emitter {
+        output,
+        collected: Vec::new(),
+        first_emit_busy: None,
+    };
+
+    match input {
+        // Source stage: materialize once, then stream out in batches. A
+        // failed emit means downstream cancelled — stop scanning early.
+        None => match op.execute(ctx, Vec::new()) {
+            Ok(out) => {
+                for chunk in out.chunks(batch_size) {
+                    if shared.aborted() {
+                        break;
+                    }
+                    report.output_records += chunk.len();
+                    if !emitter.emit(meter, chunk.to_vec()) {
+                        break;
+                    }
+                }
+            }
+            Err(e) => shared.fail(op, e),
+        },
+        Some(rx) => match stage_kind(op) {
+            StageKind::PerBatch => {
+                while let Some(batch) = rx.recv() {
+                    if shared.aborted() {
+                        break;
+                    }
+                    report.input_records += batch.len();
+                    match op.execute(ctx, batch) {
+                        Ok(out) => {
+                            if out.is_empty() {
+                                continue;
+                            }
+                            report.output_records += out.len();
+                            if !emitter.emit(meter, out) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            shared.fail(op, e);
+                            break;
+                        }
+                    }
+                }
+            }
+            StageKind::Blocking => {
+                let mut buf = Vec::new();
+                while let Some(batch) = rx.recv() {
+                    if shared.aborted() {
+                        break;
+                    }
+                    report.input_records += batch.len();
+                    buf.extend(batch);
+                }
+                if !shared.aborted() {
+                    match op.execute(ctx, buf) {
+                        Ok(out) => {
+                            for chunk in out.chunks(batch_size) {
+                                report.output_records += chunk.len();
+                                if !emitter.emit(meter, chunk.to_vec()) {
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e) => shared.fail(op, e),
+                    }
+                }
+            }
+            StageKind::Limit(n) => {
+                let mut remaining = n;
+                while remaining > 0 {
+                    let Some(mut batch) = rx.recv() else { break };
+                    if shared.aborted() {
+                        break;
+                    }
+                    report.input_records += batch.len();
+                    batch.truncate(remaining);
+                    remaining -= batch.len();
+                    report.output_records += batch.len();
+                    if !emitter.emit(meter, batch) {
+                        break;
+                    }
+                }
+                // Falling out drops `rx`: upstream sends start failing and
+                // the cancellation cascades to the source.
+            }
+            StageKind::Union => {
+                let mut cancelled = false;
+                while let Some(batch) = rx.recv() {
+                    if shared.aborted() {
+                        cancelled = true;
+                        break;
+                    }
+                    report.input_records += batch.len();
+                    report.output_records += batch.len();
+                    if !emitter.emit(meter, batch) {
+                        cancelled = true;
+                        break;
+                    }
+                }
+                if !cancelled && !shared.aborted() {
+                    // UnionAll over empty input yields the other dataset.
+                    match op.execute(ctx, Vec::new()) {
+                        Ok(other) => {
+                            for chunk in other.chunks(batch_size) {
+                                report.output_records += chunk.len();
+                                if !emitter.emit(meter, chunk.to_vec()) {
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e) => shared.fail(op, e),
+                    }
+                }
+            }
+        },
+    }
+    let _ = idx;
+    report.startup_secs = emitter.first_emit_busy.unwrap_or_else(|| meter.busy_secs());
+    report.collected = emitter.collected;
+    report
+}

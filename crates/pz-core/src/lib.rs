@@ -56,7 +56,7 @@ pub mod optimizer;
 pub mod record;
 pub mod schema;
 
-use crate::exec::{execute_plan, ExecutionConfig, ExecutionStats};
+use crate::exec::{execute_plan, ExecMode, ExecutionConfig, ExecutionStats};
 use crate::ops::logical::LogicalPlan;
 use crate::ops::physical::PhysicalPlan;
 use crate::optimizer::cost::PlanEstimate;
@@ -133,6 +133,13 @@ pub fn execute_with_optimizer(
     config: ExecutionConfig,
     optimizer: &Optimizer,
 ) -> error::PzResult<ExecutionOutcome> {
+    // A streaming run overlaps its stages, so plan *time* must be costed
+    // as the bottleneck stage — otherwise MinTime-style policies would
+    // rank plans by a sum the executor never pays.
+    let mut optimizer = optimizer.clone();
+    if matches!(config.mode, ExecMode::Streaming { .. }) {
+        optimizer.pipelined_time = true;
+    }
     let (chosen_plan, estimate, report) = optimizer.optimize(ctx, plan, policy)?;
     let (records, mut stats) = execute_plan(ctx, &chosen_plan, config)?;
     stats.policy = policy.name();
@@ -151,7 +158,7 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::datasource::{DataRegistry, DirectorySource, MemorySource, UdfRegistry};
     pub use crate::error::{PzError, PzResult};
-    pub use crate::exec::{ExecutionConfig, ExecutionStats, OperatorStats};
+    pub use crate::exec::{ExecMode, ExecutionConfig, ExecutionStats, OperatorStats};
     pub use crate::execute;
     pub use crate::execute_with_optimizer;
     pub use crate::field::{FieldDef, FieldType};
@@ -315,6 +322,34 @@ mod tests {
                 outcome.chosen_plan.describe()
             );
         }
+    }
+
+    #[test]
+    fn streaming_execute_same_cost_bottleneck_time_estimate() {
+        let ctx_m = science_ctx();
+        let m = execute(
+            &ctx_m,
+            &demo_plan(),
+            &Policy::MaxQuality,
+            ExecutionConfig::sequential(),
+        )
+        .unwrap();
+        let ctx_s = science_ctx();
+        let s = execute(
+            &ctx_s,
+            &demo_plan(),
+            &Policy::MaxQuality,
+            ExecutionConfig::streaming(),
+        )
+        .unwrap();
+        // Same plan, same records, same dollars.
+        assert_eq!(m.chosen_plan.describe(), s.chosen_plan.describe());
+        assert_eq!(m.records.len(), s.records.len());
+        assert!((m.stats.total_cost_usd - s.stats.total_cost_usd).abs() < 1e-9);
+        // The optimizer costed time as the bottleneck stage, and the
+        // executor measured the overlap.
+        assert!(s.estimate.time_secs < m.estimate.time_secs);
+        assert!(s.stats.total_time_secs < m.stats.total_time_secs);
     }
 
     #[test]

@@ -241,16 +241,27 @@ fn effort_multiplier(effort: Effort) -> f64 {
     }
 }
 
-/// Estimate a full physical plan.
+/// Estimate a full physical plan under materializing execution (plan time
+/// is the sum of operator times).
 pub fn estimate_plan(plan: &PhysicalPlan, ctx: &CostContext) -> PlanEstimate {
+    estimate_plan_for(plan, ctx, false)
+}
+
+/// Estimate a full physical plan. With `pipelined`, plan time models the
+/// streaming executor: stages overlap on the virtual clock, so total time
+/// is driven by the bottleneck stage rather than the sum of stages. Cost,
+/// quality, and cardinality are mode-independent.
+pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool) -> PlanEstimate {
     let mut card = 0.0f64;
     let mut tokens = ctx.source_tokens();
+    let mut bottleneck = 0.0f64;
     let mut est = PlanEstimate {
         quality: 1.0,
         ..Default::default()
     };
 
     for (idx, op) in plan.ops.iter().enumerate() {
+        let time_before = est.time_secs;
         match op {
             PhysicalOp::Scan { .. } => {
                 card = ctx.input_cardinality;
@@ -468,8 +479,12 @@ pub fn estimate_plan(plan: &PhysicalPlan, ctx: &CostContext) -> PlanEstimate {
                 card = card.min(*k as f64);
             }
         }
+        bottleneck = bottleneck.max(est.time_secs - time_before);
     }
     est.output_cardinality = card;
+    if pipelined {
+        est.time_secs = bottleneck;
+    }
     est
 }
 
@@ -587,6 +602,37 @@ mod tests {
             &c,
         );
         assert!(double.cost_usd < single.cost_usd * 0.6);
+    }
+
+    #[test]
+    fn pipelined_estimate_is_bottleneck_not_sum() {
+        let c = ctx();
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: "d".into(),
+                },
+                PhysicalOp::LlmFilter {
+                    predicate: "about cancer".into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+                PhysicalOp::LlmFilter {
+                    predicate: "uses public data".into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+            ],
+        };
+        let mat = estimate_plan_for(&plan, &c, false);
+        let pipe = estimate_plan_for(&plan, &c, true);
+        // Overlap: strictly less than the sum, at least the largest stage.
+        assert!(pipe.time_secs < mat.time_secs);
+        assert!(pipe.time_secs > 0.0);
+        // Everything but time is mode-independent.
+        assert_eq!(pipe.cost_usd, mat.cost_usd);
+        assert_eq!(pipe.quality, mat.quality);
+        assert_eq!(pipe.output_cardinality, mat.output_cardinality);
     }
 
     #[test]

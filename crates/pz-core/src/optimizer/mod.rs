@@ -50,6 +50,10 @@ pub struct Optimizer {
     pub enumeration_cap: usize,
     /// Run sentinel calibration on a sample before estimating.
     pub sentinel_sample: Option<usize>,
+    /// Estimate plan time for the streaming pipelined executor: total time
+    /// is the bottleneck stage, not the sum of stages. Cost and quality
+    /// estimates are unaffected.
+    pub pipelined_time: bool,
 }
 
 impl Default for Optimizer {
@@ -57,6 +61,7 @@ impl Default for Optimizer {
         Self {
             enumeration_cap: 20_000,
             sentinel_sample: None,
+            pipelined_time: false,
         }
     }
 }
@@ -68,6 +73,12 @@ impl Optimizer {
 
     pub fn with_sentinel(mut self, sample: usize) -> Self {
         self.sentinel_sample = Some(sample);
+        self
+    }
+
+    /// Cost plan time for the streaming pipelined executor.
+    pub fn with_pipelined_time(mut self) -> Self {
+        self.pipelined_time = true;
         self
     }
 
@@ -115,12 +126,13 @@ impl Optimizer {
             plans
                 .into_iter()
                 .map(|p| {
-                    let est = cost::estimate_plan(&p, &cost_ctx);
+                    let est = cost::estimate_plan_for(&p, &cost_ctx, self.pipelined_time);
                     (p, est)
                 })
                 .collect()
         } else {
-            let frontier = pareto::enumerate_pareto(plan, &ctx.catalog, &cost_ctx);
+            let frontier =
+                pareto::enumerate_pareto_for(plan, &ctx.catalog, &cost_ctx, self.pipelined_time);
             report.plans_considered = frontier.len();
             frontier
         };

@@ -10,7 +10,7 @@
 
 use crate::ops::logical::LogicalPlan;
 use crate::ops::physical::PhysicalPlan;
-use crate::optimizer::cost::{estimate_plan, CostContext, PlanEstimate};
+use crate::optimizer::cost::{estimate_plan_for, CostContext, PlanEstimate};
 use crate::optimizer::enumerate::alternatives;
 use pz_llm::Catalog;
 
@@ -54,6 +54,20 @@ pub fn enumerate_pareto(
     catalog: &Catalog,
     ctx: &CostContext,
 ) -> Vec<(PhysicalPlan, PlanEstimate)> {
+    enumerate_pareto_for(plan, catalog, ctx, false)
+}
+
+/// [`enumerate_pareto`] with a choice of time model: `pipelined` estimates
+/// plan time as the bottleneck stage (streaming executor) instead of the
+/// sum of stages. Prefix pruning stays sound — the bottleneck of a prefix
+/// only grows as operators are appended, monotonically for every
+/// completion, just like the sum.
+pub fn enumerate_pareto_for(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &CostContext,
+    pipelined: bool,
+) -> Vec<(PhysicalPlan, PlanEstimate)> {
     let mut frontier: Vec<PhysicalPlan> = vec![PhysicalPlan { ops: Vec::new() }];
     for op in &plan.ops {
         let alts = alternatives(op, catalog);
@@ -63,7 +77,7 @@ pub fn enumerate_pareto(
                 let mut ops = prefix.ops.clone();
                 ops.push(alt.clone());
                 let p = PhysicalPlan { ops };
-                let est = estimate_plan(&p, ctx);
+                let est = estimate_plan_for(&p, ctx, pipelined);
                 extended.push((p, est));
             }
         }
@@ -72,7 +86,7 @@ pub fn enumerate_pareto(
     frontier
         .into_iter()
         .map(|p| {
-            let est = estimate_plan(&p, ctx);
+            let est = estimate_plan_for(&p, ctx, pipelined);
             (p, est)
         })
         .collect()
@@ -82,6 +96,7 @@ pub fn enumerate_pareto(
 mod tests {
     use super::*;
     use crate::ops::logical::{FilterPredicate, LogicalOp};
+    use crate::optimizer::cost::estimate_plan;
     use crate::optimizer::enumerate::enumerate_plans;
     use proptest::prelude::*;
 

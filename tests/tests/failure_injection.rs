@@ -76,6 +76,79 @@ fn overwhelming_failure_rate_surfaces_an_error() {
 }
 
 #[test]
+fn streaming_pipeline_recovers_from_transient_failures_mid_stream() {
+    // Same 20% transient rate, but with stages running concurrently:
+    // every mid-stream failure must still route through RetryPolicy, and
+    // the billed work must match a materializing run (failed attempts are
+    // never billed, successful calls are content-keyed). The failure draw
+    // is keyed on a global call counter, which thread interleaving
+    // reorders — 8 attempts make retry exhaustion vanishingly unlikely
+    // under any schedule (0.2^8 per call).
+    let mk = || {
+        let mut ctx = ctx_with_failures(0.2);
+        ctx.retry = pz_llm::RetryPolicy {
+            max_attempts: 8,
+            ..Default::default()
+        };
+        ctx
+    };
+    let ctx_m = mk();
+    let m = execute(
+        &ctx_m,
+        &demo_plan(),
+        &Policy::MaxQuality,
+        ExecutionConfig::sequential(),
+    )
+    .unwrap();
+    let ctx_s = mk();
+    let s = execute(
+        &ctx_s,
+        &demo_plan(),
+        &Policy::MaxQuality,
+        ExecutionConfig::streaming(),
+    )
+    .unwrap();
+    assert!(!s.records.is_empty());
+    assert_eq!(m.records.len(), s.records.len());
+    let names = |o: &pz_core::ExecutionOutcome| {
+        let mut v: Vec<String> = o
+            .records
+            .iter()
+            .filter_map(|r| r.get("name").map(|x| x.as_display()))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&m), names(&s));
+    assert!((ctx_m.ledger.total_cost_usd() - ctx_s.ledger.total_cost_usd()).abs() < 1e-9);
+}
+
+#[test]
+fn streaming_fatal_error_cancels_upstream_without_deadlock() {
+    let ctx = ctx_with_failures(1.0);
+    let err = execute(
+        &ctx,
+        &demo_plan(),
+        &Policy::MaxQuality,
+        ExecutionConfig::streaming(),
+    )
+    .unwrap_err();
+    // The first stage error is surfaced with its operator context, exactly
+    // as in materializing mode.
+    let msg = err.to_string();
+    assert!(msg.contains("transient provider error"), "{msg}");
+    assert!(msg.contains("operator LLMFilter"), "{msg}");
+    // The pipeline drained instead of hanging or grinding on: the virtual
+    // clock only paid for the bounded burst of in-flight retries, not for
+    // the whole corpus failing at every stage.
+    assert!(
+        ctx.clock.now_secs() < 3_600.0,
+        "virtual clock ran to {}s — upstream cancellation failed",
+        ctx.clock.now_secs()
+    );
+}
+
+#[test]
 fn small_window_models_truncate_but_still_extract() {
     // Force the 8k-window model on ~4k-token papers at high effort — the
     // head+tail truncation must keep both topic words and the trailing

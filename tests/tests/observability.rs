@@ -142,6 +142,107 @@ fn trace_totals_reconcile_with_stats_and_ledger() {
 }
 
 #[test]
+fn streaming_trace_reconciles_with_stats_and_ledger() {
+    // Same reconciliation contract as materializing mode, but with every
+    // operator running as a concurrent stage: per-stage meters must
+    // attribute exactly the ledger's calls/dollars, and all spans must
+    // stay under the plan span on the shared virtual clock.
+    let ctx = PzContext::simulated();
+    let (docs, _) = pz_datagen::science::demo_corpus();
+    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
+    ctx.registry.register(Arc::new(MemorySource::new(
+        "sigmod-demo",
+        Schema::pdf_file(),
+        items,
+    )));
+    let clinical = Schema::new(
+        "ClinicalData",
+        "datasets",
+        vec![
+            FieldDef::text("name", "The dataset name"),
+            FieldDef::text("url", "The public URL of the dataset"),
+        ],
+    )
+    .unwrap();
+    let plan = Dataset::source("sigmod-demo")
+        .filter("The papers are about colorectal cancer")
+        .convert(clinical, Cardinality::OneToMany, "extract datasets")
+        .build()
+        .unwrap();
+    let outcome = execute(
+        &ctx,
+        &plan,
+        &Policy::MaxQuality,
+        ExecutionConfig::streaming(),
+    )
+    .unwrap();
+    let snap = ctx.tracer.snapshot();
+    let stats = &outcome.stats;
+
+    // Every billed request has exactly one LLM span, even though the
+    // calls came from concurrent stage threads.
+    let llm_spans = snap.spans_in_layer(Layer::Llm);
+    assert_eq!(llm_spans.len(), ctx.ledger.total_requests());
+    let span_cost = snap.attr_sum(Layer::Llm, "cost_usd");
+    assert!(
+        (span_cost - ctx.ledger.total_cost_usd()).abs() < 1e-4,
+        "spans ${span_cost} vs ledger ${}",
+        ctx.ledger.total_cost_usd()
+    );
+
+    // One op span per operator; their attribute totals match the stats
+    // table and the ledger.
+    let op_spans: Vec<_> = snap
+        .spans_in_layer(Layer::Executor)
+        .into_iter()
+        .filter(|s| s.name.starts_with("op:"))
+        .collect();
+    assert_eq!(op_spans.len(), stats.operators.len());
+    let attr_sum_of = |key: &str| -> f64 {
+        op_spans
+            .iter()
+            .filter_map(|s| s.attrs.get(key))
+            .filter_map(|v| v.parse::<f64>().ok())
+            .sum()
+    };
+    assert_eq!(attr_sum_of("llm_calls") as usize, stats.total_llm_calls);
+    assert!((attr_sum_of("cost_usd") - stats.total_cost_usd).abs() < 1e-4);
+    assert_eq!(stats.total_llm_calls, ctx.ledger.total_requests());
+    assert!((stats.total_cost_usd - ctx.ledger.total_cost_usd()).abs() < 1e-9);
+
+    // Attributed time reflects overlap: stage busy times sum to at least
+    // the pipelined total, which is less than the serial sum.
+    let busy_sum: f64 = stats.operators.iter().map(|o| o.time_secs).sum();
+    assert!(stats.total_time_secs <= busy_sum + 1e-9);
+    assert!(stats.total_time_secs > 0.0);
+
+    // All op spans nest under the (streaming) plan span, every span is
+    // closed, and the trace ends when the virtual clock stopped.
+    let plan_span = snap
+        .spans_in_layer(Layer::Executor)
+        .into_iter()
+        .find(|s| s.name == "execute_plan")
+        .expect("plan span");
+    assert_eq!(
+        plan_span.attrs.get("mode").map(String::as_str),
+        Some("streaming")
+    );
+    for op in &op_spans {
+        assert!(
+            plan_span.id.contains(&op.id),
+            "op span {} escaped the plan span",
+            op.name
+        );
+    }
+    for s in &snap.spans {
+        let end = s.end_us.expect("span left open");
+        assert!(end >= s.start_us);
+    }
+    let max_end = snap.spans.iter().filter_map(|s| s.end_us).max().unwrap();
+    assert_eq!(max_end, ctx.tracer.now_micros());
+}
+
+#[test]
 fn cached_rerun_hits_land_on_tracer_and_ledger_not_llm_spans() {
     let ctx = PzContext::simulated().with_cache();
     let (docs, _) = pz_datagen::science::demo_corpus();

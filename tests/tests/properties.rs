@@ -118,6 +118,152 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential testing: streaming vs materializing execution.
+//
+// For randomized corpora and randomized operator chains, both executors must
+// produce the same output record multiset (compared on field content — record
+// ids are allocator-dependent) and charge the same dollars to the ledger.
+// ---------------------------------------------------------------------------
+
+mod differential {
+    use super::*;
+    use pz_core::exec::execute_plan;
+    use pz_llm::protocol::Effort;
+    use std::sync::Arc;
+
+    const PREDICATES: [&str; 3] = [
+        "the document is about cancer research",
+        "the document mentions a public dataset",
+        "the document describes a modern home",
+    ];
+
+    /// One step of a randomized plan tail.
+    #[derive(Clone, Debug)]
+    enum Step {
+        Filter(usize),
+        Sort(bool),
+        Limit(usize),
+        Project,
+        Distinct,
+    }
+
+    fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+        proptest::collection::vec((0u8..5, 0usize..12, any::<bool>()), 0..4).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(kind, n, b)| match kind {
+                    0 => Step::Filter(n % PREDICATES.len()),
+                    1 => Step::Sort(b),
+                    2 => Step::Limit(n),
+                    3 => Step::Project,
+                    _ => Step::Distinct,
+                })
+                .collect()
+        })
+    }
+
+    fn arb_corpus() -> impl Strategy<Value = Vec<(String, String)>> {
+        proptest::collection::vec("[a-f ]{0,40}", 1..9).prop_map(|contents| {
+            contents
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (format!("doc-{i:03}.pdf"), format!("Document {i}. {c}")))
+                .collect()
+        })
+    }
+
+    fn build_plan(steps: &[Step]) -> PhysicalPlan {
+        let mut ops = vec![PhysicalOp::Scan {
+            dataset: "diff".into(),
+        }];
+        for s in steps {
+            ops.push(match s {
+                Step::Filter(i) => PhysicalOp::LlmFilter {
+                    predicate: PREDICATES[*i].into(),
+                    model: "gpt-4o-mini".into(),
+                    effort: Effort::Standard,
+                },
+                Step::Sort(desc) => PhysicalOp::Sort {
+                    field: "filename".into(),
+                    descending: *desc,
+                },
+                Step::Limit(n) => PhysicalOp::Limit { n: *n },
+                Step::Project => PhysicalOp::Project {
+                    fields: vec!["filename".into()],
+                },
+                Step::Distinct => PhysicalOp::Distinct {
+                    fields: vec!["filename".into()],
+                },
+            });
+        }
+        PhysicalPlan { ops }
+    }
+
+    fn fresh_ctx(corpus: &[(String, String)]) -> PzContext {
+        let ctx = PzContext::simulated();
+        ctx.registry.register(Arc::new(MemorySource::new(
+            "diff",
+            Schema::pdf_file(),
+            corpus.to_vec(),
+        )));
+        ctx
+    }
+
+    /// Field-content multiset key: record ids are excluded (the two modes
+    /// allocate ids differently), field maps are ordered, so JSON is stable.
+    fn multiset(records: &[DataRecord]) -> Vec<String> {
+        let mut keys: Vec<String> = records
+            .iter()
+            .map(|r| serde_json::to_string(&r.to_json()).unwrap())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_equals_materializing_records_and_cost(
+            corpus in arb_corpus(),
+            steps in arb_steps(),
+            capacity in 1usize..4,
+            batch in 1usize..6,
+        ) {
+            let plan = build_plan(&steps);
+            // A tail Limit legitimately lets streaming skip upstream LLM
+            // calls, so cost equality is only asserted when every record
+            // flows end to end. Output equality must hold regardless.
+            let has_early_exit = steps.iter().any(|s| matches!(s, Step::Limit(_)));
+
+            let ctx_m = fresh_ctx(&corpus);
+            let (rec_m, stats_m) =
+                execute_plan(&ctx_m, &plan, ExecutionConfig::sequential()).unwrap();
+            let ctx_s = fresh_ctx(&corpus);
+            let (rec_s, stats_s) =
+                execute_plan(&ctx_s, &plan, ExecutionConfig::streaming_with(capacity, batch))
+                    .unwrap();
+
+            prop_assert_eq!(multiset(&rec_m), multiset(&rec_s));
+            if !has_early_exit {
+                prop_assert!(
+                    (ctx_m.ledger.total_cost_usd() - ctx_s.ledger.total_cost_usd()).abs() < 1e-9,
+                    "materializing ${} vs streaming ${}",
+                    ctx_m.ledger.total_cost_usd(),
+                    ctx_s.ledger.total_cost_usd()
+                );
+                prop_assert_eq!(ctx_m.ledger.total_requests(), ctx_s.ledger.total_requests());
+                prop_assert!((stats_m.total_cost_usd - stats_s.total_cost_usd).abs() < 1e-9);
+            } else {
+                // Early exit may only ever *reduce* streaming's work.
+                prop_assert!(
+                    ctx_s.ledger.total_requests() <= ctx_m.ledger.total_requests()
+                );
+            }
+            // Overlap never makes the pipeline slower than serial.
+            prop_assert!(stats_s.total_time_secs <= stats_m.total_time_secs + 1e-9);
+        }
+    }
+}
+
 #[test]
 fn schemas_round_trip_serde() {
     let s = Schema::new(
