@@ -1,0 +1,81 @@
+//! Resilience criterion: what do circuit breakers and mid-plan failover
+//! cost?
+//!
+//! Two things are measured:
+//!   * zero-fault overhead — a healthy run with the resilience layer armed
+//!     (the default) vs one with failover disabled. The breaker bookkeeping
+//!     and candidate lookups must be noise;
+//!   * recovery time — wall clock of a run whose primary model is fully
+//!     down, so every afflicted operator burns its retries, trips the
+//!     breaker, and re-runs on the substitute model.
+//!
+//! The modelled virtual-clock recovery overhead is printed once outside the
+//! measurement loop — that is the paper-facing number.
+
+use bench::{demo_context, demo_plan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pz_core::prelude::*;
+use pz_llm::FaultPlan;
+use std::hint::black_box;
+
+fn run_once(config: ExecutionConfig, plan: FaultPlan) -> (usize, f64, f64, usize) {
+    let (ctx, _) = demo_context();
+    ctx.faults.set(plan);
+    let o = execute(&ctx, &demo_plan(), &Policy::MaxQuality, config).unwrap();
+    (
+        o.records.len(),
+        o.stats.total_time_secs,
+        ctx.ledger.total_cost_usd(),
+        o.stats.degraded.len(),
+    )
+}
+
+fn outage() -> FaultPlan {
+    FaultPlan::none().outage("gpt-4o", 0.0, 1e9)
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    // Report the modelled numbers once, outside the measurement loop.
+    let (n_h, t_h, cost_h, d_h) = run_once(ExecutionConfig::sequential(), FaultPlan::none());
+    let (n_p, t_p, cost_p, _) = run_once(
+        ExecutionConfig::sequential().without_failover(),
+        FaultPlan::none(),
+    );
+    let (n_o, t_o, _, d_o) = run_once(ExecutionConfig::sequential(), outage());
+    assert_eq!(n_h, n_p, "armed resilience must not change healthy output");
+    assert_eq!(d_h, 0, "healthy run must not degrade");
+    assert!(d_o > 0, "the outage run must record failover decisions");
+    assert_eq!(n_h, n_o, "failover must preserve the output size");
+    assert!(
+        (cost_h - cost_p).abs() < 1e-9,
+        "armed resilience must not change healthy cost: ${cost_h} vs ${cost_p}"
+    );
+    println!(
+        "virtual-clock time: healthy {t_h:.1}s (failover off {t_p:.1}s), \
+         full gpt-4o outage {t_o:.1}s with {d_o} failover(s), {n_h} records",
+    );
+
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    group.bench_function("healthy_failover_armed", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::sequential(), FaultPlan::none())))
+    });
+    group.bench_function("healthy_failover_off", |b| {
+        b.iter(|| {
+            black_box(run_once(
+                ExecutionConfig::sequential().without_failover(),
+                FaultPlan::none(),
+            ))
+        })
+    });
+    group.bench_function("full_outage_recovery", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::sequential(), outage())))
+    });
+    group.bench_function("full_outage_recovery_streaming", |b| {
+        b.iter(|| black_box(run_once(ExecutionConfig::streaming(), outage())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

@@ -9,7 +9,8 @@
 //! Type `:trace` to toggle the ReAct trace display, `:spans` to print the
 //! session's observability trace tree, `:export <path>` to write the trace
 //! as JSONL, `:exec streaming|materializing` to switch the execution mode,
-//! `:quit` to exit.
+//! `:faults <spec>|off` to script provider faults into the simulator,
+//! `:breaker` to inspect per-model circuit breakers, `:quit` to exit.
 
 use palimpchat::PalimpChat;
 use pz_core::prelude::ExecMode;
@@ -26,7 +27,8 @@ fn main() {
          extract whatever public dataset is used by the study\",\n\
          then \"run the pipeline with maximum quality\".\n\
          (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, \
-         :exec streaming|materializing switches the executor, :quit exits)\n"
+         :exec streaming|materializing switches the executor, \
+         :faults <spec>|off scripts provider faults, :breaker shows model health, :quit exits)\n"
     );
     loop {
         print!("you> ");
@@ -55,6 +57,34 @@ fn main() {
                 print!("{}", pz_obs::render_tree(&chat.tracer().snapshot()));
                 continue;
             }
+            ":breaker" | ":breakers" => {
+                let snaps = chat.session().lock().ctx.health.snapshot();
+                if snaps.is_empty() {
+                    println!("no model health recorded yet — run a pipeline first");
+                } else {
+                    for s in snaps {
+                        println!(
+                            "{:<26} {:<9} ok={} fail={} trips={} window_failure_rate={:.2}",
+                            s.model.to_string(),
+                            s.state.name(),
+                            s.successes_total,
+                            s.failures_total,
+                            s.trips,
+                            s.window_failure_rate
+                        );
+                    }
+                }
+                continue;
+            }
+            ":faults" => {
+                let plan = chat.session().lock().ctx.faults.plan();
+                if plan.is_empty() {
+                    println!("no fault plan active (try :faults gpt-4o:outage@0..120)");
+                } else {
+                    println!("fault plan: {}", plan.describe());
+                }
+                continue;
+            }
             _ => {}
         }
         if let Some(mode) = line.strip_prefix(":exec ") {
@@ -68,6 +98,29 @@ fn main() {
                     println!("execution mode: materializing (operator-at-a-time)");
                 }
                 other => println!("unknown mode {other:?} — try :exec streaming | materializing"),
+            }
+            continue;
+        }
+        if let Some(spec) = line.strip_prefix(":faults ") {
+            let spec = spec.trim();
+            if spec == "off" || spec == "none" {
+                chat.session().lock().ctx.faults.clear();
+                println!("fault plan cleared");
+            } else {
+                // Same default seed as the simulator: brownout draws stay
+                // deterministic across REPL sessions.
+                match pz_llm::FaultPlan::parse(spec, 42) {
+                    Ok(plan) => {
+                        println!("fault plan: {}", plan.describe());
+                        chat.session().lock().ctx.faults.set(plan);
+                    }
+                    Err(e) => println!(
+                        "bad fault spec: {e}\n(clauses look like \
+                         model:outage@10..60, model:brownout@0..30:p=0.5, \
+                         model:ratelimit@5..25:retry=15, model:timeout@0..40:stall=30, \
+                         model:malformed@0..20 — join with ';')"
+                    ),
+                }
             }
             continue;
         }

@@ -298,7 +298,7 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             ExecutionConfig::parallel(workers).with_mode(state.ctx.exec_mode),
         )
         .map_err(|e| tool_err("execute_pipeline", e))?;
-        let summary = format!(
+        let mut summary = format!(
             "Executed plan [{}] under {}: {} output record(s), {:.1}s runtime (virtual), ${:.4} cost, {} LLM call(s).",
             outcome.chosen_plan.describe(),
             policy.name(),
@@ -307,6 +307,20 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             outcome.stats.total_cost_usd,
             outcome.stats.total_llm_calls,
         );
+        for d in &outcome.stats.degraded {
+            summary.push_str(&format!(
+                " NOTE: {} failed over {} -> {} ({}, {} record(s), est. quality {:+.2}).",
+                d.operator,
+                d.from_model,
+                d.to_model,
+                d.reason,
+                d.records_affected,
+                d.est_quality_delta,
+            ));
+        }
+        if outcome.stats.deadline_exceeded {
+            summary.push_str(" NOTE: the execution deadline elapsed — results are partial.");
+        }
         state.notebook.push_code(pipeline_code(&plan, &policy));
         state.notebook.push_output(outcome.stats.render_table());
         let data = json!({
@@ -314,6 +328,8 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             "cost_usd": outcome.stats.total_cost_usd,
             "time_secs": outcome.stats.total_time_secs,
             "plan": outcome.chosen_plan.describe(),
+            "degraded": outcome.stats.degraded.len(),
+            "deadline_exceeded": outcome.stats.deadline_exceeded,
         });
         state.last_outcome = Some(outcome);
         Ok(ToolOutput::text(summary).with_data(data))

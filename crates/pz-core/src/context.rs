@@ -8,8 +8,8 @@
 
 use crate::datasource::{DataRegistry, UdfRegistry};
 use pz_llm::{
-    CachingClient, Catalog, LlmClient, ModelId, RetryPolicy, SimConfig, SimulatedLlm, TracedClient,
-    UsageLedger, VirtualClock,
+    CachingClient, Catalog, FaultInjector, HealthTracker, LlmClient, ModelId, RetryContext,
+    RetryPolicy, SimConfig, SimulatedLlm, TracedClient, UsageLedger, VirtualClock,
 };
 use pz_obs::Tracer;
 use pz_vector::VectorStore;
@@ -41,6 +41,16 @@ pub struct PzContext {
     pub tracer: Tracer,
     /// Retry policy for transient model failures.
     pub retry: RetryPolicy,
+    /// Per-model health tracker / circuit breakers, consulted by the retry
+    /// layer and both executors.
+    pub health: HealthTracker,
+    /// Handle on the simulator's scripted fault plan (REPL `:faults`,
+    /// `repro --fault-plan`). A no-op injector for non-simulated clients.
+    pub faults: FaultInjector,
+    /// Absolute execution deadline on the virtual clock, if any. Set by the
+    /// executor on its cloned context from `ExecutionConfig::deadline_secs`;
+    /// retries and backoff refuse to sleep past it.
+    pub deadline_at_secs: Option<f64>,
     /// Default embedding model.
     pub embed_model: ModelId,
     /// How plans are driven by default (the REPL's `:exec` switch and the
@@ -62,12 +72,10 @@ impl PzContext {
         let clock = VirtualClock::new();
         let ledger = UsageLedger::new();
         let tracer = Tracer::new(Arc::new(clock.clone()));
-        let sim: Arc<dyn LlmClient> = Arc::new(SimulatedLlm::new(
-            catalog.clone(),
-            config,
-            clock.clone(),
-            ledger.clone(),
-        ));
+        let sim = SimulatedLlm::new(catalog.clone(), config, clock.clone(), ledger.clone());
+        // Keep a handle on the injector so faults can be scripted live.
+        let faults = sim.faults().clone();
+        let sim: Arc<dyn LlmClient> = Arc::new(sim);
         // Every call that reaches the provider gets a leaf span; a cache
         // added later wraps *outside* this, so hits never record LLM spans.
         let llm: Arc<dyn LlmClient> = Arc::new(TracedClient::new(sim, tracer.clone()));
@@ -80,8 +88,11 @@ impl PzContext {
             vectors: VectorStore::new().with_tracer(tracer.clone()),
             clock,
             ledger,
-            tracer,
             retry: RetryPolicy::default(),
+            health: HealthTracker::default().with_tracer(tracer.clone()),
+            faults,
+            deadline_at_secs: None,
+            tracer,
             embed_model: "text-embedding-3-small".into(),
             exec_mode: crate::exec::ExecMode::Materializing,
             ids: Arc::new(AtomicU64::new(1)),
@@ -118,12 +129,24 @@ impl PzContext {
         self.ids.fetch_add(n, Ordering::Relaxed)
     }
 
-    /// Reset accounting (clock + ledger + trace) between experiments.
-    /// Record ids keep increasing — they only need uniqueness.
+    /// Reset accounting (clock + ledger + trace + breaker state) between
+    /// experiments. Record ids keep increasing — they only need uniqueness.
     pub fn reset_accounting(&self) {
         self.clock.reset();
         self.ledger.reset();
         self.tracer.reset();
+        // Breaker cooldowns are timestamps on the clock just reset; stale
+        // state would pin models open (or closed) across experiments.
+        self.health.reset();
+    }
+
+    /// The retry context operators should pass to
+    /// [`RetryPolicy::complete_with`] / [`RetryPolicy::embed_with`]: the
+    /// shared clock, the breaker tracker, and any active deadline.
+    pub fn retry_ctx(&self) -> RetryContext<'_> {
+        RetryContext::new(&self.clock)
+            .with_health(&self.health)
+            .with_deadline(self.deadline_at_secs)
     }
 }
 

@@ -2,9 +2,11 @@
 //! physical plans, with per-operator statistics (Figure 5).
 
 pub mod channel;
+pub mod failover;
 pub mod run;
 pub mod stats;
 mod streaming;
 
+pub use failover::FailoverRank;
 pub use run::{execute_plan, ExecMode, ExecutionConfig};
-pub use stats::{ExecutionStats, OperatorStats};
+pub use stats::{DegradedExecution, ExecutionStats, OperatorStats};

@@ -7,10 +7,12 @@
 //! parallel calls overlap.
 
 use crate::context::PzContext;
-use crate::error::PzResult;
-use crate::exec::stats::{ExecutionStats, OperatorStats};
+use crate::error::{PzError, PzResult};
+use crate::exec::failover::{self, FailoverRank};
+use crate::exec::stats::{DegradedExecution, ExecutionStats, OperatorStats};
 use crate::ops::physical::{PhysicalOp, PhysicalPlan};
 use crate::record::DataRecord;
+use pz_llm::ModelId;
 
 /// How a physical plan is driven.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,7 +44,7 @@ impl ExecMode {
 }
 
 /// Executor configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ExecutionConfig {
     /// Worker threads for parallelizable operators (materializing mode
     /// only; streaming overlap comes from the stage pipeline). 0 and 1
@@ -50,20 +52,44 @@ pub struct ExecutionConfig {
     pub workers: usize,
     /// Materializing or streaming execution.
     pub mode: ExecMode,
+    /// Mid-plan model failover: when an operator's model goes unhealthy
+    /// (circuit breaker open, or a provider fault survives retries), swap
+    /// the operator to the next-best healthy model instead of aborting.
+    /// On by default; a no-op while all models stay healthy.
+    pub failover: bool,
+    /// How failover ranks substitute models — the active policy's primary
+    /// dimension ([`crate::execute`] sets this from the policy).
+    pub rank: FailoverRank,
+    /// Execution deadline in virtual seconds, relative to plan start.
+    /// Retries, backoff, and failover all respect it; exceeding it yields
+    /// partial results flagged `deadline_exceeded`, never a hang.
+    pub deadline_secs: Option<f64>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            mode: ExecMode::default(),
+            failover: true,
+            rank: FailoverRank::default(),
+            deadline_secs: None,
+        }
+    }
 }
 
 impl ExecutionConfig {
     pub fn sequential() -> Self {
         Self {
             workers: 1,
-            mode: ExecMode::Materializing,
+            ..Self::default()
         }
     }
 
     pub fn parallel(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
-            mode: ExecMode::Materializing,
+            ..Self::default()
         }
     }
 
@@ -72,6 +98,7 @@ impl ExecutionConfig {
         Self {
             workers: 1,
             mode: ExecMode::streaming(),
+            ..Self::default()
         }
     }
 
@@ -83,12 +110,31 @@ impl ExecutionConfig {
                 channel_capacity: channel_capacity.max(1),
                 batch_size: batch_size.max(1),
             },
+            ..Self::default()
         }
     }
 
     /// Replace the execution mode, keeping the worker count.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Set the execution deadline (virtual seconds from plan start).
+    pub fn with_deadline(mut self, secs: f64) -> Self {
+        self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Set the failover ranking dimension.
+    pub fn with_rank(mut self, rank: FailoverRank) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Disable mid-plan model failover (provider faults abort the plan).
+    pub fn without_failover(mut self) -> Self {
+        self.failover = false;
         self
     }
 }
@@ -99,12 +145,26 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     config: ExecutionConfig,
 ) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
+    // The deadline is absolute on the virtual clock; retries see it via
+    // the cloned context so backoff never sleeps past it.
+    let deadline_at = config.deadline_secs.map(|d| ctx.clock.now_secs() + d);
+    let ctx = &{
+        let mut c = ctx.clone();
+        c.deadline_at_secs = deadline_at;
+        c
+    };
     if let ExecMode::Streaming {
         channel_capacity,
         batch_size,
     } = config.mode
     {
-        return crate::exec::streaming::execute_streaming(ctx, plan, channel_capacity, batch_size);
+        return crate::exec::streaming::execute_streaming(
+            ctx,
+            plan,
+            channel_capacity,
+            batch_size,
+            &config,
+        );
     }
     let mut records: Vec<DataRecord> = Vec::new();
     let mut stats = ExecutionStats {
@@ -115,7 +175,21 @@ pub fn execute_plan(
     plan_span.set_attr("plan", plan.describe());
     plan_span.set_attr("workers", config.workers.to_string());
 
-    for op in &plan.ops {
+    for (op_index, op) in plan.ops.iter().enumerate() {
+        if let Some(d) = deadline_at {
+            if ctx.clock.now_secs() >= d {
+                stats.deadline_exceeded = true;
+                ctx.tracer.event(
+                    pz_obs::Layer::Executor,
+                    "deadline_exceeded",
+                    &[
+                        ("at_op", op.describe()),
+                        ("at_secs", format!("{:.3}", ctx.clock.now_secs())),
+                    ],
+                );
+                break;
+            }
+        }
         let input_count = if matches!(op, PhysicalOp::Scan { .. }) {
             0
         } else {
@@ -130,11 +204,15 @@ pub fn execute_plan(
             .span(pz_obs::Layer::Executor, &format!("op:{}", op.describe()));
 
         let workers = config.workers.min(records.len().max(1));
-        let result = if workers > 1 && op.is_parallelizable() {
-            execute_parallel(ctx, op, std::mem::take(&mut records), workers)
-        } else {
-            op.execute(ctx, std::mem::take(&mut records))
-        };
+        let result = execute_op_with_failover(
+            ctx,
+            op,
+            op_index,
+            std::mem::take(&mut records),
+            workers,
+            &config,
+            &mut stats.degraded,
+        );
         records = result.map_err(|e| {
             crate::error::PzError::Execution(format!("operator {}: {e}", op.describe()))
         })?;
@@ -172,6 +250,89 @@ pub fn execute_plan(
     plan_span.set_attr("llm_calls", stats.total_llm_calls.to_string());
     plan_span.set_attr("cost_usd", format!("{:.6}", stats.total_cost_usd));
     Ok((records, stats))
+}
+
+/// Run one operator, failing over to substitute models when its fault
+/// domain is unhealthy. Materializing semantics: a mid-operator provider
+/// fault re-runs the *whole* input on the substitute (already-billed calls
+/// stay on the ledger; per-op snapshot deltas keep stats reconciled).
+/// Errors come back unwrapped — the caller adds operator context.
+#[allow(clippy::too_many_arguments)]
+fn execute_op_with_failover(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    op_index: usize,
+    input: Vec<DataRecord>,
+    workers: usize,
+    config: &ExecutionConfig,
+    degraded: &mut Vec<DegradedExecution>,
+) -> PzResult<Vec<DataRecord>> {
+    let run = |active: &PhysicalOp, records: Vec<DataRecord>| {
+        if workers > 1 && active.is_parallelizable() {
+            execute_parallel(ctx, active, records, workers)
+        } else {
+            active.execute(ctx, records)
+        }
+    };
+    if !config.failover || !failover::swappable(op) {
+        return run(op, input);
+    }
+    let mut active = op.clone();
+    let mut tried: Vec<ModelId> = active.model().cloned().into_iter().collect();
+    let mut first_err: Option<PzError> = None;
+    loop {
+        let model = active
+            .model()
+            .cloned()
+            .expect("swappable operator carries a model");
+        let now = ctx.clock.now_secs();
+        // Proactive: skip a model whose breaker is already open (tripped by
+        // an earlier operator) instead of burning a doomed attempt.
+        let (reason, err) = if ctx.health.is_open(&model, now) {
+            ("breaker open", None)
+        } else {
+            match run(&active, input.clone()) {
+                Ok(out) => return Ok(out),
+                Err(e) if is_provider_fault(&e) => ("provider fault", Some(e)),
+                Err(e) => return Err(e),
+            }
+        };
+        if first_err.is_none() {
+            first_err = err;
+        }
+        let next = failover::candidates(&ctx.catalog, &ctx.health, &active, config.rank, now)
+            .into_iter()
+            .find(|m| !tried.contains(m));
+        let Some(to) = next else {
+            // No healthy substitute left: surface the first provider error
+            // exactly as a failover-less executor would have.
+            return Err(first_err.unwrap_or_else(|| {
+                PzError::Execution(format!(
+                    "circuit breaker open for {model} and no healthy substitute model"
+                ))
+            }));
+        };
+        let entry = DegradedExecution {
+            operator_index: op_index,
+            operator: op.describe(),
+            from_model: model.to_string(),
+            to_model: to.to_string(),
+            records_affected: input.len(),
+            est_quality_delta: failover::quality_delta(&ctx.catalog, &model, &to),
+            at_secs: ctx.clock.now_secs(),
+            reason: reason.to_string(),
+        };
+        failover::emit_event(&ctx.tracer, &entry);
+        degraded.push(entry);
+        active = failover::with_model(&active, to.clone()).expect("swappable operator");
+        tried.push(to);
+    }
+}
+
+/// Is this the kind of error failover can route around — a fault of the
+/// model's provider rather than of the plan or the data?
+fn is_provider_fault(e: &PzError) -> bool {
+    matches!(e, PzError::Llm(inner) if inner.is_provider_fault())
 }
 
 fn snapshot(ctx: &PzContext) -> (usize, usize, usize, f64) {

@@ -38,6 +38,29 @@ impl OperatorStats {
     }
 }
 
+/// One mid-plan failover decision: an operator's model was swapped for the
+/// next-best healthy candidate after its fault domain went unhealthy.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradedExecution {
+    /// Index of the afflicted operator in the physical plan.
+    pub operator_index: usize,
+    /// Physical description of the operator as planned, e.g.
+    /// `LLMFilter[gpt-4o]`.
+    pub operator: String,
+    pub from_model: String,
+    pub to_model: String,
+    /// Records processed by the substitute model instead of the planned
+    /// one (includes any re-run after a mid-operator failure).
+    pub records_affected: usize,
+    /// Estimated quality change from the model cards (negative =
+    /// degradation).
+    pub est_quality_delta: f64,
+    /// Virtual-clock time of the swap decision.
+    pub at_secs: f64,
+    /// Why the swap happened (`breaker open`, `provider fault`, ...).
+    pub reason: String,
+}
+
 /// Whole-pipeline measurements.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionStats {
@@ -50,6 +73,13 @@ pub struct ExecutionStats {
     pub total_time_secs: f64,
     pub total_llm_calls: usize,
     pub output_records: usize,
+    /// Mid-plan failover decisions, in the order they were made. Empty on
+    /// healthy runs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub degraded: Vec<DegradedExecution>,
+    /// The execution deadline elapsed and the run returned partial results.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub deadline_exceeded: bool,
 }
 
 impl ExecutionStats {
@@ -109,6 +139,24 @@ impl ExecutionStats {
             "TOTAL: {} output records, {} LLM calls, ${:.4}, {:.1}s (virtual)",
             self.output_records, self.total_llm_calls, self.total_cost_usd, self.total_time_secs
         );
+        // Resilience annotations appear only on degraded runs, so healthy
+        // output stays byte-identical.
+        for d in &self.degraded {
+            let _ = writeln!(
+                s,
+                "DEGRADED: op#{} {} failed over {} -> {} ({} records, est. quality {:+.2}, {})",
+                d.operator_index,
+                d.operator,
+                d.from_model,
+                d.to_model,
+                d.records_affected,
+                d.est_quality_delta,
+                d.reason
+            );
+        }
+        if self.deadline_exceeded {
+            let _ = writeln!(s, "DEADLINE EXCEEDED: results are partial");
+        }
         s
     }
 }
@@ -242,5 +290,44 @@ mod tests {
         let stats = ExecutionStats::default();
         let j = serde_json::to_string(&stats).unwrap();
         assert!(j.contains("operators"));
+        // Healthy runs serialize without resilience fields...
+        assert!(!j.contains("degraded"));
+        assert!(!j.contains("deadline_exceeded"));
+        // ...and old serialized stats still deserialize.
+        let old: ExecutionStats = serde_json::from_str(&j).unwrap();
+        assert!(old.degraded.is_empty());
+        assert!(!old.deadline_exceeded);
+    }
+
+    #[test]
+    fn render_annotates_degraded_and_deadline_only_when_present() {
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            operators: vec![op("LLMFilter[gpt-4o]", 11, 5, 0.1, 1.0)],
+            ..Default::default()
+        };
+        stats.finalize();
+        let healthy = stats.render_table();
+        assert!(!healthy.contains("DEGRADED"), "{healthy}");
+        assert!(!healthy.contains("DEADLINE"), "{healthy}");
+
+        stats.degraded.push(DegradedExecution {
+            operator_index: 1,
+            operator: "LLMFilter[gpt-4o]".into(),
+            from_model: "gpt-4o".into(),
+            to_model: "llama-3-70b".into(),
+            records_affected: 11,
+            est_quality_delta: -0.04,
+            at_secs: 30.0,
+            reason: "breaker open".into(),
+        });
+        stats.deadline_exceeded = true;
+        let degraded = stats.render_table();
+        assert!(
+            degraded.contains("DEGRADED: op#1 LLMFilter[gpt-4o] failed over gpt-4o -> llama-3-70b"),
+            "{degraded}"
+        );
+        assert!(degraded.contains("-0.04"), "{degraded}");
+        assert!(degraded.contains("DEADLINE EXCEEDED"), "{degraded}");
     }
 }

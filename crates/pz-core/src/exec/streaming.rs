@@ -38,13 +38,15 @@
 use crate::context::PzContext;
 use crate::error::{PzError, PzResult};
 use crate::exec::channel::{bounded, Receiver, Sender};
-use crate::exec::stats::{ExecutionStats, OperatorStats};
+use crate::exec::failover;
+use crate::exec::run::ExecutionConfig;
+use crate::exec::stats::{DegradedExecution, ExecutionStats, OperatorStats};
 use crate::ops::physical::{PhysicalOp, PhysicalPlan};
 use crate::record::DataRecord;
 use parking_lot::Mutex;
 use pz_llm::{
     CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient,
-    LlmError, Usage, UsageLedger,
+    LlmError, ModelId, Usage, UsageLedger,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -137,6 +139,112 @@ struct StageReport {
     /// Busy time accumulated before the first output batch was emitted —
     /// the stage's contribution to downstream pipeline-fill delay.
     startup_secs: f64,
+    /// Failover decisions made by this stage, in order.
+    degraded: Vec<DegradedExecution>,
+}
+
+/// Per-stage failover state: once a stage swaps models it *stays* on the
+/// substitute for later batches (sticky), re-checking the breaker per
+/// batch so trips from other stages are seen promptly. Unlike the
+/// materializing executor, only the in-flight batch is re-run on a swap —
+/// earlier batches already streamed downstream on the planned model.
+struct StageFailover {
+    active: PhysicalOp,
+    planned_model: Option<ModelId>,
+    planned_desc: String,
+    op_index: usize,
+    enabled: bool,
+    rank: crate::exec::FailoverRank,
+}
+
+impl StageFailover {
+    fn new(op: PhysicalOp, op_index: usize, config: &ExecutionConfig) -> Self {
+        let enabled = config.failover && failover::swappable(&op);
+        Self {
+            planned_model: op.model().cloned(),
+            planned_desc: op.describe(),
+            active: op,
+            op_index,
+            enabled,
+            rank: config.rank,
+        }
+    }
+
+    /// Run one batch through the active operator, swapping models on
+    /// provider faults / open breakers. Successful batches processed by a
+    /// substitute accrue onto the latest degraded entry so
+    /// `records_affected` sums to exactly the records the planned model
+    /// did not handle.
+    fn execute(
+        &mut self,
+        ctx: &PzContext,
+        input: Vec<DataRecord>,
+        degraded: &mut Vec<DegradedExecution>,
+    ) -> PzResult<Vec<DataRecord>> {
+        if !self.enabled {
+            return self.active.execute(ctx, input);
+        }
+        let mut tried: Vec<ModelId> = self.active.model().cloned().into_iter().collect();
+        let mut first_err: Option<PzError> = None;
+        loop {
+            let model = self
+                .active
+                .model()
+                .cloned()
+                .expect("swappable operator carries a model");
+            let now = ctx.clock.now_secs();
+            let (reason, err) = if ctx.health.is_open(&model, now) {
+                ("breaker open", None)
+            } else {
+                match self.active.execute(ctx, input.clone()) {
+                    Ok(out) => {
+                        if self.active.model() != self.planned_model.as_ref() {
+                            if let Some(entry) = degraded.last_mut() {
+                                entry.records_affected += input.len();
+                            }
+                        }
+                        return Ok(out);
+                    }
+                    Err(e) if is_provider_fault(&e) => ("provider fault", Some(e)),
+                    Err(e) => return Err(e),
+                }
+            };
+            if first_err.is_none() {
+                first_err = err;
+            }
+            let next =
+                failover::candidates(&ctx.catalog, &ctx.health, &self.active, self.rank, now)
+                    .into_iter()
+                    .find(|m| !tried.contains(m));
+            let Some(to) = next else {
+                return Err(first_err.unwrap_or_else(|| {
+                    PzError::Execution(format!(
+                        "circuit breaker open for {model} and no healthy substitute model"
+                    ))
+                }));
+            };
+            let entry = DegradedExecution {
+                operator_index: self.op_index,
+                operator: self.planned_desc.clone(),
+                from_model: model.to_string(),
+                to_model: to.to_string(),
+                // Accrued per successfully processed batch, above.
+                records_affected: 0,
+                est_quality_delta: failover::quality_delta(&ctx.catalog, &model, &to),
+                at_secs: ctx.clock.now_secs(),
+                reason: reason.to_string(),
+            };
+            failover::emit_event(&ctx.tracer, &entry);
+            degraded.push(entry);
+            self.active =
+                failover::with_model(&self.active, to.clone()).expect("swappable operator");
+            tried.push(to);
+        }
+    }
+}
+
+fn is_provider_fault(e: &PzError) -> bool {
+    matches!(e, PzError::Llm(inner) if inner.is_provider_fault())
 }
 
 /// How a stage consumes its input stream.
@@ -196,6 +304,9 @@ impl Emitter {
 struct StageShared {
     abort: AtomicBool,
     first_error: Mutex<Option<PzError>>,
+    /// Absolute deadline on the virtual clock, if any.
+    deadline_at: Option<f64>,
+    deadline_exceeded: AtomicBool,
 }
 
 impl StageShared {
@@ -213,6 +324,19 @@ impl StageShared {
     fn aborted(&self) -> bool {
         self.abort.load(Ordering::SeqCst)
     }
+
+    /// Deadline check, flagging the run as partial when it fires. Stages
+    /// stop *cleanly* (dropping their receiver cancels upstream), so the
+    /// pipeline drains to partial results rather than an error.
+    fn past_deadline(&self, now: f64) -> bool {
+        match self.deadline_at {
+            Some(d) if now >= d => {
+                self.deadline_exceeded.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Execute `plan` as a stage-per-operator pipeline.
@@ -221,6 +345,7 @@ pub(crate) fn execute_streaming(
     plan: &PhysicalPlan,
     channel_capacity: usize,
     batch_size: usize,
+    config: &ExecutionConfig,
 ) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
     let mut stats = ExecutionStats {
         plan: plan.describe(),
@@ -253,6 +378,8 @@ pub(crate) fn execute_streaming(
     let shared = Arc::new(StageShared {
         abort: AtomicBool::new(false),
         first_error: Mutex::new(None),
+        deadline_at: ctx.deadline_at_secs,
+        deadline_exceeded: AtomicBool::new(false),
     });
     let meters: Vec<Arc<StageMeter>> = plan
         .ops
@@ -285,8 +412,11 @@ pub(crate) fn execute_streaming(
             stage_ctx.llm = meter.clone();
             let op = op.clone();
             let shared = shared.clone();
+            let config = *config;
             handles.push(s.spawn(move |_| {
-                run_stage(&stage_ctx, &op, idx, input, tx, batch_size, &shared, &meter)
+                run_stage(
+                    &stage_ctx, &op, idx, input, tx, batch_size, &shared, &meter, &config,
+                )
             }));
         }
         for h in handles {
@@ -299,6 +429,19 @@ pub(crate) fn execute_streaming(
     // drained (all threads joined above), now surface the first error.
     if let Some(e) = shared.first_error.lock().take() {
         return Err(e);
+    }
+
+    // Merge per-stage failover decisions in plan order.
+    for report in &mut reports {
+        stats.degraded.append(&mut report.degraded);
+    }
+    if shared.deadline_exceeded.load(Ordering::SeqCst) {
+        stats.deadline_exceeded = true;
+        ctx.tracer.event(
+            pz_obs::Layer::Executor,
+            "deadline_exceeded",
+            &[("at_secs", format!("{:.3}", ctx.clock.now_secs()))],
+        );
     }
 
     let mut startup = Vec::with_capacity(plan.ops.len());
@@ -350,6 +493,7 @@ fn run_stage(
     batch_size: usize,
     shared: &StageShared,
     meter: &StageMeter,
+    config: &ExecutionConfig,
 ) -> StageReport {
     let mut report = StageReport::default();
     let mut emitter = Emitter {
@@ -357,14 +501,15 @@ fn run_stage(
         collected: Vec::new(),
         first_emit_busy: None,
     };
+    let mut fo = StageFailover::new(op.clone(), idx, config);
 
     match input {
         // Source stage: materialize once, then stream out in batches. A
         // failed emit means downstream cancelled — stop scanning early.
-        None => match op.execute(ctx, Vec::new()) {
+        None => match fo.execute(ctx, Vec::new(), &mut report.degraded) {
             Ok(out) => {
                 for chunk in out.chunks(batch_size) {
-                    if shared.aborted() {
+                    if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
                         break;
                     }
                     report.output_records += chunk.len();
@@ -378,11 +523,11 @@ fn run_stage(
         Some(rx) => match stage_kind(op) {
             StageKind::PerBatch => {
                 while let Some(batch) = rx.recv() {
-                    if shared.aborted() {
+                    if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
                         break;
                     }
                     report.input_records += batch.len();
-                    match op.execute(ctx, batch) {
+                    match fo.execute(ctx, batch, &mut report.degraded) {
                         Ok(out) => {
                             if out.is_empty() {
                                 continue;
@@ -408,8 +553,10 @@ fn run_stage(
                     report.input_records += batch.len();
                     buf.extend(batch);
                 }
-                if !shared.aborted() {
-                    match op.execute(ctx, buf) {
+                // A blocking op whose input was cut short by the deadline
+                // still runs — partial input, partial output.
+                if !shared.aborted() && !shared.past_deadline(ctx.clock.now_secs()) {
+                    match fo.execute(ctx, buf, &mut report.degraded) {
                         Ok(out) => {
                             for chunk in out.chunks(batch_size) {
                                 report.output_records += chunk.len();
@@ -443,7 +590,7 @@ fn run_stage(
             StageKind::Union => {
                 let mut cancelled = false;
                 while let Some(batch) = rx.recv() {
-                    if shared.aborted() {
+                    if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
                         cancelled = true;
                         break;
                     }
@@ -471,7 +618,6 @@ fn run_stage(
             }
         },
     }
-    let _ = idx;
     report.startup_secs = emitter.first_emit_busy.unwrap_or_else(|| meter.busy_secs());
     report.collected = emitter.collected;
     report

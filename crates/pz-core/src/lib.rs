@@ -141,6 +141,10 @@ pub fn execute_with_optimizer(
         optimizer.pipelined_time = true;
     }
     let (chosen_plan, estimate, report) = optimizer.optimize(ctx, plan, policy)?;
+    // Failover picks substitutes along the same dimension the policy
+    // optimized for (quality-seeking policy -> next-best-quality model).
+    let mut config = config;
+    config.rank = crate::exec::FailoverRank::from(policy);
     let (records, mut stats) = execute_plan(ctx, &chosen_plan, config)?;
     stats.policy = policy.name();
     Ok(ExecutionOutcome {
@@ -158,7 +162,9 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::datasource::{DataRegistry, DirectorySource, MemorySource, UdfRegistry};
     pub use crate::error::{PzError, PzResult};
-    pub use crate::exec::{ExecMode, ExecutionConfig, ExecutionStats, OperatorStats};
+    pub use crate::exec::{
+        DegradedExecution, ExecMode, ExecutionConfig, ExecutionStats, FailoverRank, OperatorStats,
+    };
     pub use crate::execute;
     pub use crate::execute_with_optimizer;
     pub use crate::field::{FieldDef, FieldType};

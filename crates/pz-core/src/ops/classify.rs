@@ -41,7 +41,7 @@ pub fn llm_classify(
         let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(16);
         let resp = ctx
             .retry
-            .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+            .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
         let answer = resp.text.trim();
         let label = labels
             .iter()

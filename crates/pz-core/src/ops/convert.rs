@@ -64,7 +64,7 @@ pub fn llm_convert(
             let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(1024);
             let resp = ctx
                 .retry
-                .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+                .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
             let objs = protocol::parse_extraction_response(&resp.text);
             if objs.is_empty() && cardinality == Cardinality::OneToOne {
                 vec![Default::default()]
@@ -147,7 +147,7 @@ pub fn llm_convert_fieldwise(
             let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(1024);
             let resp = ctx
                 .retry
-                .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+                .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
             let objs = protocol::parse_extraction_response(&resp.text);
             let values: Vec<Option<String>> = objs
                 .into_iter()

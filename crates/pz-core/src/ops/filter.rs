@@ -39,7 +39,7 @@ pub fn llm_filter(
         let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(4);
         let resp = ctx
             .retry
-            .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+            .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
         match protocol::parse_bool_response(&resp.text) {
             Some(true) => out.push(rec),
             Some(false) => {}
@@ -66,10 +66,13 @@ pub fn embedding_filter(
     let mut texts: Vec<String> = Vec::with_capacity(input.len() + 1);
     texts.push(predicate.to_string());
     texts.extend(input.iter().map(|r| r.prompt_text()));
-    let resp = ctx.llm.embed(&EmbeddingRequest {
+    let req = EmbeddingRequest {
         model: model.clone(),
         inputs: texts,
-    })?;
+    };
+    let resp = ctx
+        .retry
+        .embed_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
     let (query, records) = resp
         .vectors
         .split_first()
@@ -113,7 +116,7 @@ pub fn ensemble_filter(
             let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(4);
             let resp = ctx
                 .retry
-                .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+                .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
             if protocol::parse_bool_response(&resp.text) == Some(true) {
                 yes += 1;
             }

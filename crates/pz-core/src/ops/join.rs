@@ -108,7 +108,7 @@ pub fn llm_join(
             let req = CompletionRequest::new(model.clone(), prompt).with_max_output_tokens(4);
             let resp = ctx
                 .retry
-                .complete_with_retry(ctx.llm.as_ref(), &req, Some(&ctx.clock))?;
+                .complete_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
             if protocol::parse_bool_response(&resp.text) == Some(true) {
                 out.push(merge(ctx, l, r, dataset));
             }

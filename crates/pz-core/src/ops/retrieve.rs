@@ -25,10 +25,13 @@ pub fn retrieve(
     let mut texts: Vec<String> = Vec::with_capacity(input.len() + 1);
     texts.push(query.to_string());
     texts.extend(input.iter().map(|r| r.prompt_text()));
-    let resp = ctx.llm.embed(&EmbeddingRequest {
+    let req = EmbeddingRequest {
         model: model.clone(),
         inputs: texts,
-    })?;
+    };
+    let resp = ctx
+        .retry
+        .embed_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
     let dim = resp.vectors[0].len();
 
     // A transient per-op collection: retrieval is over the operator input,

@@ -27,6 +27,23 @@ pub enum LlmError {
     },
     #[error("transient provider error (attempt {attempt}): {reason}")]
     Transient { attempt: usize, reason: String },
+    /// HTTP-429-style rejection. The provider's `retry-after` hint (in
+    /// seconds, virtual) rides along so backoff and breakers can honor it.
+    #[error("rate limited by provider of {model} (retry after {retry_after_secs}s)")]
+    RateLimited {
+        model: ModelId,
+        retry_after_secs: f64,
+    },
+    /// The call stalled past the client's patience and was abandoned.
+    #[error("request to {model} timed out after {after_secs}s")]
+    Timeout { model: ModelId, after_secs: f64 },
+    /// The provider returned a truncated or unparseable completion.
+    #[error("malformed output from {model}: {reason}")]
+    MalformedOutput { model: ModelId, reason: String },
+    /// The per-model circuit breaker is open; the call was refused locally
+    /// without reaching the provider.
+    #[error("circuit breaker open for {model} (retry in {retry_in_secs:.1}s)")]
+    CircuitOpen { model: ModelId, retry_in_secs: f64 },
     #[error("request rejected: {0}")]
     Rejected(String),
 }
@@ -34,7 +51,37 @@ pub enum LlmError {
 impl LlmError {
     /// Whether retrying the identical request may succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, LlmError::Transient { .. })
+        matches!(
+            self,
+            LlmError::Transient { .. }
+                | LlmError::RateLimited { .. }
+                | LlmError::Timeout { .. }
+                | LlmError::MalformedOutput { .. }
+        )
+    }
+
+    /// Provider-supplied hint for how long to wait before retrying.
+    pub fn retry_after_secs(&self) -> Option<f64> {
+        match self {
+            LlmError::RateLimited {
+                retry_after_secs, ..
+            } => Some(*retry_after_secs),
+            _ => None,
+        }
+    }
+
+    /// Whether this error indicates an unhealthy provider/model fault
+    /// domain (as opposed to a malformed request or a caller bug) — the
+    /// class of error that justifies failing over to another model.
+    pub fn is_provider_fault(&self) -> bool {
+        matches!(
+            self,
+            LlmError::Transient { .. }
+                | LlmError::RateLimited { .. }
+                | LlmError::Timeout { .. }
+                | LlmError::MalformedOutput { .. }
+                | LlmError::CircuitOpen { .. }
+        )
     }
 }
 
@@ -113,12 +160,23 @@ pub trait LlmClient: Send + Sync {
     fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError>;
 }
 
-/// Retry policy with exponential backoff on a virtual clock.
+/// Retry policy with capped, optionally jittered exponential backoff on a
+/// virtual clock.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     pub max_attempts: usize,
     pub initial_backoff_secs: f64,
     pub backoff_multiplier: f64,
+    /// Upper bound on any single backoff sleep, hint-extended or not.
+    pub max_backoff_secs: f64,
+    /// Jitter fraction in `[0, 1)`: each sleep is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter)` keyed on (`seed`, model,
+    /// request, attempt). `0.0` (the default) reproduces exact exponential
+    /// backoff; non-zero de-correlates synchronized retry storms without
+    /// sacrificing replayability.
+    pub jitter: f64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -127,7 +185,44 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             initial_backoff_secs: 0.5,
             backoff_multiplier: 2.0,
+            max_backoff_secs: 60.0,
+            jitter: 0.0,
+            seed: 0,
         }
+    }
+}
+
+/// Ambient state the retry loop consults: the virtual clock backoff is
+/// charged to, the per-model health tracker (breaker), and the absolute
+/// execution deadline on that clock, if any.
+#[derive(Clone, Copy, Default)]
+pub struct RetryContext<'a> {
+    pub clock: Option<&'a crate::clock::VirtualClock>,
+    pub health: Option<&'a crate::breaker::HealthTracker>,
+    pub deadline_at_secs: Option<f64>,
+}
+
+impl<'a> RetryContext<'a> {
+    pub fn new(clock: &'a crate::clock::VirtualClock) -> Self {
+        Self {
+            clock: Some(clock),
+            health: None,
+            deadline_at_secs: None,
+        }
+    }
+
+    pub fn with_health(mut self, health: &'a crate::breaker::HealthTracker) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    pub fn with_deadline(mut self, deadline_at_secs: Option<f64>) -> Self {
+        self.deadline_at_secs = deadline_at_secs;
+        self
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.clock.map_or(0.0, |c| c.now_secs())
     }
 }
 
@@ -140,20 +235,122 @@ impl RetryPolicy {
         req: &CompletionRequest,
         clock: Option<&crate::clock::VirtualClock>,
     ) -> Result<CompletionResponse, LlmError> {
+        let rc = RetryContext {
+            clock,
+            health: None,
+            deadline_at_secs: None,
+        };
+        self.complete_with(client, req, &rc)
+    }
+
+    /// Run an embedding request with the same retry semantics as
+    /// completions (historically embeds were fired once, so one transient
+    /// failure killed the pipeline).
+    pub fn embed_with_retry(
+        &self,
+        client: &dyn LlmClient,
+        req: &EmbeddingRequest,
+        clock: Option<&crate::clock::VirtualClock>,
+    ) -> Result<EmbeddingResponse, LlmError> {
+        let rc = RetryContext {
+            clock,
+            health: None,
+            deadline_at_secs: None,
+        };
+        self.embed_with(client, req, &rc)
+    }
+
+    /// Completion with full resilience context: breaker gating per attempt,
+    /// `retry_after` hints honored, deadline-aware backoff.
+    pub fn complete_with(
+        &self,
+        client: &dyn LlmClient,
+        req: &CompletionRequest,
+        rc: &RetryContext<'_>,
+    ) -> Result<CompletionResponse, LlmError> {
+        let salt = crate::stable_hash(&[&req.prompt]).to_string();
+        self.run(&req.model, &salt, rc, || client.complete(req))
+    }
+
+    /// Embedding with full resilience context.
+    pub fn embed_with(
+        &self,
+        client: &dyn LlmClient,
+        req: &EmbeddingRequest,
+        rc: &RetryContext<'_>,
+    ) -> Result<EmbeddingResponse, LlmError> {
+        let joined = req.inputs.join("\u{1}");
+        let salt = crate::stable_hash(&[&joined]).to_string();
+        self.run(&req.model, &salt, rc, || client.embed(req))
+    }
+
+    fn run<T>(
+        &self,
+        model: &ModelId,
+        salt: &str,
+        rc: &RetryContext<'_>,
+        mut call: impl FnMut() -> Result<T, LlmError>,
+    ) -> Result<T, LlmError> {
         let mut backoff = self.initial_backoff_secs;
-        let mut last_err = None;
-        for _attempt in 0..self.max_attempts.max(1) {
-            match client.complete(req) {
-                Ok(resp) => return Ok(resp),
-                Err(e) if e.is_retryable() => {
-                    if let Some(c) = clock {
-                        c.advance_secs(backoff);
+        let mut last_err: Option<LlmError> = None;
+        for attempt in 0..self.max_attempts.max(1) {
+            // Breaker gate: refuse locally while the model's domain is open.
+            // Mid-retry this surfaces the provider error we already saw;
+            // before the first attempt it is a fast CircuitOpen.
+            if let Some(health) = rc.health {
+                if let Err(retry_in) = health.allow(model, rc.now_secs()) {
+                    return Err(last_err.unwrap_or(LlmError::CircuitOpen {
+                        model: model.clone(),
+                        retry_in_secs: retry_in,
+                    }));
+                }
+            }
+            match call() {
+                Ok(resp) => {
+                    if let Some(health) = rc.health {
+                        health.record_success(model, rc.now_secs());
                     }
-                    backoff *= self.backoff_multiplier;
+                    return Ok(resp);
+                }
+                Err(e) if e.is_retryable() => {
+                    if let Some(health) = rc.health {
+                        health.record_failure(model, &e, rc.now_secs());
+                    }
+                    let mut wait = backoff;
+                    if let Some(hint) = e.retry_after_secs() {
+                        wait = wait.max(hint);
+                    }
+                    wait = wait.min(self.max_backoff_secs);
+                    if self.jitter > 0.0 {
+                        let u = crate::hash_unit(&[
+                            &self.seed.to_string(),
+                            "retry-jitter",
+                            model.as_str(),
+                            salt,
+                            &attempt.to_string(),
+                        ]);
+                        wait *= 1.0 + self.jitter * (2.0 * u - 1.0);
+                    }
+                    // Deadline: if even waiting would blow the budget, stop
+                    // burning attempts and surface the provider error now.
+                    if let Some(deadline) = rc.deadline_at_secs {
+                        if rc.now_secs() + wait > deadline {
+                            return Err(e);
+                        }
+                    }
+                    if let Some(c) = rc.clock {
+                        c.advance_secs(wait);
+                    }
+                    backoff = (backoff * self.backoff_multiplier).min(self.max_backoff_secs);
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
             }
+        }
+        // Every attempt failed: trip the breaker so subsequent work (and
+        // other operators) fail over instead of re-paying full retry cost.
+        if let (Some(health), Some(e)) = (rc.health, last_err.as_ref()) {
+            health.trip(model, e, rc.now_secs());
         }
         Err(last_err.unwrap_or(LlmError::Rejected("no attempts configured".into())))
     }
@@ -236,6 +433,159 @@ mod tests {
             .complete_with_retry(&Bad, &CompletionRequest::new("m", "p"), None)
             .unwrap_err();
         assert_eq!(err, LlmError::UnknownModel("m".into()));
+    }
+
+    /// Client that always fails with a fixed error.
+    struct AlwaysErr(LlmError);
+
+    impl LlmClient for AlwaysErr {
+        fn complete(&self, _req: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+            Err(self.0.clone())
+        }
+        fn embed(&self, _req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+            Err(self.0.clone())
+        }
+    }
+
+    fn transient() -> LlmError {
+        LlmError::Transient {
+            attempt: 0,
+            reason: "overloaded".into(),
+        }
+    }
+
+    #[test]
+    fn embed_retry_recovers_from_transient() {
+        struct FlakyEmbed {
+            calls: AtomicUsize,
+        }
+        impl LlmClient for FlakyEmbed {
+            fn complete(&self, _r: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+                unreachable!()
+            }
+            fn embed(&self, _r: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(transient())
+                } else {
+                    Ok(EmbeddingResponse {
+                        vectors: vec![vec![0.0]],
+                        usage: Usage::new(1, 0),
+                        latency_secs: 0.0,
+                        cost_usd: 0.0,
+                    })
+                }
+            }
+        }
+        let c = FlakyEmbed {
+            calls: AtomicUsize::new(0),
+        };
+        let clock = VirtualClock::new();
+        let req = EmbeddingRequest {
+            model: "e".into(),
+            inputs: vec!["x".into()],
+        };
+        let resp = RetryPolicy::default()
+            .embed_with_retry(&c, &req, Some(&clock))
+            .unwrap();
+        assert_eq!(resp.vectors.len(), 1);
+        assert_eq!(c.calls.load(Ordering::SeqCst), 2);
+        assert!((clock.now_secs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_honors_retry_after_hint() {
+        let c = AlwaysErr(LlmError::RateLimited {
+            model: "m".into(),
+            retry_after_secs: 10.0,
+        });
+        let clock = VirtualClock::new();
+        let err = RetryPolicy::default()
+            .complete_with_retry(&c, &CompletionRequest::new("m", "p"), Some(&clock))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::RateLimited { .. }));
+        // Three sleeps, each lifted to the 10s hint.
+        assert!((clock.now_secs() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let c = AlwaysErr(transient());
+        let clock = VirtualClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            initial_backoff_secs: 0.5,
+            backoff_multiplier: 10.0,
+            max_backoff_secs: 1.0,
+            ..Default::default()
+        };
+        policy
+            .complete_with_retry(&c, &CompletionRequest::new("m", "p"), Some(&clock))
+            .unwrap_err();
+        // Sleeps: 0.5, then capped at 1.0 thrice.
+        assert!((clock.now_secs() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let run = |jitter: f64| {
+            let c = AlwaysErr(transient());
+            let clock = VirtualClock::new();
+            let policy = RetryPolicy {
+                jitter,
+                seed: 7,
+                ..Default::default()
+            };
+            policy
+                .complete_with_retry(&c, &CompletionRequest::new("m", "p"), Some(&clock))
+                .unwrap_err();
+            clock.now_secs()
+        };
+        let a = run(0.25);
+        let b = run(0.25);
+        assert!((a - b).abs() < 1e-12, "jitter must be reproducible");
+        let plain = run(0.0);
+        assert!((plain - 3.5).abs() < 1e-9);
+        assert!(a != plain && (a - plain).abs() <= 0.25 * plain + 1e-9);
+    }
+
+    #[test]
+    fn deadline_stops_retry_backoff() {
+        let c = Flaky {
+            fail_first: 10,
+            calls: AtomicUsize::new(0),
+        };
+        let clock = VirtualClock::new();
+        let rc = RetryContext::new(&clock).with_deadline(Some(0.3));
+        let err = RetryPolicy::default()
+            .complete_with(&c, &CompletionRequest::new("m", "p"), &rc)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // First backoff (0.5s) would blow the 0.3s budget: one attempt only,
+        // and the clock never advanced.
+        assert_eq!(c.calls.load(Ordering::SeqCst), 1);
+        assert!(clock.now_secs().abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustion_trips_breaker_and_gates_next_call() {
+        use crate::breaker::{BreakerState, HealthTracker};
+        let c = AlwaysErr(transient());
+        let clock = VirtualClock::new();
+        let health = HealthTracker::default();
+        let rc = RetryContext::new(&clock).with_health(&health);
+        let policy = RetryPolicy::default();
+        let req = CompletionRequest::new("m", "p");
+        let err = policy.complete_with(&c, &req, &rc).unwrap_err();
+        assert!(matches!(err, LlmError::Transient { .. }));
+        assert!(matches!(
+            health.state(&"m".into()),
+            BreakerState::Open { .. }
+        ));
+        // Next call is refused locally before touching the client.
+        let before = clock.now_secs();
+        let err = policy.complete_with(&c, &req, &rc).unwrap_err();
+        assert!(matches!(err, LlmError::CircuitOpen { .. }));
+        assert!((clock.now_secs() - before).abs() < 1e-9);
     }
 
     #[test]

@@ -24,25 +24,29 @@
 //! `CLASSIFY` and `GENERATE` tasks. Free-form prompts fall back to a
 //! deterministic echo-summarizer so that agent-style usage also works.
 
+pub mod breaker;
 pub mod cache;
 pub mod catalog;
 pub mod client;
 pub mod clock;
 pub mod embedding;
+pub mod fault;
 pub mod protocol;
 pub mod sim;
 pub mod tokenizer;
 pub mod traced;
 pub mod usage;
 
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, HealthTracker};
 pub use cache::{CacheStats, CachingClient};
 pub use catalog::{Catalog, ModelCard, ModelId, ModelKind};
 pub use client::{
     CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient,
-    LlmError, RetryPolicy,
+    LlmError, RetryContext, RetryPolicy,
 };
 pub use clock::VirtualClock;
 pub use embedding::Embedder;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
 pub use sim::{SimConfig, SimulatedLlm};
 pub use tokenizer::count_tokens;
 pub use traced::TracedClient;

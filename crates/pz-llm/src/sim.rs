@@ -18,6 +18,7 @@ use crate::client::{
 };
 use crate::clock::VirtualClock;
 use crate::embedding::Embedder;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::protocol::{self, Cardinality, Effort, FieldSpec, Task};
 use crate::tokenizer::{count_output_tokens, count_tokens};
 use crate::usage::{Usage, UsageLedger};
@@ -36,6 +37,10 @@ pub struct SimConfig {
     pub transient_failure_rate: f64,
     /// Dimensionality of simulated embeddings.
     pub embedding_dim: usize,
+    /// Scripted per-model fault windows (outages, brownouts, rate limits,
+    /// timeouts, malformed output) on the virtual clock. Empty by default:
+    /// the fault path is then a complete no-op.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -44,6 +49,7 @@ impl Default for SimConfig {
             seed: 42,
             transient_failure_rate: 0.0,
             embedding_dim: 64,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -56,6 +62,7 @@ pub struct SimulatedLlm {
     clock: VirtualClock,
     ledger: UsageLedger,
     embedder: Embedder,
+    faults: FaultInjector,
     call_counter: AtomicU64,
 }
 
@@ -67,12 +74,14 @@ impl SimulatedLlm {
         ledger: UsageLedger,
     ) -> Self {
         let embedder = Embedder::new(config.embedding_dim);
+        let faults = FaultInjector::new(config.fault_plan.clone());
         Self {
             catalog,
             config,
             clock,
             ledger,
             embedder,
+            faults,
             call_counter: AtomicU64::new(0),
         }
     }
@@ -101,6 +110,27 @@ impl SimulatedLlm {
 
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Shared handle on the scripted fault plan; clones observe (and can
+    /// swap) the same plan live.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Consult the scripted fault plan. Runs before any billing: a faulted
+    /// call costs no tokens and no dollars — except timeouts, which burn
+    /// the stalled wall-clock time.
+    fn check_faults(&self, model: &crate::catalog::ModelId) -> Result<(), LlmError> {
+        match self.faults.check(model, self.clock.now_secs()) {
+            Ok(()) => Ok(()),
+            Err(fault) => {
+                if fault.stall_secs > 0.0 {
+                    self.clock.advance_secs(fault.stall_secs);
+                }
+                Err(fault.error)
+            }
+        }
     }
 
     fn seed_str(&self) -> String {
@@ -683,6 +713,7 @@ impl LlmClient for SimulatedLlm {
                 window: card.context_window,
             });
         }
+        self.check_faults(&req.model)?;
         self.maybe_transient()?;
 
         let model = card.id.as_str();
@@ -788,6 +819,7 @@ impl LlmClient for SimulatedLlm {
                 expected: "embedding",
             });
         }
+        self.check_faults(&req.model)?;
         self.maybe_transient()?;
         let input_tokens: usize = req.inputs.iter().map(|s| count_tokens(s)).sum();
         let vectors: Vec<Vec<f32>> = req.inputs.iter().map(|s| self.embedder.embed(s)).collect();
@@ -1118,6 +1150,65 @@ mod tests {
             }
         }
         assert!((30..=70).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn scripted_outage_fails_without_billing() {
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig {
+                fault_plan: FaultPlan::default().outage("gpt-4o", 0.0, 100.0),
+                ..Default::default()
+            },
+            VirtualClock::new(),
+            UsageLedger::new(),
+        );
+        let req = CompletionRequest::new("gpt-4o", filter_prompt("cancer", CANCER_DOC));
+        let err = s.complete(&req).unwrap_err();
+        assert!(matches!(err, LlmError::Transient { .. }));
+        // Failed calls bill nothing and burn no time.
+        assert_eq!(s.ledger().total_requests(), 0);
+        assert!(s.clock().now_secs().abs() < 1e-9);
+        // Other models are unaffected, and once past the window the model
+        // recovers.
+        s.complete(&CompletionRequest::new(
+            "gpt-4o-mini",
+            filter_prompt("cancer", CANCER_DOC),
+        ))
+        .unwrap();
+        s.clock().advance_secs(200.0);
+        s.complete(&req).unwrap();
+    }
+
+    #[test]
+    fn scripted_timeout_burns_time_but_no_tokens() {
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig {
+                fault_plan: FaultPlan::parse("gpt-4o:timeout@0..10:stall=8", 1).unwrap(),
+                ..Default::default()
+            },
+            VirtualClock::new(),
+            UsageLedger::new(),
+        );
+        let err = s
+            .complete(&CompletionRequest::new("gpt-4o", "hello"))
+            .unwrap_err();
+        assert!(matches!(err, LlmError::Timeout { .. }));
+        assert!((s.clock().now_secs() - 8.0).abs() < 1e-9);
+        assert_eq!(s.ledger().total_requests(), 0);
+    }
+
+    #[test]
+    fn injector_handle_swaps_plan_live() {
+        let s = sim();
+        let req = CompletionRequest::new("gpt-4o", "hello");
+        s.complete(&req).unwrap();
+        s.faults()
+            .set(FaultPlan::default().outage("gpt-4o", 0.0, 1e12));
+        assert!(s.complete(&req).is_err());
+        s.faults().clear();
+        s.complete(&req).unwrap();
     }
 
     #[test]

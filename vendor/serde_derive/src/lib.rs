@@ -5,7 +5,8 @@
 //! parsing is hand-rolled — no `syn`/`quote` — covering the shapes this
 //! workspace uses:
 //!
-//! - structs with named fields (`#[serde(skip)]` supported)
+//! - structs with named fields (`#[serde(skip)]`, `#[serde(default)]`,
+//!   and `#[serde(skip_serializing_if = "...")]` supported)
 //! - tuple ("newtype") structs, serialized transparently
 //! - enums with unit, newtype, tuple, and struct variants, externally
 //!   tagged exactly like real serde (`"Variant"`, `{"Variant": ...}`)
@@ -48,6 +49,8 @@ enum Body {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
+    skip_ser_if: Option<String>,
 }
 
 struct Variant {
@@ -124,20 +127,47 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, body }
 }
 
-/// Does an attribute token group (the `[...]` contents) spell `serde(skip)`?
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Per-field serde attributes this stub understands.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    /// `#[serde(default)]`: a missing (or null) key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path::to::pred")]`: omit the key
+    /// when `pred(&self.field)` is true.
+    skip_ser_if: Option<String>,
+}
+
+/// Parse an attribute token group (the `[...]` contents) as `serde(...)`.
+fn parse_serde_attr(stream: TokenStream) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
     let mut toks = stream.into_iter();
     match toks.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return out,
     }
-    match toks.next() {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+    let Some(TokenTree::Group(g)) = toks.next() else {
+        return out;
+    };
+    let mut inner = g.stream().into_iter().peekable();
+    while let Some(t) = inner.next() {
+        let TokenTree::Ident(i) = t else { continue };
+        match i.to_string().as_str() {
+            "skip" => out.skip = true,
+            "default" => out.default = true,
+            "skip_serializing_if" => {
+                if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    inner.next();
+                    if let Some(TokenTree::Literal(l)) = inner.next() {
+                        out.skip_ser_if = Some(l.to_string().trim_matches('"').to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
     }
+    out
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
@@ -145,13 +175,18 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut toks = stream.into_iter().peekable();
     loop {
         // per-field: attributes, visibility, name, ':', type, ','
-        let mut skip = false;
+        let mut attrs = SerdeAttrs::default();
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
                     if let Some(TokenTree::Group(g)) = toks.next() {
-                        skip |= attr_is_serde_skip(g.stream());
+                        let a = parse_serde_attr(g.stream());
+                        attrs.skip |= a.skip;
+                        attrs.default |= a.default;
+                        if a.skip_ser_if.is_some() {
+                            attrs.skip_ser_if = a.skip_ser_if;
+                        }
                     }
                 }
                 _ => break,
@@ -204,7 +239,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         fields.push(Field {
             name: name.trim_start_matches("r#").to_string(),
-            skip,
+            skip: attrs.skip,
+            default: attrs.default,
+            skip_ser_if: attrs.skip_ser_if,
         });
     }
 }
@@ -298,10 +335,16 @@ fn gen_serialize(item: &Item) -> String {
         Body::NamedStruct(fields) => {
             let mut out = format!("let mut __m = {MAP}::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
-                out.push_str(&format!(
+                let insert = format!(
                     "__m.insert(\"{0}\".to_string(), serde::Serialize::serialize_value(&self.{0}));\n",
                     f.name
-                ));
+                );
+                match &f.skip_ser_if {
+                    Some(pred) => {
+                        out.push_str(&format!("if !{pred}(&self.{0}) {{ {insert} }}\n", f.name))
+                    }
+                    None => out.push_str(&insert),
+                }
             }
             out.push_str(&format!("{V}::Object(__m)"));
             out
@@ -384,6 +427,11 @@ fn named_fields_literal(fields: &[Field], ctor: &str) -> String {
     for f in fields {
         if f.skip {
             out.push_str(&format!("{}: Default::default(),\n", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{0}: match __m.get(\"{0}\") {{ Some(__v) if !__v.is_null() => serde::Deserialize::deserialize_value(__v).map_err(|e| e.context(\"{0}\"))?, _ => Default::default() }},\n",
+                f.name
+            ));
         } else {
             out.push_str(&format!(
                 "{0}: serde::Deserialize::deserialize_value(__m.get(\"{0}\").unwrap_or(&{V}::Null)).map_err(|e| e.context(\"{0}\"))?,\n",
