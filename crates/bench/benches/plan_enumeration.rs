@@ -15,6 +15,7 @@ fn cost_ctx(catalog: &Catalog) -> CostContext {
         avg_record_tokens: 3000.0,
         build_cardinality: Default::default(),
         calibration: None,
+        workers: 1,
     }
 }
 

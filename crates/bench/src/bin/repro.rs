@@ -33,8 +33,16 @@ static EXEC_MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
 /// trace. E15 scripts its own outage regardless of this flag.
 static FAULT_PLAN: std::sync::OnceLock<pz_llm::FaultPlan> = std::sync::OnceLock::new();
 
+/// Streaming per-stage worker-pool size (`--parallelism N`, default 1).
+/// Only affects streaming runs; materializing ignores it.
+static PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
 fn exec_mode() -> ExecMode {
     EXEC_MODE.get().copied().unwrap_or(ExecMode::Materializing)
+}
+
+fn parallelism() -> usize {
+    PARALLELISM.get().copied().unwrap_or(1).max(1)
 }
 
 fn scripted_faults(ctx: &PzContext) {
@@ -44,11 +52,15 @@ fn scripted_faults(ctx: &PzContext) {
 }
 
 fn cfg_seq() -> ExecutionConfig {
-    ExecutionConfig::sequential().with_mode(exec_mode())
+    ExecutionConfig::sequential()
+        .with_mode(exec_mode())
+        .with_parallelism_config(ParallelismConfig::fixed(parallelism()))
 }
 
 fn cfg_par(workers: usize) -> ExecutionConfig {
-    ExecutionConfig::parallel(workers).with_mode(exec_mode())
+    ExecutionConfig::parallel(workers)
+        .with_mode(exec_mode())
+        .with_parallelism_config(ParallelismConfig::fixed(parallelism()))
 }
 
 fn main() {
@@ -83,6 +95,29 @@ fn main() {
         let _ = EXEC_MODE.set(mode);
         println!("exec mode: {mode:?}");
     }
+    if let Some(i) = args.iter().position(|a| a == "--parallelism") {
+        if i + 1 >= args.len() {
+            eprintln!("--parallelism requires a worker count (or 0 for one per core)");
+            std::process::exit(2);
+        }
+        let n = args.remove(i + 1);
+        args.remove(i);
+        match n.parse::<usize>() {
+            Ok(0) => {
+                let cores = pz_core::exec::available_cores();
+                let _ = PARALLELISM.set(cores);
+                println!("parallelism: {cores} workers/stage (one per core)");
+            }
+            Ok(w) => {
+                let _ = PARALLELISM.set(w);
+                println!("parallelism: {w} workers/stage");
+            }
+            Err(_) => {
+                eprintln!("bad --parallelism value {n:?} (want an integer)");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
         if i + 1 >= args.len() {
             eprintln!("--fault-plan requires a spec, e.g. gpt-4o:outage@0..120");
@@ -100,6 +135,21 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // `repro bench-json [--out PATH]`: machine-readable perf-gate numbers.
+    if args.iter().any(|a| a == "bench-json") {
+        let out = match args.iter().position(|a| a == "--out") {
+            Some(i) => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }
+                args[i + 1].clone()
+            }
+            None => "BENCH_5.json".to_string(),
+        };
+        bench_json(&out);
+        return;
     }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     if run("e1") {
@@ -143,6 +193,9 @@ fn main() {
     }
     if run("e15") {
         e15_resilience();
+    }
+    if run("e16") {
+        e16_parallelism();
     }
     if let Some(path) = trace_out {
         export_trace(&path);
@@ -308,6 +361,7 @@ fn e4_plan_space() {
             avg_record_tokens: 3000.0,
             build_cardinality: Default::default(),
             calibration: None,
+            workers: 1,
         };
         let t0 = Instant::now();
         let frontier = pareto::enumerate_pareto(&plan, &catalog, &cost_ctx);
@@ -853,4 +907,169 @@ fn e15_resilience() {
     println!("\nexpected shape: outage runs finish with the same record multiset on the");
     println!("substitute model at slightly lower quality; healthy runs show zero swaps,");
     println!("zero trips, and identical cost with failover enabled or disabled.");
+}
+
+/// Field-content multiset key for cross-mode output comparison (record ids
+/// are allocator-dependent, so they are excluded via `to_json`).
+fn record_multiset(records: &[pz_core::record::DataRecord]) -> Vec<String> {
+    let mut keys: Vec<String> = records
+        .iter()
+        .map(|r| serde_json::to_string(&r.to_json()).expect("record serializes"))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Streaming config for the parallelism experiments: batch size 1 so every
+/// record is its own unit of overlap (`effective_workers = min(pool,
+/// records)` instead of `min(pool, ceil(records / 4))`).
+fn streaming_cfg(parallelism: usize) -> ExecutionConfig {
+    ExecutionConfig::sequential()
+        .with_mode(ExecMode::Streaming {
+            channel_capacity: 2,
+            batch_size: 1,
+        })
+        .with_parallelism_config(ParallelismConfig::fixed(parallelism))
+}
+
+/// E16 — intra-operator worker pools: parallelism sweep over the §3 demo
+/// plan (Scan → LLMFilter → LLMConvert) under the streaming executor.
+/// Output multiset and ledger cost must be bit-identical at every level —
+/// pools change *when* calls overlap on the virtual clock, never what is
+/// called — and attributed time must drop at least 2x by parallelism 8.
+fn e16_parallelism() {
+    banner("E16", "streaming worker pools: parallelism sweep");
+    println!(
+        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>7}",
+        "parallelism", "records", "cost($)", "time(s)", "speedup", "calls"
+    );
+    let mut baseline: Option<(Vec<String>, f64, f64)> = None;
+    for p in [1usize, 2, 4, 8] {
+        let (ctx, _truth) = demo_context();
+        let outcome = execute(&ctx, &demo_plan(), &Policy::MaxQuality, streaming_cfg(p))
+            .expect("parallelism sweep runs");
+        let keys = record_multiset(&outcome.records);
+        let cost = ctx.ledger.total_cost_usd();
+        let time = outcome.stats.total_time_secs;
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((keys.clone(), cost, time));
+                1.0
+            }
+            Some((base_keys, base_cost, base_time)) => {
+                assert_eq!(
+                    &keys, base_keys,
+                    "parallelism {p} changed the output multiset"
+                );
+                assert!(
+                    (cost - base_cost).abs() < 1e-9,
+                    "parallelism {p} changed ledger cost: {base_cost} -> {cost}"
+                );
+                base_time / time
+            }
+        };
+        println!(
+            "{:<12} {:>8} {:>9.3} {:>9.1} {:>8.2}x {:>7}",
+            p,
+            outcome.records.len(),
+            cost,
+            time,
+            speedup,
+            outcome.stats.total_llm_calls
+        );
+        if p == 8 {
+            assert!(
+                speedup >= 2.0,
+                "parallelism 8 must give >= 2x virtual-clock speedup, got {speedup:.2}x"
+            );
+        }
+    }
+    println!("\nexpected shape: identical records and dollars at every level; time");
+    println!("divides by min(workers, records-per-stage) clamped by each model's");
+    println!("published rate limit (gpt-4o caps at 8 concurrent requests).");
+}
+
+/// `repro bench-json [--out PATH]` — the CI perf gate. Re-measures the
+/// E1/E14 headline comparison plus the parallelism sweep and writes the
+/// numbers as machine-readable JSON. Floors are enforced *here* (nonzero
+/// exit) so the workflow needs no JSON parsing: streaming must beat
+/// materializing by >= 1.3x on virtual-clock time, and ledger cost must be
+/// identical across every mode and parallelism level.
+fn bench_json(out: &str) {
+    banner("BENCH", "perf gate: E1/E14 times and ledger cost (JSON)");
+    const SPEEDUP_FLOOR: f64 = 1.3;
+    let mut runs: Vec<(String, usize, f64, f64, usize, Vec<String>)> = Vec::new();
+    for (name, parallelism, config) in [
+        ("materializing", 1usize, ExecutionConfig::sequential()),
+        ("streaming", 1, streaming_cfg(1)),
+        ("streaming", 4, streaming_cfg(4)),
+        ("streaming", 8, streaming_cfg(8)),
+    ] {
+        let (ctx, _truth) = demo_context();
+        let outcome = execute(&ctx, &demo_plan(), &Policy::MaxQuality, config).expect("bench run");
+        runs.push((
+            name.to_string(),
+            parallelism,
+            outcome.stats.total_time_secs,
+            ctx.ledger.total_cost_usd(),
+            outcome.records.len(),
+            record_multiset(&outcome.records),
+        ));
+        println!(
+            "{:<16} p={:<2} time={:>7.1}s cost=${:.3} records={}",
+            name,
+            parallelism,
+            outcome.stats.total_time_secs,
+            ctx.ledger.total_cost_usd(),
+            outcome.records.len(),
+        );
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let (base_cost, base_keys) = (runs[0].3, runs[0].5.clone());
+    for (name, p, _, cost, _, keys) in &runs[1..] {
+        if (cost - base_cost).abs() > 1e-9 {
+            failures.push(format!(
+                "ledger cost differs across modes: materializing ${base_cost} vs {name} p={p} ${cost}"
+            ));
+        }
+        if keys != &base_keys {
+            failures.push(format!(
+                "output multiset differs: materializing vs {name} p={p}"
+            ));
+        }
+    }
+    let speedup = runs[0].2 / runs[1].2;
+    if speedup < SPEEDUP_FLOOR {
+        failures.push(format!(
+            "streaming-vs-materializing speedup {speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
+        ));
+    }
+    let doc = serde_json::json!({
+        "experiment": "E1/E14 demo plan (Scan -> LLMFilter -> LLMConvert, MaxQuality)",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_streaming_vs_materializing": speedup,
+        "pass": failures.is_empty(),
+        "failures": failures,
+        "runs": runs.iter().map(|(name, p, time, cost, records, _)| serde_json::json!({
+            "mode": name,
+            "parallelism": p,
+            "virtual_time_secs": time,
+            "ledger_cost_usd": cost,
+            "records": records,
+        })).collect::<Vec<_>>(),
+    });
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&doc).expect("render json"),
+    )
+    .expect("write bench json");
+    println!("speedup (streaming p=1 vs materializing): {speedup:.2}x (floor {SPEEDUP_FLOOR}x)");
+    println!("wrote {out}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("PERF GATE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("perf gate: PASS");
 }

@@ -9,6 +9,7 @@
 //! Type `:trace` to toggle the ReAct trace display, `:spans` to print the
 //! session's observability trace tree, `:export <path>` to write the trace
 //! as JSONL, `:exec streaming|materializing` to switch the execution mode,
+//! `:parallelism <n>|auto` to size the streaming per-stage worker pools,
 //! `:faults <spec>|off` to script provider faults into the simulator,
 //! `:breaker` to inspect per-model circuit breakers, `:quit` to exit.
 
@@ -28,6 +29,7 @@ fn main() {
          then \"run the pipeline with maximum quality\".\n\
          (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, \
          :exec streaming|materializing switches the executor, \
+         :parallelism <n>|auto sizes the streaming worker pools, \
          :faults <spec>|off scripts provider faults, :breaker shows model health, :quit exits)\n"
     );
     loop {
@@ -98,6 +100,30 @@ fn main() {
                     println!("execution mode: materializing (operator-at-a-time)");
                 }
                 other => println!("unknown mode {other:?} — try :exec streaming | materializing"),
+            }
+            continue;
+        }
+        if let Some(n) = line.strip_prefix(":parallelism ") {
+            match n.trim() {
+                "auto" => {
+                    let cores = pz_core::exec::available_cores();
+                    chat.session().lock().ctx.parallelism = cores;
+                    println!("streaming parallelism: {cores} workers/stage (one per core)");
+                }
+                n => match n.parse::<usize>() {
+                    Ok(w) if w >= 1 => {
+                        chat.session().lock().ctx.parallelism = w;
+                        if w == 1 {
+                            println!("streaming parallelism: serial (1 worker/stage)");
+                        } else {
+                            println!(
+                                "streaming parallelism: {w} workers/stage \
+                                 (clamped per model by its rate limit)"
+                            );
+                        }
+                    }
+                    _ => println!("usage: :parallelism <n>=1 | auto"),
+                },
             }
             continue;
         }

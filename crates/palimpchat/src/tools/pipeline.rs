@@ -277,6 +277,14 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
          process the workload.",
     )
     .with_arg(ArgSpec::new("workers", ArgKind::Int, "Parallel workers").optional())
+    .with_arg(
+        ArgSpec::new(
+            "parallelism",
+            ArgKind::Int,
+            "Streaming worker-pool size per stage",
+        )
+        .optional(),
+    )
     .with_example("run the pipeline now");
     Arc::new(FnTool::new(spec, move |args: &ToolArgs| {
         let mut state = session.lock();
@@ -288,14 +296,22 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             .and_then(|v| v.as_i64())
             .map(|n| n.clamp(1, 64) as usize)
             .unwrap_or(state.workers);
+        let parallelism = args
+            .get("parallelism")
+            .and_then(|v| v.as_i64())
+            .map(|n| n.clamp(1, 64) as usize)
+            .unwrap_or(state.ctx.parallelism);
         let policy = state.policy.clone();
         let outcome = execute(
             &state.ctx,
             &plan,
             &policy,
             // The session's `:exec` switch decides materializing vs
-            // streaming; workers only matter for materializing.
-            ExecutionConfig::parallel(workers).with_mode(state.ctx.exec_mode),
+            // streaming. `workers` partitions a materializing run;
+            // `parallelism` sizes each streaming stage's worker pool.
+            ExecutionConfig::parallel(workers)
+                .with_mode(state.ctx.exec_mode)
+                .with_parallelism(parallelism),
         )
         .map_err(|e| tool_err("execute_pipeline", e))?;
         let mut summary = format!(

@@ -56,6 +56,10 @@ pub struct PzContext {
     /// How plans are driven by default (the REPL's `:exec` switch and the
     /// pipeline tool read this; explicit `ExecutionConfig`s override it).
     pub exec_mode: crate::exec::ExecMode,
+    /// Default intra-operator worker-pool size for streaming stages (the
+    /// REPL's `:parallelism` switch and the pipeline tool read this;
+    /// explicit `ExecutionConfig`s override it). `1` = serial.
+    pub parallelism: usize,
     ids: Arc<AtomicU64>,
 }
 
@@ -95,6 +99,7 @@ impl PzContext {
             tracer,
             embed_model: "text-embedding-3-small".into(),
             exec_mode: crate::exec::ExecMode::Materializing,
+            parallelism: 1,
             ids: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -102,6 +107,17 @@ impl PzContext {
     /// Set the default execution mode for plans run through this context.
     pub fn with_exec_mode(mut self, mode: crate::exec::ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// Set the default streaming worker-pool size. `0` means one worker per
+    /// available core ([`crate::exec::available_cores`]).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = if workers == 0 {
+            crate::exec::available_cores()
+        } else {
+            workers
+        };
         self
     }
 

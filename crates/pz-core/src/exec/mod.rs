@@ -8,5 +8,5 @@ pub mod stats;
 mod streaming;
 
 pub use failover::FailoverRank;
-pub use run::{execute_plan, ExecMode, ExecutionConfig};
+pub use run::{available_cores, execute_plan, ExecMode, ExecutionConfig, ParallelismConfig};
 pub use stats::{DegradedExecution, ExecutionStats, OperatorStats};

@@ -43,6 +43,92 @@ impl ExecMode {
     }
 }
 
+/// Intra-operator worker-pool sizing for streaming stages.
+///
+/// Each per-batch streaming stage fans its record batches out to a pool of
+/// `workers_for(op_index)` workers; the effective pool is further clamped
+/// by the operator's model rate limit (`ModelCard::max_concurrency`) and
+/// by how many batches actually arrive. Kept `Copy` so it can travel
+/// inside [`ExecutionConfig`]: per-operator overrides live in a small
+/// fixed table (plans in this reproduction are shallow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Default workers per stage. `0` means *auto*: one worker per
+    /// available core.
+    pub default_workers: usize,
+    /// `(op_index, workers)` overrides, first `len` entries valid.
+    overrides: [(usize, usize); Self::MAX_OVERRIDES],
+    len: usize,
+}
+
+impl ParallelismConfig {
+    /// Fixed-size override table (kept tiny so the config stays `Copy`).
+    pub const MAX_OVERRIDES: usize = 4;
+
+    /// One worker per stage — serial, byte-identical to pre-pool runs.
+    pub fn serial() -> Self {
+        Self::fixed(1)
+    }
+
+    /// The same worker count for every stage.
+    pub fn fixed(workers: usize) -> Self {
+        Self {
+            default_workers: workers.max(1),
+            overrides: [(0, 0); Self::MAX_OVERRIDES],
+            len: 0,
+        }
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        Self::fixed(available_cores())
+    }
+
+    /// Override the pool size for one operator (by plan index). At most
+    /// [`Self::MAX_OVERRIDES`] overrides are kept; excess ones are ignored.
+    pub fn with_override(mut self, op_index: usize, workers: usize) -> Self {
+        if let Some(slot) = self.overrides.get_mut(self.len) {
+            *slot = (op_index, workers.max(1));
+            self.len += 1;
+        }
+        self
+    }
+
+    /// Pool size for the operator at `op_index`.
+    pub fn workers_for(&self, op_index: usize) -> usize {
+        self.overrides[..self.len]
+            .iter()
+            .find(|(i, _)| *i == op_index)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.default_workers)
+            .max(1)
+    }
+
+    /// Largest pool any stage may get (used for reporting).
+    pub fn max_workers(&self) -> usize {
+        self.overrides[..self.len]
+            .iter()
+            .map(|(_, w)| *w)
+            .chain(std::iter::once(self.default_workers))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Worker count for "auto" parallelism: the cores the OS reports.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutionConfig {
@@ -64,6 +150,12 @@ pub struct ExecutionConfig {
     /// Retries, backoff, and failover all respect it; exceeding it yields
     /// partial results flagged `deadline_exceeded`, never a hang.
     pub deadline_secs: Option<f64>,
+    /// Intra-operator worker pools for streaming stages: each per-batch
+    /// stage fans batches out to this many workers and merges results
+    /// through a sequence-numbered reordering buffer, so output order,
+    /// ledger cost, and trace reconciliation are byte-identical to the
+    /// serial run — only attributed time shrinks.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for ExecutionConfig {
@@ -74,6 +166,7 @@ impl Default for ExecutionConfig {
             failover: true,
             rank: FailoverRank::default(),
             deadline_secs: None,
+            parallelism: ParallelismConfig::serial(),
         }
     }
 }
@@ -135,6 +228,28 @@ impl ExecutionConfig {
     /// Disable mid-plan model failover (provider faults abort the plan).
     pub fn without_failover(mut self) -> Self {
         self.failover = false;
+        self
+    }
+
+    /// Set the same intra-operator worker-pool size for every streaming
+    /// stage (also raises the materializing worker count so both modes
+    /// benefit from one knob). `0` means auto (available cores).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            available_cores()
+        } else {
+            workers
+        };
+        self.parallelism = ParallelismConfig::fixed(workers);
+        if self.workers < workers {
+            self.workers = workers;
+        }
+        self
+    }
+
+    /// Set a full per-operator parallelism configuration.
+    pub fn with_parallelism_config(mut self, parallelism: ParallelismConfig) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -584,6 +699,96 @@ mod tests {
         assert!((op_cost - ctx.ledger.total_cost_usd()).abs() < 1e-9);
         let op_calls: usize = stats.operators.iter().map(|o| o.llm_calls).sum();
         assert_eq!(op_calls, ctx.ledger.total_requests());
+    }
+
+    #[test]
+    fn parallel_streaming_same_records_cost_less_attributed_time() {
+        let base = ExecutionConfig::streaming_with(2, 1);
+        let ctx_1 = science_ctx();
+        let (rec_1, stats_1) = execute_plan(&ctx_1, &demo_plan(), base).unwrap();
+        let ctx_8 = science_ctx();
+        let (rec_8, stats_8) =
+            execute_plan(&ctx_8, &demo_plan(), base.with_parallelism(8)).unwrap();
+
+        // The worker pool is attribution-only: identical records…
+        let names = |recs: &[DataRecord]| {
+            let mut v: Vec<String> = recs
+                .iter()
+                .map(|r| r.get("name").unwrap().as_display())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(names(&rec_1), names(&rec_8));
+        // …identical ledger (same calls, same dollars, same clock order)…
+        assert!((ctx_1.ledger.total_cost_usd() - ctx_8.ledger.total_cost_usd()).abs() < 1e-9);
+        assert_eq!(ctx_1.ledger.total_requests(), ctx_8.ledger.total_requests());
+        assert!((stats_1.total_cost_usd - stats_8.total_cost_usd).abs() < 1e-9);
+        // …but at least 2x less attributed plan time, and the pool size is
+        // recorded on the stats.
+        assert!(
+            stats_8.total_time_secs * 2.0 < stats_1.total_time_secs,
+            "parallel 8 {} vs serial {}",
+            stats_8.total_time_secs,
+            stats_1.total_time_secs
+        );
+        assert_eq!(stats_1.parallelism, 1);
+        assert_eq!(stats_8.parallelism, 8);
+        // Per-operator accounting still reconciles against the ledger.
+        let op_cost: f64 = stats_8.operators.iter().map(|o| o.cost_usd).sum();
+        assert!((op_cost - ctx_8.ledger.total_cost_usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_streaming_pool_clamped_by_model_rate_limit() {
+        // gpt-4o publishes max_concurrency 8: a 32-worker request clamps to
+        // the same effective pool, so attribution is identical.
+        let base = ExecutionConfig::streaming_with(2, 1);
+        let ctx_8 = science_ctx();
+        let (_, stats_8) = execute_plan(&ctx_8, &demo_plan(), base.with_parallelism(8)).unwrap();
+        let ctx_32 = science_ctx();
+        let (_, stats_32) = execute_plan(&ctx_32, &demo_plan(), base.with_parallelism(32)).unwrap();
+        assert!((stats_8.total_time_secs - stats_32.total_time_secs).abs() < 1e-9);
+        assert_eq!(stats_8.parallelism, stats_32.parallelism);
+    }
+
+    #[test]
+    fn parallel_streaming_failover_matches_serial_decisions() {
+        // PR 4 semantics must hold per worker: one worker tripping the
+        // breaker fails the whole stage over exactly once, and the pooled
+        // run lands on the same substitute model as the serial run.
+        let outage = pz_llm::FaultPlan::none().outage("gpt-4o", 0.0, 1e9);
+        let base = ExecutionConfig::streaming_with(2, 1);
+        let ctx_1 = science_ctx();
+        ctx_1.faults.set(outage.clone());
+        let (rec_1, stats_1) = execute_plan(&ctx_1, &demo_plan(), base).unwrap();
+        let ctx_4 = science_ctx();
+        ctx_4.faults.set(outage);
+        let (rec_4, stats_4) =
+            execute_plan(&ctx_4, &demo_plan(), base.with_parallelism(4)).unwrap();
+
+        assert!(!rec_4.is_empty());
+        assert!(
+            !stats_4.degraded.is_empty(),
+            "outage must record a failover"
+        );
+        assert_eq!(rec_1.len(), rec_4.len());
+        let decisions = |stats: &ExecutionStats| {
+            stats
+                .degraded
+                .iter()
+                .map(|d| {
+                    (
+                        d.operator_index,
+                        d.from_model.clone(),
+                        d.to_model.clone(),
+                        d.records_affected,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(&stats_1), decisions(&stats_4));
+        assert!((ctx_1.ledger.total_cost_usd() - ctx_4.ledger.total_cost_usd()).abs() < 1e-9);
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub struct ExecutionStats {
     /// The execution deadline elapsed and the run returned partial results.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub deadline_exceeded: bool,
+    /// Largest intra-operator worker-pool size used by any streaming
+    /// stage. `0`/`1` (serial) keeps serialized stats byte-identical to
+    /// pre-parallelism runs.
+    #[serde(default, skip_serializing_if = "serial_workers")]
+    pub parallelism: usize,
+}
+
+/// Serialization predicate: a serial run carries no parallelism field.
+fn serial_workers(n: &usize) -> bool {
+    *n <= 1
 }
 
 impl ExecutionStats {
@@ -139,6 +149,9 @@ impl ExecutionStats {
             "TOTAL: {} output records, {} LLM calls, ${:.4}, {:.1}s (virtual)",
             self.output_records, self.total_llm_calls, self.total_cost_usd, self.total_time_secs
         );
+        if self.parallelism > 1 {
+            let _ = writeln!(s, "parallelism: {} workers/stage", self.parallelism);
+        }
         // Resilience annotations appear only on degraded runs, so healthy
         // output stays byte-identical.
         for d in &self.degraded {

@@ -26,6 +26,29 @@
 //! as `ExecutionStats::finalize_pipelined` — plan time is the bottleneck
 //! stage plus upstream pipeline-fill delay, not the sum of stages.
 //!
+//! ## Intra-operator worker pools
+//!
+//! Per-batch stages can additionally fan their batches out to a pool of
+//! workers ([`ExecutionConfig::parallelism`], clamped by the model's
+//! provider rate limit). The pool is built for determinism first:
+//!
+//! - an **intake** hands each incoming batch a sequence number;
+//! - a **turnstile** grants provider access strictly in sequence order,
+//!   so the clock, the ledger, fault windows, and failover decisions are
+//!   byte-identical to the serial schedule no matter how the OS schedules
+//!   the workers;
+//! - a sequence-numbered **reordering buffer** re-serializes completed
+//!   batches before emission, so downstream sees exactly the serial
+//!   output order;
+//! - the stage's [`StageFailover`] is shared by all its workers, so one
+//!   worker tripping a breaker fails the whole stage over exactly once.
+//!
+//! Concurrency therefore changes *time attribution only*: a stage's busy
+//! time is divided by its effective worker count
+//! (`min(workers, batches)`), mirroring the materializing executor's
+//! `elapsed / workers` rule, and `finalize_pipelined` turns that into the
+//! plan-level speedup.
+//!
 //! ## Spans
 //!
 //! The plan span is structural; per-operator spans are *leaf* spans
@@ -48,7 +71,8 @@ use pz_llm::{
     CompletionRequest, CompletionResponse, EmbeddingRequest, EmbeddingResponse, LlmClient,
     LlmError, ModelId, Usage, UsageLedger,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Per-stage accounting accumulated by [`StageMeter`].
@@ -141,6 +165,9 @@ struct StageReport {
     startup_secs: f64,
     /// Failover decisions made by this stage, in order.
     degraded: Vec<DegradedExecution>,
+    /// Workers that could actually overlap: `min(pool size, batches)`.
+    /// `0`/`1` means serial; divides the stage's attributed busy time.
+    effective_workers: usize,
 }
 
 /// Per-stage failover state: once a stage swaps models it *stays* on the
@@ -301,6 +328,104 @@ impl Emitter {
     }
 }
 
+/// Sequence-numbered reordering buffer: workers insert completed batches
+/// in any order; [`ReorderBuffer::pop_ready`] yields them strictly in
+/// sequence order. This is the invariant that keeps a worker pool's
+/// output order byte-identical to the serial run.
+struct ReorderBuffer {
+    next_seq: usize,
+    pending: BTreeMap<usize, Vec<DataRecord>>,
+}
+
+impl ReorderBuffer {
+    fn new() -> Self {
+        Self {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, seq: usize, batch: Vec<DataRecord>) {
+        self.pending.insert(seq, batch);
+    }
+
+    /// The next in-sequence batch, if it has arrived. Empty batches flow
+    /// through too — they advance the sequence without being emitted.
+    fn pop_ready(&mut self) -> Option<Vec<DataRecord>> {
+        let batch = self.pending.remove(&self.next_seq)?;
+        self.next_seq += 1;
+        Some(batch)
+    }
+}
+
+/// Grants workers provider access strictly in batch-sequence order.
+///
+/// The virtual clock, ledger, fault windows, and breaker state are all
+/// shared global state: if workers hit the provider in OS-scheduling
+/// order, timestamps (and therefore fault-window hits and failover
+/// decisions) would differ run to run. The turnstile pins provider-call
+/// order to the serial schedule, making worker pools deterministic;
+/// concurrency is then *modelled* by dividing attributed time.
+struct Turnstile {
+    turn: std::sync::Mutex<usize>,
+    advanced: std::sync::Condvar,
+}
+
+impl Turnstile {
+    fn new() -> Self {
+        Self {
+            turn: std::sync::Mutex::new(0),
+            advanced: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait_for(&self, seq: usize) {
+        let mut turn = self.turn.lock().expect("turnstile lock");
+        while *turn != seq {
+            turn = self.advanced.wait(turn).expect("turnstile lock");
+        }
+    }
+
+    fn advance(&self) {
+        let mut turn = self.turn.lock().expect("turnstile lock");
+        *turn += 1;
+        self.advanced.notify_all();
+    }
+}
+
+/// The intake side of a worker pool: workers pull the next batch and its
+/// sequence number atomically, so sequence numbers mirror channel order.
+struct Intake {
+    rx: Receiver<Vec<DataRecord>>,
+    next_seq: usize,
+}
+
+/// The emit side of a worker pool: completed batches funnel through the
+/// reordering buffer into the stage's ordinary [`Emitter`].
+struct EmitGate {
+    emitter: Emitter,
+    buffer: ReorderBuffer,
+    output_records: usize,
+}
+
+impl EmitGate {
+    /// Insert a completed batch and flush everything now in sequence.
+    /// `false` means downstream disconnected (early termination).
+    fn push(&mut self, seq: usize, batch: Vec<DataRecord>, meter: &StageMeter) -> bool {
+        self.buffer.insert(seq, batch);
+        while let Some(b) = self.buffer.pop_ready() {
+            if b.is_empty() {
+                continue;
+            }
+            self.output_records += b.len();
+            if !self.emitter.emit(meter, b) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 struct StageShared {
     abort: AtomicBool,
     first_error: Mutex<Option<PzError>>,
@@ -452,6 +577,11 @@ pub(crate) fn execute_streaming(
         .zip(meters.iter().zip(op_spans))
     {
         let m = meter.totals();
+        // Worker pools overlap a stage's calls on the modelled timeline:
+        // attributed time divides by the workers that could actually run
+        // concurrently (mirrors the materializing `elapsed / workers`).
+        // Cost, calls, and tokens never divide — billing is identical.
+        let workers = report.effective_workers.max(1);
         let op_stats = OperatorStats {
             logical: op.logical_kind().to_string(),
             physical: op.describe(),
@@ -462,8 +592,13 @@ pub(crate) fn execute_streaming(
             input_tokens: m.input_tokens,
             output_tokens: m.output_tokens,
             cost_usd: m.cost_usd,
-            time_secs: m.busy_secs,
+            time_secs: m.busy_secs / workers as f64,
         };
+        if workers > 1 {
+            // Serial runs skip the attribute so their traces stay
+            // byte-identical to pre-parallelism output.
+            span.set_attr("workers", workers.to_string());
+        }
         span.set_attr("in", op_stats.input_records.to_string());
         span.set_attr("out", op_stats.output_records.to_string());
         span.set_attr("llm_calls", op_stats.llm_calls.to_string());
@@ -473,6 +608,11 @@ pub(crate) fn execute_streaming(
         startup.push(report.startup_secs);
         stats.operators.push(op_stats);
     }
+    stats.parallelism = reports
+        .iter()
+        .map(|r| r.effective_workers.max(1))
+        .max()
+        .unwrap_or(1);
     stats.finalize_pipelined(&startup);
 
     let records = reports.pop().map(|r| r.collected).unwrap_or_default();
@@ -522,24 +662,30 @@ fn run_stage(
         },
         Some(rx) => match stage_kind(op) {
             StageKind::PerBatch => {
-                while let Some(batch) = rx.recv() {
-                    if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
-                        break;
-                    }
-                    report.input_records += batch.len();
-                    match fo.execute(ctx, batch, &mut report.degraded) {
-                        Ok(out) => {
-                            if out.is_empty() {
-                                continue;
+                let pool = effective_pool_size(ctx, op, idx, config);
+                if pool > 1 {
+                    emitter =
+                        run_stage_pool(ctx, op, rx, emitter, shared, meter, fo, pool, &mut report);
+                } else {
+                    while let Some(batch) = rx.recv() {
+                        if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
+                            break;
+                        }
+                        report.input_records += batch.len();
+                        match fo.execute(ctx, batch, &mut report.degraded) {
+                            Ok(out) => {
+                                if out.is_empty() {
+                                    continue;
+                                }
+                                report.output_records += out.len();
+                                if !emitter.emit(meter, out) {
+                                    break;
+                                }
                             }
-                            report.output_records += out.len();
-                            if !emitter.emit(meter, out) {
+                            Err(e) => {
+                                shared.fail(op, e);
                                 break;
                             }
-                        }
-                        Err(e) => {
-                            shared.fail(op, e);
-                            break;
                         }
                     }
                 }
@@ -621,4 +767,212 @@ fn run_stage(
     report.startup_secs = emitter.first_emit_busy.unwrap_or_else(|| meter.busy_secs());
     report.collected = emitter.collected;
     report
+}
+
+/// Worker-pool size for a stage: the configured per-operator parallelism
+/// clamped by the operator model's provider rate limit
+/// (`ModelCard::max_concurrency`). Stages without a model get the raw
+/// configured size (their pool is free — no provider to rate-limit).
+fn effective_pool_size(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    idx: usize,
+    config: &ExecutionConfig,
+) -> usize {
+    let requested = config.parallelism.workers_for(idx);
+    let rate_cap = op
+        .model()
+        .and_then(|m| ctx.catalog.get(m))
+        .map(|card| card.concurrency_cap())
+        .unwrap_or(usize::MAX);
+    requested.min(rate_cap).max(1)
+}
+
+/// Run a per-batch stage through a pool of `pool_size` workers.
+///
+/// Determinism contract (see the module docs): the intake assigns each
+/// batch a sequence number, the [`Turnstile`] serializes provider access
+/// in that order, and the [`ReorderBuffer`] re-serializes emission — so
+/// output order, the ledger, fault-window hits, and failover decisions
+/// are byte-identical to the serial run. One shared [`StageFailover`]
+/// means a breaker trip observed by any worker swaps the whole stage
+/// exactly once; later batches from every worker stay on the substitute.
+///
+/// Returns the stage's [`Emitter`] so the caller can finish its report
+/// (collected records, startup time) exactly as in the serial path.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_pool(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    rx: Receiver<Vec<DataRecord>>,
+    emitter: Emitter,
+    shared: &StageShared,
+    meter: &StageMeter,
+    fo: StageFailover,
+    pool_size: usize,
+    report: &mut StageReport,
+) -> Emitter {
+    let intake = std::sync::Mutex::new(Intake { rx, next_seq: 0 });
+    let turnstile = Turnstile::new();
+    let failover = Mutex::new((fo, Vec::new()));
+    let gate = Mutex::new(EmitGate {
+        emitter,
+        buffer: ReorderBuffer::new(),
+        output_records: 0,
+    });
+    let stop = AtomicBool::new(false);
+    let input_records = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..pool_size {
+            let wctx = ctx.clone();
+            let intake = &intake;
+            let turnstile = &turnstile;
+            let failover = &failover;
+            let gate = &gate;
+            let stop = &stop;
+            let input_records = &input_records;
+            s.spawn(move |_| {
+                pool_worker(
+                    &wctx,
+                    op,
+                    shared,
+                    meter,
+                    intake,
+                    turnstile,
+                    failover,
+                    gate,
+                    stop,
+                    input_records,
+                )
+            });
+        }
+    })
+    .expect("worker pool scope");
+
+    let intake = intake.into_inner().expect("intake lock");
+    report.input_records = input_records.load(Ordering::SeqCst);
+    report.effective_workers = pool_size.min(intake.next_seq).max(1);
+    let (_, degraded) = failover.into_inner();
+    report.degraded = degraded;
+    let gate = gate.into_inner();
+    report.output_records = gate.output_records;
+    gate.emitter
+}
+
+/// One pool worker: pull the next sequenced batch, execute it at its
+/// turnstile turn, and hand the result to the reordering gate. Every
+/// sequence number taken from the intake MUST advance the turnstile
+/// exactly once — the `stop` paths below still advance, otherwise a
+/// later-sequence worker would wait forever.
+#[allow(clippy::too_many_arguments)]
+fn pool_worker(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    shared: &StageShared,
+    meter: &StageMeter,
+    intake: &std::sync::Mutex<Intake>,
+    turnstile: &Turnstile,
+    failover: &Mutex<(StageFailover, Vec<DegradedExecution>)>,
+    gate: &Mutex<EmitGate>,
+    stop: &AtomicBool,
+    input_records: &AtomicUsize,
+) {
+    loop {
+        let (seq, batch) = {
+            let mut intake = intake.lock().expect("intake lock");
+            if stop.load(Ordering::SeqCst) || shared.aborted() {
+                return;
+            }
+            match intake.rx.recv() {
+                Some(batch) => {
+                    let seq = intake.next_seq;
+                    intake.next_seq += 1;
+                    (seq, batch)
+                }
+                None => return,
+            }
+        };
+        turnstile.wait_for(seq);
+        let mut done = stop.load(Ordering::SeqCst);
+        if !done && !shared.aborted() && !shared.past_deadline(ctx.clock.now_secs()) {
+            input_records.fetch_add(batch.len(), Ordering::SeqCst);
+            let result = {
+                let mut guard = failover.lock();
+                let (fo, degraded) = &mut *guard;
+                fo.execute(ctx, batch, degraded)
+            };
+            match result {
+                Ok(out) => {
+                    if !gate.lock().push(seq, out, meter) {
+                        // Downstream disconnected: early termination.
+                        stop.store(true, Ordering::SeqCst);
+                        done = true;
+                    }
+                }
+                Err(e) => {
+                    shared.fail(op, e);
+                    stop.store(true, Ordering::SeqCst);
+                    done = true;
+                }
+            }
+        } else {
+            // Stopping: the batch is discarded, but its sequence number
+            // must still flow through the reorder buffer and turnstile.
+            gate.lock().push(seq, Vec::new(), meter);
+            stop.store(true, Ordering::SeqCst);
+            done = true;
+        }
+        turnstile.advance();
+        if done {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorder_buffer_emits_in_sequence_regardless_of_insertion_order() {
+        let rec = |n: u64| DataRecord::new(n);
+        let mut buf = ReorderBuffer::new();
+        buf.insert(2, vec![rec(2)]);
+        assert!(buf.pop_ready().is_none(), "seq 0 not in yet");
+        buf.insert(0, vec![rec(0)]);
+        assert_eq!(buf.pop_ready().unwrap()[0].id, 0);
+        assert!(buf.pop_ready().is_none(), "seq 1 still missing");
+        buf.insert(1, vec![rec(1)]);
+        assert_eq!(buf.pop_ready().unwrap()[0].id, 1);
+        assert_eq!(buf.pop_ready().unwrap()[0].id, 2);
+        assert!(buf.pop_ready().is_none());
+    }
+
+    #[test]
+    fn turnstile_grants_turns_in_order_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let turnstile = Arc::new(Turnstile::new());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let spawned = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4usize)
+            .rev() // spawn in reverse to make out-of-order arrival likely
+            .map(|seq| {
+                let t = turnstile.clone();
+                let order = order.clone();
+                let spawned = spawned.clone();
+                std::thread::spawn(move || {
+                    spawned.fetch_add(1, Ordering::SeqCst);
+                    t.wait_for(seq);
+                    order.lock().unwrap().push(seq);
+                    t.advance();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
 }

@@ -135,10 +135,13 @@ pub fn execute_with_optimizer(
 ) -> error::PzResult<ExecutionOutcome> {
     // A streaming run overlaps its stages, so plan *time* must be costed
     // as the bottleneck stage — otherwise MinTime-style policies would
-    // rank plans by a sum the executor never pays.
+    // rank plans by a sum the executor never pays. Likewise, worker pools
+    // divide each stage's effective time, which can shift which plan wins
+    // a time-sensitive policy.
     let mut optimizer = optimizer.clone();
     if matches!(config.mode, ExecMode::Streaming { .. }) {
         optimizer.pipelined_time = true;
+        optimizer.parallel_workers = config.parallelism.max_workers();
     }
     let (chosen_plan, estimate, report) = optimizer.optimize(ctx, plan, policy)?;
     // Failover picks substitutes along the same dimension the policy
@@ -164,6 +167,7 @@ pub mod prelude {
     pub use crate::error::{PzError, PzResult};
     pub use crate::exec::{
         DegradedExecution, ExecMode, ExecutionConfig, ExecutionStats, FailoverRank, OperatorStats,
+        ParallelismConfig,
     };
     pub use crate::execute;
     pub use crate::execute_with_optimizer;

@@ -70,9 +70,14 @@ pub fn embedding_filter(
         model: model.clone(),
         inputs: texts,
     };
-    let resp = ctx
-        .retry
-        .embed_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
+    // Batched entry point: bounded provider requests on big inputs, one
+    // call (identical to before) at or below `DEFAULT_EMBED_BATCH`.
+    let resp = ctx.retry.embed_batched(
+        ctx.llm.as_ref(),
+        &req,
+        &ctx.retry_ctx(),
+        pz_llm::DEFAULT_EMBED_BATCH,
+    )?;
     let (query, records) = resp
         .vectors
         .split_first()

@@ -29,9 +29,14 @@ pub fn retrieve(
         model: model.clone(),
         inputs: texts,
     };
-    let resp = ctx
-        .retry
-        .embed_with(ctx.llm.as_ref(), &req, &ctx.retry_ctx())?;
+    // Batched entry point: big corpora split into bounded provider
+    // requests; at or below `DEFAULT_EMBED_BATCH` inputs it is one call.
+    let resp = ctx.retry.embed_batched(
+        ctx.llm.as_ref(),
+        &req,
+        &ctx.retry_ctx(),
+        pz_llm::DEFAULT_EMBED_BATCH,
+    )?;
     let dim = resp.vectors[0].len();
 
     // A transient per-op collection: retrieval is over the operator input,

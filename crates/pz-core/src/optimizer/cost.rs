@@ -58,6 +58,11 @@ pub struct CostContext {
     /// from the registry when built via [`CostContext::from_context`]).
     pub build_cardinality: BTreeMap<String, f64>,
     pub calibration: Option<Calibration>,
+    /// Intra-operator worker-pool size the executor will use for
+    /// streaming stages. With `pipelined` estimation, a per-record LLM
+    /// stage's time divides by `min(workers, records)` clamped by the
+    /// model's rate limit (`ModelCard::max_concurrency`). `1` = serial.
+    pub workers: usize,
 }
 
 impl CostContext {
@@ -100,6 +105,7 @@ impl CostContext {
             avg_record_tokens: avg,
             build_cardinality,
             calibration: None,
+            workers: 1,
         })
     }
 
@@ -260,8 +266,29 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
         ..Default::default()
     };
 
+    // Streaming worker pools divide a per-batch stage's time by the pool
+    // size, clamped by how many records there are to overlap and by the
+    // slowest member model's published rate limit
+    // (`ModelCard::max_concurrency`). Cost and quality are unaffected:
+    // the pool changes *when* calls overlap on the virtual clock, not how
+    // many calls are made.
+    let parallel_divisor = |model_ids: &[&pz_llm::ModelId], records: f64| -> f64 {
+        if !pipelined || ctx.workers <= 1 {
+            return 1.0;
+        }
+        let rate_cap = model_ids
+            .iter()
+            .filter_map(|id| ctx.catalog.get(id))
+            .map(|m| m.concurrency_cap())
+            .min()
+            .unwrap_or(usize::MAX);
+        let w = ctx.workers.min(rate_cap).max(1) as f64;
+        w.min(records.ceil().max(1.0))
+    };
+
     for (idx, op) in plan.ops.iter().enumerate() {
         let time_before = est.time_secs;
+        let card_before = card;
         match op {
             PhysicalOp::Scan { .. } => {
                 card = ctx.input_cardinality;
@@ -479,6 +506,27 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                 card = card.min(*k as f64);
             }
         }
+        // Worker pools apply to per-batch stages only; blocking stages
+        // (scan, sort, aggregate, retrieve) and limits run single-threaded.
+        let divisor = match op {
+            PhysicalOp::LlmFilter { model, .. }
+            | PhysicalOp::EmbeddingFilter { model, .. }
+            | PhysicalOp::LlmConvert { model, .. }
+            | PhysicalOp::FieldwiseConvert { model, .. }
+            | PhysicalOp::LlmClassify { model, .. }
+            | PhysicalOp::LlmJoin { model, .. } => parallel_divisor(&[model], card_before),
+            PhysicalOp::EnsembleFilter { models, .. } => {
+                parallel_divisor(&models.iter().collect::<Vec<_>>(), card_before)
+            }
+            PhysicalOp::UdfFilter { .. }
+            | PhysicalOp::Map { .. }
+            | PhysicalOp::Project { .. }
+            | PhysicalOp::HashJoin { .. } => parallel_divisor(&[], card_before),
+            _ => 1.0,
+        };
+        if divisor > 1.0 {
+            est.time_secs = time_before + (est.time_secs - time_before) / divisor;
+        }
         bottleneck = bottleneck.max(est.time_secs - time_before);
     }
     est.output_cardinality = card;
@@ -502,6 +550,7 @@ mod tests {
             avg_record_tokens: 500.0,
             build_cardinality: Default::default(),
             calibration: None,
+            workers: 1,
         }
     }
 
@@ -633,6 +682,50 @@ mod tests {
         assert_eq!(pipe.cost_usd, mat.cost_usd);
         assert_eq!(pipe.quality, mat.quality);
         assert_eq!(pipe.output_cardinality, mat.output_cardinality);
+    }
+
+    #[test]
+    fn parallel_workers_divide_pipelined_llm_time() {
+        let serial = ctx();
+        let mut pooled = ctx();
+        pooled.workers = 4;
+        let plan = filter_plan("gpt-4o", Effort::Standard);
+        let base = estimate_plan_for(&plan, &serial, true);
+        let par = estimate_plan_for(&plan, &pooled, true);
+        // 100 input records, 4 workers, gpt-4o rate cap 8: full 4x on the
+        // LLM bottleneck stage.
+        assert!((par.time_secs - base.time_secs / 4.0).abs() < base.time_secs * 1e-9);
+        // Pools change when calls overlap, not how many are made.
+        assert_eq!(par.cost_usd, base.cost_usd);
+        assert_eq!(par.quality, base.quality);
+        assert_eq!(par.output_cardinality, base.output_cardinality);
+        // Materializing estimates ignore workers entirely.
+        assert_eq!(
+            estimate_plan_for(&plan, &pooled, false).time_secs,
+            estimate_plan_for(&plan, &serial, false).time_secs
+        );
+    }
+
+    #[test]
+    fn parallel_workers_clamped_by_rate_limit_and_records() {
+        let plan = filter_plan("gpt-4o", Effort::Standard);
+        // gpt-4o publishes max_concurrency 8: 32 requested workers clamp to 8.
+        let mut want8 = ctx();
+        want8.workers = 32;
+        let mut at8 = ctx();
+        at8.workers = 8;
+        assert_eq!(
+            estimate_plan_for(&plan, &want8, true).time_secs,
+            estimate_plan_for(&plan, &at8, true).time_secs
+        );
+        // Two records can overlap at most two ways, however many workers.
+        let mut tiny = ctx();
+        tiny.input_cardinality = 2.0;
+        let mut tiny_pool = tiny.clone();
+        tiny_pool.workers = 8;
+        let base = estimate_plan_for(&plan, &tiny, true);
+        let par = estimate_plan_for(&plan, &tiny_pool, true);
+        assert!((par.time_secs - base.time_secs / 2.0).abs() < base.time_secs * 1e-9);
     }
 
     #[test]
@@ -793,6 +886,7 @@ mod tests {
                 avg_record_tokens: tokens,
                 build_cardinality: Default::default(),
                 calibration: None,
+                workers: 1,
             };
             let est = estimate_plan(&filter_plan("gpt-4o", Effort::High), &c);
             prop_assert!(est.cost_usd >= 0.0);
@@ -809,6 +903,7 @@ mod tests {
                 avg_record_tokens: 2_000.0,
                 build_cardinality: Default::default(),
                 calibration: None,
+                workers: 1,
             };
             let small = estimate_plan(&filter_plan("gpt-4o", Effort::Standard), &mk(a));
             let big = estimate_plan(&filter_plan("gpt-4o", Effort::Standard), &mk(a + delta));

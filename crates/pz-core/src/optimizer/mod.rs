@@ -54,6 +54,11 @@ pub struct Optimizer {
     /// is the bottleneck stage, not the sum of stages. Cost and quality
     /// estimates are unaffected.
     pub pipelined_time: bool,
+    /// Intra-operator worker-pool size the executor will run with. An LLM
+    /// stage's effective time divides by `min(workers, records)`, clamped
+    /// by the model's rate limit — so plan choice can shift when
+    /// parallelism is on. `0`/`1` means serial.
+    pub parallel_workers: usize,
 }
 
 impl Default for Optimizer {
@@ -62,6 +67,7 @@ impl Default for Optimizer {
             enumeration_cap: 20_000,
             sentinel_sample: None,
             pipelined_time: false,
+            parallel_workers: 1,
         }
     }
 }
@@ -79,6 +85,12 @@ impl Optimizer {
     /// Cost plan time for the streaming pipelined executor.
     pub fn with_pipelined_time(mut self) -> Self {
         self.pipelined_time = true;
+        self
+    }
+
+    /// Cost LLM-stage time for intra-operator worker pools of this size.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallel_workers = workers.max(1);
         self
     }
 
@@ -100,6 +112,7 @@ impl Optimizer {
         let plan = &plan;
 
         let mut cost_ctx = CostContext::from_context(ctx, plan)?;
+        cost_ctx.workers = self.parallel_workers.max(1);
         let mut report = OptimizerReport {
             plan_space_size: enumerate::plan_space_size(plan, &ctx.catalog),
             rewrites,

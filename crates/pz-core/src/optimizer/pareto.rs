@@ -148,6 +148,7 @@ mod tests {
             avg_record_tokens: 500.0,
             build_cardinality: Default::default(),
             calibration: None,
+            workers: 1,
         }
     }
 

@@ -69,6 +69,13 @@ pub struct ModelCard {
     /// atomic judgement / field extraction right. Drives the optimizer's
     /// quality dimension.
     pub quality: f64,
+    /// Provider-side rate limit: the maximum number of requests the
+    /// provider services concurrently for this model. Caps the effective
+    /// intra-operator worker-pool size in both the executor's time
+    /// attribution and the optimizer's parallel time model. `0` means
+    /// "no published limit" (treated as unbounded).
+    #[serde(default)]
+    pub max_concurrency: usize,
 }
 
 impl ModelCard {
@@ -83,6 +90,16 @@ impl ModelCard {
         self.latency_base_secs
             + input_tokens as f64 / 1000.0 * self.secs_per_1k_input_tokens
             + output_tokens as f64 * self.secs_per_output_token
+    }
+
+    /// Effective concurrency cap for worker pools: `max_concurrency`, with
+    /// `0` (no published limit) mapped to unbounded.
+    pub fn concurrency_cap(&self) -> usize {
+        if self.max_concurrency == 0 {
+            usize::MAX
+        } else {
+            self.max_concurrency
+        }
     }
 }
 
@@ -115,6 +132,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.90,
             context_window: 128_000,
             quality: 0.96,
+            max_concurrency: 8,
         });
         c.insert(ModelCard {
             id: "gpt-4o-mini".into(),
@@ -126,6 +144,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.20,
             context_window: 128_000,
             quality: 0.88,
+            max_concurrency: 16,
         });
         c.insert(ModelCard {
             id: "gpt-3.5-turbo".into(),
@@ -137,6 +156,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.18,
             context_window: 16_000,
             quality: 0.80,
+            max_concurrency: 16,
         });
         c.insert(ModelCard {
             id: "llama-3-70b".into(),
@@ -148,6 +168,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.40,
             context_window: 8_000,
             quality: 0.92,
+            max_concurrency: 8,
         });
         c.insert(ModelCard {
             id: "llama-3-8b".into(),
@@ -159,6 +180,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.08,
             context_window: 8_000,
             quality: 0.72,
+            max_concurrency: 16,
         });
         c.insert(ModelCard {
             id: "mixtral-8x7b".into(),
@@ -170,6 +192,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.12,
             context_window: 32_000,
             quality: 0.78,
+            max_concurrency: 8,
         });
         c.insert(ModelCard {
             id: "text-embedding-3-small".into(),
@@ -181,6 +204,7 @@ impl Catalog {
             secs_per_1k_input_tokens: 0.01,
             context_window: 8_192,
             quality: 0.85,
+            max_concurrency: 32,
         });
         c
     }
@@ -234,6 +258,25 @@ mod tests {
         let c = Catalog::builtin();
         assert!(c.of_kind(ModelKind::Chat).count() >= 5);
         assert!(c.of_kind(ModelKind::Embedding).count() >= 1);
+    }
+
+    #[test]
+    fn every_builtin_publishes_a_rate_limit() {
+        let c = Catalog::builtin();
+        for card in c.iter() {
+            assert!(
+                card.max_concurrency >= 1,
+                "{} has no published rate limit",
+                card.id
+            );
+            assert_eq!(card.concurrency_cap(), card.max_concurrency);
+        }
+        // `0` deserializes (serde default) as "no published limit".
+        let card = ModelCard {
+            max_concurrency: 0,
+            ..c.get(&"gpt-4o".into()).unwrap().clone()
+        };
+        assert_eq!(card.concurrency_cap(), usize::MAX);
     }
 
     #[test]

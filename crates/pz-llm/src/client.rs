@@ -135,6 +135,11 @@ pub struct CompletionResponse {
     pub cost_usd: f64,
 }
 
+/// Default chunk size for [`RetryPolicy::embed_batched`]: large enough that
+/// typical retrieve/filter workloads still make a single provider call,
+/// small enough to bound one request's payload on big corpora.
+pub const DEFAULT_EMBED_BATCH: usize = 256;
+
 /// An embedding request.
 #[derive(Clone, Debug)]
 pub struct EmbeddingRequest {
@@ -273,6 +278,14 @@ impl RetryPolicy {
     }
 
     /// Embedding with full resilience context.
+    ///
+    /// Billing-order audit (PR 5): a failed or breaker-refused embedding
+    /// bills the ledger nothing. `run` consults `health.allow` *before*
+    /// every attempt, so a breaker-open refusal never reaches the client;
+    /// and the simulator only records ledger usage after its fault and
+    /// transient checks pass, so a faulted attempt bills nothing either.
+    /// (The suspected bill-before-breaker ordering was checked and does not
+    /// exist; `embed_billing_*` regression tests in `sim.rs` pin this.)
     pub fn embed_with(
         &self,
         client: &dyn LlmClient,
@@ -282,6 +295,45 @@ impl RetryPolicy {
         let joined = req.inputs.join("\u{1}");
         let salt = crate::stable_hash(&[&joined]).to_string();
         self.run(&req.model, &salt, rc, || client.embed(req))
+    }
+
+    /// Embedding with full resilience context, splitting oversized input
+    /// batches into provider requests of at most `batch_size` inputs. Each
+    /// chunk gets the full retry/breaker treatment; vectors merge back in
+    /// input order and usage/latency/cost sum across chunks. A request with
+    /// `batch_size` or fewer inputs makes exactly one provider call —
+    /// byte-identical to [`Self::embed_with`] — so workloads below the
+    /// threshold are unchanged. A chunk failure fails the whole batch (no
+    /// partial vectors are returned).
+    pub fn embed_batched(
+        &self,
+        client: &dyn LlmClient,
+        req: &EmbeddingRequest,
+        rc: &RetryContext<'_>,
+        batch_size: usize,
+    ) -> Result<EmbeddingResponse, LlmError> {
+        let batch = batch_size.max(1);
+        if req.inputs.len() <= batch {
+            return self.embed_with(client, req, rc);
+        }
+        let mut merged = EmbeddingResponse {
+            vectors: Vec::with_capacity(req.inputs.len()),
+            usage: Usage::new(0, 0),
+            latency_secs: 0.0,
+            cost_usd: 0.0,
+        };
+        for chunk in req.inputs.chunks(batch) {
+            let sub = EmbeddingRequest {
+                model: req.model.clone(),
+                inputs: chunk.to_vec(),
+            };
+            let resp = self.embed_with(client, &sub, rc)?;
+            merged.vectors.extend(resp.vectors);
+            merged.usage += resp.usage;
+            merged.latency_secs += resp.latency_secs;
+            merged.cost_usd += resp.cost_usd;
+        }
+        Ok(merged)
     }
 
     fn run<T>(
@@ -490,6 +542,68 @@ mod tests {
         assert_eq!(resp.vectors.len(), 1);
         assert_eq!(c.calls.load(Ordering::SeqCst), 2);
         assert!((clock.now_secs() - 0.5).abs() < 1e-9);
+    }
+
+    /// Embedding client that records per-call chunk sizes and returns one
+    /// vector per input, tagged with its call index.
+    struct ChunkRecorder {
+        chunks: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl LlmClient for ChunkRecorder {
+        fn complete(&self, _r: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+            unreachable!()
+        }
+        fn embed(&self, req: &EmbeddingRequest) -> Result<EmbeddingResponse, LlmError> {
+            let mut chunks = self.chunks.lock().unwrap();
+            let call = chunks.len() as f32;
+            chunks.push(req.inputs.len());
+            Ok(EmbeddingResponse {
+                vectors: req.inputs.iter().map(|_| vec![call]).collect(),
+                usage: Usage::new(req.inputs.len(), 0),
+                latency_secs: 1.0,
+                cost_usd: 0.25,
+            })
+        }
+    }
+
+    #[test]
+    fn embed_batched_chunks_and_merges_in_order() {
+        let c = ChunkRecorder {
+            chunks: std::sync::Mutex::new(Vec::new()),
+        };
+        let req = EmbeddingRequest {
+            model: "e".into(),
+            inputs: (0..7).map(|i| format!("doc {i}")).collect(),
+        };
+        let rc = RetryContext::default();
+        let resp = RetryPolicy::default()
+            .embed_batched(&c, &req, &rc, 3)
+            .unwrap();
+        assert_eq!(*c.chunks.lock().unwrap(), vec![3, 3, 1]);
+        // Vectors come back in input order: chunk 0's three, then chunk 1's…
+        let tags: Vec<f32> = resp.vectors.iter().map(|v| v[0]).collect();
+        assert_eq!(tags, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0]);
+        // Accounting sums across chunks.
+        assert_eq!(resp.usage.input_tokens, 7);
+        assert!((resp.latency_secs - 3.0).abs() < 1e-9);
+        assert!((resp.cost_usd - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embed_batched_small_input_is_single_call() {
+        let c = ChunkRecorder {
+            chunks: std::sync::Mutex::new(Vec::new()),
+        };
+        let req = EmbeddingRequest {
+            model: "e".into(),
+            inputs: vec!["a".into(), "b".into()],
+        };
+        let rc = RetryContext::default();
+        RetryPolicy::default()
+            .embed_batched(&c, &req, &rc, DEFAULT_EMBED_BATCH)
+            .unwrap();
+        assert_eq!(*c.chunks.lock().unwrap(), vec![2]);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! into a fixed-dimension space. Texts sharing vocabulary land close in
 //! cosine distance — exactly the property the `Retrieve` operator and
 //! embedding-based filters rely on — and the mapping is a pure function of
-//! the text, so every experiment is reproducible.
+//! the text, so every experiment is reproducible. Because each vector
+//! depends only on its own text, chunking a batch across provider requests
+//! ([`crate::client::RetryPolicy::embed_batched`]) yields bit-identical
+//! vectors to one monolithic request.
 
 use crate::stable_hash;
 

@@ -1180,6 +1180,74 @@ mod tests {
         s.complete(&req).unwrap();
     }
 
+    /// Satellite regression for the billing-order audit in
+    /// [`crate::client::RetryPolicy::embed_with`]: an embedding attempt that
+    /// fails inside a fault window must bill the ledger nothing, including
+    /// when driven through the full retry path.
+    #[test]
+    fn embed_billing_skipped_when_fault_fails_the_call() {
+        let clock = VirtualClock::new();
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig {
+                fault_plan: FaultPlan::default().outage("text-embedding-3-small", 0.0, 1e9),
+                ..Default::default()
+            },
+            clock.clone(),
+            UsageLedger::new(),
+        );
+        let req = EmbeddingRequest {
+            model: "text-embedding-3-small".into(),
+            inputs: vec!["some document".into()],
+        };
+        let rc = crate::client::RetryContext::new(&clock);
+        let err = crate::client::RetryPolicy::default()
+            .embed_with(&s, &req, &rc)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // Every attempt failed: no requests, no tokens, no dollars.
+        assert_eq!(s.ledger().total_requests(), 0);
+        assert_eq!(s.ledger().total_usage().total_tokens(), 0);
+        assert!(s.ledger().total_cost_usd().abs() < 1e-12);
+    }
+
+    /// Companion regression: once the breaker for the embedding model is
+    /// open, the retry layer refuses locally — the client is never reached
+    /// and the ledger stays untouched.
+    #[test]
+    fn embed_billing_skipped_when_breaker_refuses_the_call() {
+        use crate::breaker::HealthTracker;
+        let clock = VirtualClock::new();
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig {
+                fault_plan: FaultPlan::default().outage("text-embedding-3-small", 0.0, 1e9),
+                ..Default::default()
+            },
+            clock.clone(),
+            UsageLedger::new(),
+        );
+        let health = HealthTracker::default();
+        let req = EmbeddingRequest {
+            model: "text-embedding-3-small".into(),
+            inputs: vec!["some document".into()],
+        };
+        let rc = crate::client::RetryContext::new(&clock).with_health(&health);
+        let policy = crate::client::RetryPolicy::default();
+        // Exhausting retries trips the breaker…
+        policy.embed_with(&s, &req, &rc).unwrap_err();
+        // …so the next call is refused before the provider, billing nothing
+        // and burning no time (a provider attempt would back off on the
+        // clock; a local refusal must not).
+        let requests_before = s.ledger().total_requests();
+        let now_before = clock.now_secs();
+        let err = policy.embed_with(&s, &req, &rc).unwrap_err();
+        assert!(matches!(err, LlmError::CircuitOpen { .. }));
+        assert_eq!(s.ledger().total_requests(), requests_before);
+        assert!((clock.now_secs() - now_before).abs() < 1e-9);
+        assert!(s.ledger().total_cost_usd().abs() < 1e-12);
+    }
+
     #[test]
     fn scripted_timeout_burns_time_but_no_tokens() {
         let s = SimulatedLlm::new(

@@ -261,6 +261,60 @@ mod differential {
             // Overlap never makes the pipeline slower than serial.
             prop_assert!(stats_s.total_time_secs <= stats_m.total_time_secs + 1e-9);
         }
+
+        /// Intra-operator worker pools are an attribution-only change: for
+        /// any plan and any parallelism degree, the pooled streaming run
+        /// must agree with the serial streaming run on the output multiset
+        /// and (absent early exit) the ledger, and its per-operator stats
+        /// must still reconcile exactly against the ledger.
+        #[test]
+        fn parallel_streaming_equals_serial_streaming(
+            corpus in arb_corpus(),
+            steps in arb_steps(),
+            p_idx in 0usize..3,
+            batch in 1usize..4,
+        ) {
+            let parallelism = [1usize, 2, 8][p_idx];
+            let plan = build_plan(&steps);
+            let has_early_exit = steps.iter().any(|s| matches!(s, Step::Limit(_)));
+
+            let ctx_1 = fresh_ctx(&corpus);
+            let (rec_1, stats_1) =
+                execute_plan(&ctx_1, &plan, ExecutionConfig::streaming_with(2, batch)).unwrap();
+            let ctx_p = fresh_ctx(&corpus);
+            let (rec_p, stats_p) = execute_plan(
+                &ctx_p,
+                &plan,
+                ExecutionConfig::streaming_with(2, batch).with_parallelism(parallelism),
+            )
+            .unwrap();
+
+            prop_assert_eq!(multiset(&rec_1), multiset(&rec_p));
+            if !has_early_exit {
+                prop_assert!(
+                    (ctx_1.ledger.total_cost_usd() - ctx_p.ledger.total_cost_usd()).abs() < 1e-9,
+                    "serial ${} vs parallelism {} ${}",
+                    ctx_1.ledger.total_cost_usd(),
+                    parallelism,
+                    ctx_p.ledger.total_cost_usd()
+                );
+                prop_assert_eq!(ctx_1.ledger.total_requests(), ctx_p.ledger.total_requests());
+            }
+            // Pools divide attributed busy time; they never add any.
+            prop_assert!(stats_p.total_time_secs <= stats_1.total_time_secs + 1e-9);
+            // OperatorStats reconciliation must survive concurrent workers:
+            // every dollar and every call the ledger saw is attributed to
+            // exactly one operator.
+            let op_cost: f64 = stats_p.operators.iter().map(|o| o.cost_usd).sum();
+            let op_calls: usize = stats_p.operators.iter().map(|o| o.llm_calls).sum();
+            prop_assert!(
+                (op_cost - ctx_p.ledger.total_cost_usd()).abs() < 1e-9,
+                "op cost sum {} vs ledger {}",
+                op_cost,
+                ctx_p.ledger.total_cost_usd()
+            );
+            prop_assert_eq!(op_calls, ctx_p.ledger.total_requests());
+        }
     }
 }
 
