@@ -13,6 +13,12 @@
 //! experiment (default: materializing). `--fault-plan <spec>` scripts
 //! provider faults (e.g. `gpt-4o:outage@0..120`) into the E1 headline run
 //! and the trace export, so CI can archive a degraded-run trace.
+//! `--profile` runs the E16 demo plan with the pipeline profiler armed and
+//! prints the per-stage attribution table, critical path, and the
+//! estimate-vs-observed drift report (this is experiment E17);
+//! `--chrome-trace-out <path>`, `--prom-out <path>` and `--drift-out
+//! <path>` additionally export that profiled run as a Chrome trace-event
+//! file, Prometheus text exposition, and drift-report text.
 
 use bench::{
     chain_plan, clinical_schema, demo_context, demo_plan, science_context, science_context_with,
@@ -65,18 +71,33 @@ fn cfg_par(workers: usize) -> ExecutionConfig {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_out = match args.iter().position(|a| a == "--trace-out") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--trace-out requires a path argument");
-                std::process::exit(2);
+    let take_path = |args: &mut Vec<String>, flag: &str| -> Option<String> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => {
+                if i + 1 >= args.len() {
+                    eprintln!("{flag} requires a path argument");
+                    std::process::exit(2);
+                }
+                let path = args.remove(i + 1);
+                args.remove(i);
+                Some(path)
             }
-            let path = args.remove(i + 1);
-            args.remove(i);
-            Some(path)
+            None => None,
         }
-        None => None,
     };
+    let trace_out = take_path(&mut args, "--trace-out");
+    let chrome_out = take_path(&mut args, "--chrome-trace-out");
+    let prom_out = take_path(&mut args, "--prom-out");
+    let drift_out = take_path(&mut args, "--drift-out");
+    let profile_flag = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let profile_requested =
+        profile_flag || chrome_out.is_some() || prom_out.is_some() || drift_out.is_some();
     if let Some(i) = args.iter().position(|a| a == "--exec-mode") {
         if i + 1 >= args.len() {
             eprintln!("--exec-mode requires streaming | materializing");
@@ -151,7 +172,12 @@ fn main() {
         bench_json(&out);
         return;
     }
-    let run = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    // A bare `--profile` (or export flag) runs only the profiled E17 pass;
+    // experiment ids can still be combined with it explicitly.
+    let run = |id: &str| {
+        (args.is_empty() && !profile_requested)
+            || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+    };
     if run("e1") {
         e1_headline();
     }
@@ -196,6 +222,13 @@ fn main() {
     }
     if run("e16") {
         e16_parallelism();
+    }
+    if run("e17") || profile_requested {
+        e17_profiling(
+            chrome_out.as_deref(),
+            prom_out.as_deref(),
+            drift_out.as_deref(),
+        );
     }
     if let Some(path) = trace_out {
         export_trace(&path);
@@ -989,6 +1022,90 @@ fn e16_parallelism() {
     println!("published rate limit (gpt-4o caps at 8 concurrent requests).");
 }
 
+/// E17 — pipeline profiler on the E16 demo plan: per-stage attribution
+/// (compute / queue-wait / provider-wait / backpressure / retry), critical
+/// path, bottleneck agreement with the `finalize_pipelined` fill model,
+/// and estimate-vs-observed drift against the optimizer's predictions.
+/// Optional paths export the profiled trace as a Chrome trace-event file,
+/// Prometheus text exposition, and drift-report text (the CI artifacts).
+fn e17_profiling(chrome_out: Option<&str>, prom_out: Option<&str>, drift_out: Option<&str>) {
+    banner("E17", "pipeline profiler: attribution, critical path, drift");
+    let (ctx, _truth) = demo_context();
+    ctx.tracer.set_profiling(true);
+    scripted_faults(&ctx);
+    let outcome = execute(&ctx, &demo_plan(), &Policy::MaxQuality, streaming_cfg(8))
+        .expect("profiled run");
+    let snap = ctx.tracer.snapshot();
+    let profile = pz_obs::profile_plan(&snap).expect("plan profile from the trace");
+    print!("{}", profile.render());
+
+    // Attribution buckets must account for each stage's whole window.
+    for s in &profile.stages {
+        let sum = s.buckets.total_us();
+        let tolerance = (s.window_us as f64 * 0.01).max(1.0);
+        assert!(
+            (sum as f64 - s.window_us as f64).abs() <= tolerance,
+            "stage {} buckets sum to {}us but its window is {}us",
+            s.index,
+            sum,
+            s.window_us
+        );
+    }
+    println!("attribution: every stage's buckets sum to its window (<= 1% tolerance)");
+
+    // The trace-derived bottleneck must be the same stage the executor's
+    // fill model picks.
+    let startups: Vec<f64> = profile.stages.iter().map(|s| s.startup_secs).collect();
+    let stats_bottleneck = outcome.stats.pipelined_bottleneck(&startups);
+    assert_eq!(
+        profile.bottleneck(),
+        stats_bottleneck,
+        "profiler bottleneck disagrees with finalize_pipelined"
+    );
+    println!(
+        "bottleneck agreement: profiler and finalize_pipelined both pick stage {}",
+        stats_bottleneck.map_or("-".to_string(), |i| i.to_string())
+    );
+
+    // Drift: the optimizer's per-stage predictions vs what actually ran.
+    let drift = outcome.drift_report().expect("drift report for the chosen plan");
+    let llm_stages: Vec<&StageDrift> = drift.stages.iter().filter(|s| s.is_llm()).collect();
+    assert!(
+        !llm_stages.is_empty(),
+        "the demo plan has LLM stages; drift must cover them"
+    );
+    for s in &llm_stages {
+        assert!(
+            s.obs_llm_calls > 0.0,
+            "LLM stage {} recorded no observed calls",
+            s.index
+        );
+    }
+    print!("{}", drift.render_table());
+    println!(
+        "drift coverage: {} of {} stages touched a model; all have drift rows",
+        llm_stages.len(),
+        drift.stages.len()
+    );
+
+    if let Some(path) = chrome_out {
+        std::fs::write(path, pz_obs::to_chrome_trace(&snap)).expect("write chrome trace");
+        println!("chrome trace -> {path}");
+    }
+    if let Some(path) = prom_out {
+        std::fs::write(path, pz_obs::to_prometheus(&snap)).expect("write prometheus text");
+        println!("prometheus text -> {path}");
+    }
+    if let Some(path) = drift_out {
+        std::fs::write(path, drift.render_table()).expect("write drift report");
+        println!("drift report -> {path}");
+    }
+    println!("\nexpected shape: the LLM convert stage dominates its window with provider");
+    println!("wait; upstream stages show backpressure against it; the critical path runs");
+    println!("through the bottleneck stage; observed time/cost sit near the estimates");
+    println!("(the simulator is the cost model's own ground truth).");
+}
+
 /// `repro bench-json [--out PATH]` — the CI perf gate. Re-measures the
 /// E1/E14 headline comparison plus the parallelism sweep and writes the
 /// numbers as machine-readable JSON. Floors are enforced *here* (nonzero
@@ -1044,10 +1161,40 @@ fn bench_json(out: &str) {
             "streaming-vs-materializing speedup {speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
         ));
     }
+    // Observability overhead: arming the profiler must stay ~free. Real
+    // (wall-clock) time of the same streaming run with the profiler off vs
+    // on, min-of-5 to shed scheduler noise.
+    const OBS_OVERHEAD_CEILING_PCT: f64 = 5.0;
+    let measure = |profiling: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let (ctx, _truth) = demo_context();
+            ctx.tracer.set_profiling(profiling);
+            let t = Instant::now();
+            execute(&ctx, &demo_plan(), &Policy::MaxQuality, streaming_cfg(8))
+                .expect("overhead run");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    measure(false); // warm-up
+    let off = measure(false);
+    let on = measure(true);
+    let obs_overhead_pct = ((on - off) / off.max(1e-9) * 100.0).max(0.0);
+    println!(
+        "profiler overhead: {off:.4}s off / {on:.4}s on -> {obs_overhead_pct:.2}% (ceiling {OBS_OVERHEAD_CEILING_PCT}%)"
+    );
+    if obs_overhead_pct >= OBS_OVERHEAD_CEILING_PCT {
+        failures.push(format!(
+            "profiler overhead {obs_overhead_pct:.2}% is at or above the {OBS_OVERHEAD_CEILING_PCT}% ceiling"
+        ));
+    }
     let doc = serde_json::json!({
         "experiment": "E1/E14 demo plan (Scan -> LLMFilter -> LLMConvert, MaxQuality)",
         "speedup_floor": SPEEDUP_FLOOR,
         "speedup_streaming_vs_materializing": speedup,
+        "obs_overhead_pct": obs_overhead_pct,
+        "obs_overhead_ceiling_pct": OBS_OVERHEAD_CEILING_PCT,
         "pass": failures.is_empty(),
         "failures": failures,
         "runs": runs.iter().map(|(name, p, time, cost, records, _)| serde_json::json!({

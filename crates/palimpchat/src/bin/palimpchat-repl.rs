@@ -11,7 +11,11 @@
 //! as JSONL, `:exec streaming|materializing` to switch the execution mode,
 //! `:parallelism <n>|auto` to size the streaming per-stage worker pools,
 //! `:faults <spec>|off` to script provider faults into the simulator,
-//! `:breaker` to inspect per-model circuit breakers, `:quit` to exit.
+//! `:breaker` to inspect per-model circuit breakers, `:profile on|off` to
+//! arm the pipeline profiler (`:profile` alone prints the attribution
+//! table for the last profiled run), `:export-chrome <path>` /
+//! `:export-prom <path>` to write the trace as a Chrome trace-event file
+//! or Prometheus text exposition, `:quit` to exit.
 
 use palimpchat::PalimpChat;
 use pz_core::prelude::ExecMode;
@@ -30,7 +34,10 @@ fn main() {
          (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, \
          :exec streaming|materializing switches the executor, \
          :parallelism <n>|auto sizes the streaming worker pools, \
-         :faults <spec>|off scripts provider faults, :breaker shows model health, :quit exits)\n"
+         :faults <spec>|off scripts provider faults, :breaker shows model health, \
+         :profile [on|off] arms/prints the pipeline profiler, \
+         :export-chrome <path> writes a Chrome trace, \
+         :export-prom <path> writes Prometheus metrics, :quit exits)\n"
     );
     loop {
         print!("you> ");
@@ -85,6 +92,25 @@ fn main() {
                 } else {
                     println!("fault plan: {}", plan.describe());
                 }
+                continue;
+            }
+            ":profile" => {
+                match pz_obs::profile_plan(&chat.tracer().snapshot()) {
+                    Some(profile) => print!("{}", profile.render()),
+                    None => println!(
+                        "no profiled plan in the trace — arm with :profile on, then run a pipeline"
+                    ),
+                }
+                continue;
+            }
+            ":profile on" => {
+                chat.tracer().set_profiling(true);
+                println!("pipeline profiler: on (per-stage gauges recorded on the next run)");
+                continue;
+            }
+            ":profile off" => {
+                chat.tracer().set_profiling(false);
+                println!("pipeline profiler: off");
                 continue;
             }
             _ => {}
@@ -147,6 +173,22 @@ fn main() {
                          model:malformed@0..20 — join with ';')"
                     ),
                 }
+            }
+            continue;
+        }
+        if let Some(path) = line.strip_prefix(":export-chrome ") {
+            let path = path.trim();
+            match std::fs::write(path, pz_obs::to_chrome_trace(&chat.tracer().snapshot())) {
+                Ok(()) => println!("Chrome trace exported to {path} (open in chrome://tracing or Perfetto)"),
+                Err(e) => println!("export failed: {e}"),
+            }
+            continue;
+        }
+        if let Some(path) = line.strip_prefix(":export-prom ") {
+            let path = path.trim();
+            match std::fs::write(path, pz_obs::to_prometheus(&chat.tracer().snapshot())) {
+                Ok(()) => println!("Prometheus metrics exported to {path}"),
+                Err(e) => println!("export failed: {e}"),
             }
             continue;
         }

@@ -339,6 +339,19 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
         }
         state.notebook.push_code(pipeline_code(&plan, &policy));
         state.notebook.push_output(outcome.stats.render_table());
+        // With the profiler armed (REPL `:profile on`), attach the
+        // per-stage attribution table and the estimate-vs-observed drift
+        // to the notebook so the exported artifact carries them.
+        let mut profiled = false;
+        if state.ctx.tracer.profiling_enabled() {
+            if let Some(profile) = pz_obs::profile_plan(&state.ctx.tracer.snapshot()) {
+                profiled = true;
+                state.notebook.push_output(profile.render());
+            }
+            if let Some(drift) = outcome.drift_report() {
+                state.notebook.push_output(drift.render_table());
+            }
+        }
         let data = json!({
             "records": outcome.records.len(),
             "cost_usd": outcome.stats.total_cost_usd,
@@ -346,6 +359,7 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             "plan": outcome.chosen_plan.describe(),
             "degraded": outcome.stats.degraded.len(),
             "deadline_exceeded": outcome.stats.deadline_exceeded,
+            "profiled": profiled,
         });
         state.last_outcome = Some(outcome);
         Ok(ToolOutput::text(summary).with_data(data))

@@ -60,6 +60,10 @@ pub struct PzContext {
     /// REPL's `:parallelism` switch and the pipeline tool read this;
     /// explicit `ExecutionConfig`s override it). `1` = serial.
     pub parallelism: usize,
+    /// Profiler sink for retry-backoff time (virtual µs). The executor
+    /// points this at a per-stage accumulator on its cloned stage
+    /// contexts when profiling is enabled; `None` records nothing.
+    pub retry_wait_us: Option<Arc<AtomicU64>>,
     ids: Arc<AtomicU64>,
 }
 
@@ -100,6 +104,7 @@ impl PzContext {
             embed_model: "text-embedding-3-small".into(),
             exec_mode: crate::exec::ExecMode::Materializing,
             parallelism: 1,
+            retry_wait_us: None,
             ids: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -163,6 +168,7 @@ impl PzContext {
         RetryContext::new(&self.clock)
             .with_health(&self.health)
             .with_deadline(self.deadline_at_secs)
+            .with_wait_sink(self.retry_wait_us.as_deref())
     }
 }
 

@@ -80,6 +80,16 @@ impl<T> Sender<T> {
             st = self.shared.not_full.wait(st).expect("channel lock");
         }
     }
+
+    /// Current queue depth (in-flight items). A point-in-time probe for
+    /// the profiler's queue-depth gauge.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Drop for Sender<T> {
@@ -112,6 +122,15 @@ impl<T> Receiver<T> {
             }
             st = self.shared.not_empty.wait(st).expect("channel lock");
         }
+    }
+
+    /// Current queue depth (items buffered but not yet received).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -186,6 +205,19 @@ mod tests {
             drop(rx);
             assert!(h.join().expect("no panic"), "blocked send must fail");
         });
+    }
+
+    #[test]
+    fn len_tracks_in_flight_items() {
+        let (tx, rx) = bounded(4);
+        assert_eq!(rx.len(), 0);
+        assert!(rx.is_empty());
+        tx.send(1).ok().expect("room");
+        tx.send(2).ok().expect("room");
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv();
+        assert_eq!(rx.len(), 1);
     }
 
     #[test]

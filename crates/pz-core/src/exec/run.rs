@@ -263,9 +263,17 @@ pub fn execute_plan(
     // The deadline is absolute on the virtual clock; retries see it via
     // the cloned context so backoff never sleeps past it.
     let deadline_at = config.deadline_secs.map(|d| ctx.clock.now_secs() + d);
+    let profiling = ctx.tracer.profiling_enabled();
     let ctx = &{
         let mut c = ctx.clone();
         c.deadline_at_secs = deadline_at;
+        if profiling {
+            // Collect retry-backoff time; per-op deltas are attributed on
+            // the op spans below. Off by default (no sink, no overhead).
+            c.retry_wait_us = Some(std::sync::Arc::new(
+                std::sync::atomic::AtomicU64::new(0),
+            ));
+        }
         c
     };
     if let ExecMode::Streaming {
@@ -312,6 +320,11 @@ pub fn execute_plan(
         };
         let ledger_before = snapshot(ctx);
         let clock_before = ctx.clock.now_secs();
+        let latency_before = ctx.ledger.total_latency_secs();
+        let retry_before = ctx
+            .retry_wait_us
+            .as_ref()
+            .map_or(0, |s| s.load(std::sync::atomic::Ordering::Relaxed));
         // Structural span: LLM leaf spans made by this operator (from any
         // worker thread) nest under it.
         let op_span = ctx
@@ -357,6 +370,29 @@ pub fn execute_plan(
         op_span.set_attr("llm_calls", op_stats.llm_calls.to_string());
         op_span.set_attr("cost_usd", format!("{:.6}", op_stats.cost_usd));
         op_span.set_attr("time_secs", format!("{:.6}", op_stats.time_secs));
+        if profiling {
+            // Materializing attribution: ops run sequentially, so each
+            // op's window is its raw clock elapsed; provider-wait is the
+            // ledger's modelled latency delta, retry is the sink delta,
+            // queue/backpressure do not exist in this mode.
+            let window_us = (raw_elapsed * 1e6).round() as u64;
+            let provider_us =
+                ((ctx.ledger.total_latency_secs() - latency_before) * 1e6).round() as u64;
+            let retry_after = ctx
+                .retry_wait_us
+                .as_ref()
+                .map_or(0, |s| s.load(std::sync::atomic::Ordering::Relaxed));
+            op_span.set_attr("prof_window_us", window_us.to_string());
+            op_span.set_attr("prof_provider_wait_us", provider_us.to_string());
+            op_span.set_attr(
+                "prof_retry_backoff_us",
+                retry_after.saturating_sub(retry_before).to_string(),
+            );
+            if window_us > 0 {
+                let util = (op_stats.time_secs * 1e6) / window_us as f64;
+                op_span.set_attr("prof_utilization", format!("{:.4}", util.clamp(0.0, 1.0)));
+            }
+        }
         op_span.finish();
         stats.operators.push(op_stats);
     }

@@ -118,6 +118,24 @@ impl ExecutionStats {
         self.total_time_secs = total;
     }
 
+    /// Index of the bottleneck operator under the pipelined model of
+    /// [`Self::finalize_pipelined`]: the operator maximizing
+    /// `fill_i + time_secs_i` with `fill` accumulating `startup`. The
+    /// profiler (`pz_obs::profile::PlanProfile::bottleneck`) replays the
+    /// same fold from span attributes; the two must agree.
+    pub fn pipelined_bottleneck(&self, startup: &[f64]) -> Option<usize> {
+        let mut fill = 0.0f64;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, op) in self.operators.iter().enumerate() {
+            let end = fill + op.time_secs;
+            if best.map_or(true, |(_, b)| end > b) {
+                best = Some((i, end));
+            }
+            fill += startup.get(i).copied().unwrap_or(0.0);
+        }
+        best.map(|(i, _)| i)
+    }
+
     /// Render the Figure-5-style summary table.
     pub fn render_table(&self) -> String {
         let mut s = String::new();
@@ -243,6 +261,23 @@ mod tests {
         // Cost and call totals are still plain sums.
         assert!((stats.total_cost_usd - 0.3).abs() < 1e-12);
         assert_eq!(stats.total_llm_calls, 15);
+        // The filter (index 1) is the limiting stage.
+        assert_eq!(stats.pipelined_bottleneck(&[0.0, 2.0, 8.0]), Some(1));
+    }
+
+    #[test]
+    fn pipelined_bottleneck_moves_with_fill() {
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            operators: vec![op("a", 0, 10, 0.0, 5.0), op("b", 10, 10, 0.0, 4.0)],
+            ..Default::default()
+        };
+        // Without fill, a (5s) dominates b (4s)...
+        assert_eq!(stats.pipelined_bottleneck(&[0.0, 0.0]), Some(0));
+        // ...but 3s of fill before b makes b finish last (3+4 > 5).
+        assert_eq!(stats.pipelined_bottleneck(&[3.0, 0.0]), Some(1));
+        stats.operators.clear();
+        assert_eq!(stats.pipelined_bottleneck(&[]), None);
     }
 
     #[test]

@@ -72,7 +72,7 @@ use pz_llm::{
     LlmError, ModelId, Usage, UsageLedger,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Per-stage accounting accumulated by [`StageMeter`].
@@ -87,6 +87,37 @@ struct MeterTotals {
     busy_secs: f64,
 }
 
+/// Per-stage profiling gauges, present only when the tracer's profiling
+/// flag is on ([`pz_obs::Tracer::set_profiling`]). All quantities are
+/// *virtual-clock* microseconds measured around the stage's blocking
+/// regions; with profiling off no gauge exists and the executor's trace
+/// output is byte-identical to a pre-profiler build.
+struct StageProf {
+    tracer: pz_obs::Tracer,
+    /// Queue-depth histogram name for this stage's input channel
+    /// (`stage.{idx}.queue_depth` — the channel feeding stage `idx`).
+    in_depth: String,
+    /// Same, for the output channel (`stage.{idx+1}.queue_depth`).
+    out_depth: String,
+    /// Blocked on an empty input channel.
+    queue_wait_us: AtomicU64,
+    /// Blocked on a full output channel (downstream too slow).
+    backpressure_us: AtomicU64,
+    /// Waiting for the provider gate/turnstile plus the modelled latency
+    /// of the stage's own provider calls.
+    provider_wait_us: AtomicU64,
+    /// Retry-backoff sleeps, accumulated by the retry layer through the
+    /// stage context's `retry_wait_us` sink (shared `Arc` so the clone
+    /// handed to `RetryContext` lands here).
+    retry_backoff_us: Arc<AtomicU64>,
+}
+
+impl StageProf {
+    fn now(&self) -> u64 {
+        self.tracer.now_micros()
+    }
+}
+
 /// `LlmClient` wrapper attributing ledger deltas to one stage.
 ///
 /// All stages share one `gate`, so ledger snapshots taken around a call
@@ -99,15 +130,24 @@ struct StageMeter {
     gate: Arc<Mutex<()>>,
     ledger: UsageLedger,
     totals: Mutex<MeterTotals>,
+    /// Profiling gauges; `None` unless the tracer's profiling flag was on
+    /// when the plan launched.
+    prof: Option<StageProf>,
 }
 
 impl StageMeter {
-    fn new(inner: Arc<dyn LlmClient>, gate: Arc<Mutex<()>>, ledger: UsageLedger) -> Self {
+    fn new(
+        inner: Arc<dyn LlmClient>,
+        gate: Arc<Mutex<()>>,
+        ledger: UsageLedger,
+        prof: Option<StageProf>,
+    ) -> Self {
         Self {
             inner,
             gate,
             ledger,
             totals: Mutex::new(MeterTotals::default()),
+            prof,
         }
     }
 
@@ -121,6 +161,9 @@ impl StageMeter {
     }
 
     fn metered<R>(&self, call: impl FnOnce(&dyn LlmClient) -> R) -> R {
+        // Provider-wait covers gate contention (stages serialize provider
+        // access) plus the call's own modelled latency.
+        let prof_t0 = self.prof.as_ref().map(|p| p.now());
         let _serialized = self.gate.lock();
         let before = self.snap();
         let out = call(self.inner.as_ref());
@@ -131,6 +174,11 @@ impl StageMeter {
         t.output_tokens += after.1.output_tokens - before.1.output_tokens;
         t.cost_usd += after.2 - before.2;
         t.busy_secs += after.3 - before.3;
+        drop(t);
+        if let (Some(p), Some(t0)) = (self.prof.as_ref(), prof_t0) {
+            p.provider_wait_us
+                .fetch_add(p.now().saturating_sub(t0), Ordering::Relaxed);
+        }
         out
     }
 
@@ -168,6 +216,9 @@ struct StageReport {
     /// Workers that could actually overlap: `min(pool size, batches)`.
     /// `0`/`1` means serial; divides the stage's attributed busy time.
     effective_workers: usize,
+    /// Profiling only: virtual µs from stage launch to the stage thread
+    /// finishing — the window its attribution buckets must fill.
+    window_us: u64,
 }
 
 /// Per-stage failover state: once a stage swaps models it *stays* on the
@@ -319,11 +370,43 @@ impl Emitter {
             self.first_emit_busy = Some(meter.busy_secs());
         }
         match &self.output {
-            Some(tx) => tx.send(batch).is_ok(),
+            Some(tx) => match meter.prof.as_ref() {
+                None => tx.send(batch).is_ok(),
+                Some(p) => {
+                    // A blocked send is backpressure: downstream (or the
+                    // provider it waits on) is the slow party.
+                    let t0 = p.now();
+                    let ok = tx.send(batch).is_ok();
+                    p.backpressure_us
+                        .fetch_add(p.now().saturating_sub(t0), Ordering::Relaxed);
+                    if ok {
+                        p.tracer.observe(&p.out_depth, tx.len() as f64);
+                    }
+                    ok
+                }
+            },
             None => {
                 self.collected.extend(batch);
                 true
             }
+        }
+    }
+}
+
+/// `rx.recv()` with the wait charged to the stage's queue-wait gauge and
+/// the post-receive queue depth sampled (profiling only).
+fn recv_timed(rx: &Receiver<Vec<DataRecord>>, meter: &StageMeter) -> Option<Vec<DataRecord>> {
+    match meter.prof.as_ref() {
+        None => rx.recv(),
+        Some(p) => {
+            let t0 = p.now();
+            let out = rx.recv();
+            p.queue_wait_us
+                .fetch_add(p.now().saturating_sub(t0), Ordering::Relaxed);
+            if out.is_some() {
+                p.tracer.observe(&p.in_depth, rx.len() as f64);
+            }
+            out
         }
     }
 }
@@ -506,14 +589,27 @@ pub(crate) fn execute_streaming(
         deadline_at: ctx.deadline_at_secs,
         deadline_exceeded: AtomicBool::new(false),
     });
+    // Profiling gauges exist only when the tracer's flag is on, so the
+    // default run records nothing new and its trace stays byte-identical.
+    let profiling = ctx.tracer.profiling_enabled();
     let meters: Vec<Arc<StageMeter>> = plan
         .ops
         .iter()
-        .map(|_| {
+        .enumerate()
+        .map(|(idx, _)| {
             Arc::new(StageMeter::new(
                 ctx.llm.clone(),
                 gate.clone(),
                 ctx.ledger.clone(),
+                profiling.then(|| StageProf {
+                    tracer: ctx.tracer.clone(),
+                    in_depth: format!("stage.{idx}.queue_depth"),
+                    out_depth: format!("stage.{}.queue_depth", idx + 1),
+                    queue_wait_us: AtomicU64::new(0),
+                    backpressure_us: AtomicU64::new(0),
+                    provider_wait_us: AtomicU64::new(0),
+                    retry_backoff_us: Arc::new(AtomicU64::new(0)),
+                }),
             ))
         })
         .collect();
@@ -535,6 +631,8 @@ pub(crate) fn execute_streaming(
             let meter = meters[idx].clone();
             let mut stage_ctx = ctx.clone();
             stage_ctx.llm = meter.clone();
+            // Point the retry layer's backoff sink at this stage's gauge.
+            stage_ctx.retry_wait_us = meter.prof.as_ref().map(|p| p.retry_backoff_us.clone());
             let op = op.clone();
             let shared = shared.clone();
             let config = *config;
@@ -604,6 +702,32 @@ pub(crate) fn execute_streaming(
         span.set_attr("llm_calls", op_stats.llm_calls.to_string());
         span.set_attr("cost_usd", format!("{:.6}", op_stats.cost_usd));
         span.set_attr("time_secs", format!("{:.6}", op_stats.time_secs));
+        if let Some(p) = &meter.prof {
+            // Raw gauge sums; `pz_obs::profile` normalizes pooled stages
+            // (whose waits sum over workers) back into the wall window.
+            span.set_attr("prof_window_us", report.window_us.to_string());
+            span.set_attr(
+                "prof_queue_wait_us",
+                p.queue_wait_us.load(Ordering::Relaxed).to_string(),
+            );
+            span.set_attr(
+                "prof_backpressure_us",
+                p.backpressure_us.load(Ordering::Relaxed).to_string(),
+            );
+            span.set_attr(
+                "prof_provider_wait_us",
+                p.provider_wait_us.load(Ordering::Relaxed).to_string(),
+            );
+            span.set_attr(
+                "prof_retry_backoff_us",
+                p.retry_backoff_us.load(Ordering::Relaxed).to_string(),
+            );
+            span.set_attr("prof_startup_secs", format!("{:.6}", report.startup_secs));
+            if report.window_us > 0 {
+                let util = (op_stats.time_secs * 1e6) / report.window_us as f64;
+                span.set_attr("prof_utilization", format!("{:.4}", util.clamp(0.0, 1.0)));
+            }
+        }
         span.finish();
         startup.push(report.startup_secs);
         stats.operators.push(op_stats);
@@ -642,6 +766,7 @@ fn run_stage(
         first_emit_busy: None,
     };
     let mut fo = StageFailover::new(op.clone(), idx, config);
+    let prof_t0 = meter.prof.as_ref().map(|p| p.now());
 
     match input {
         // Source stage: materialize once, then stream out in batches. A
@@ -667,7 +792,7 @@ fn run_stage(
                     emitter =
                         run_stage_pool(ctx, op, rx, emitter, shared, meter, fo, pool, &mut report);
                 } else {
-                    while let Some(batch) = rx.recv() {
+                    while let Some(batch) = recv_timed(&rx, meter) {
                         if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
                             break;
                         }
@@ -692,7 +817,7 @@ fn run_stage(
             }
             StageKind::Blocking => {
                 let mut buf = Vec::new();
-                while let Some(batch) = rx.recv() {
+                while let Some(batch) = recv_timed(&rx, meter) {
                     if shared.aborted() {
                         break;
                     }
@@ -718,7 +843,9 @@ fn run_stage(
             StageKind::Limit(n) => {
                 let mut remaining = n;
                 while remaining > 0 {
-                    let Some(mut batch) = rx.recv() else { break };
+                    let Some(mut batch) = recv_timed(&rx, meter) else {
+                        break;
+                    };
                     if shared.aborted() {
                         break;
                     }
@@ -735,7 +862,7 @@ fn run_stage(
             }
             StageKind::Union => {
                 let mut cancelled = false;
-                while let Some(batch) = rx.recv() {
+                while let Some(batch) = recv_timed(&rx, meter) {
                     if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
                         cancelled = true;
                         break;
@@ -766,6 +893,9 @@ fn run_stage(
     }
     report.startup_secs = emitter.first_emit_busy.unwrap_or_else(|| meter.busy_secs());
     report.collected = emitter.collected;
+    if let (Some(p), Some(t0)) = (meter.prof.as_ref(), prof_t0) {
+        report.window_us = p.now().saturating_sub(t0);
+    }
     report
 }
 
@@ -884,7 +1014,7 @@ fn pool_worker(
             if stop.load(Ordering::SeqCst) || shared.aborted() {
                 return;
             }
-            match intake.rx.recv() {
+            match recv_timed(&intake.rx, meter) {
                 Some(batch) => {
                     let seq = intake.next_seq;
                     intake.next_seq += 1;
@@ -893,7 +1023,17 @@ fn pool_worker(
                 None => return,
             }
         };
-        turnstile.wait_for(seq);
+        // Turnstile wait groups with provider-wait: the worker is queued
+        // for its (serialized) turn at the provider.
+        match meter.prof.as_ref() {
+            None => turnstile.wait_for(seq),
+            Some(p) => {
+                let t0 = p.now();
+                turnstile.wait_for(seq);
+                p.provider_wait_us
+                    .fetch_add(p.now().saturating_sub(t0), Ordering::Relaxed);
+            }
+        }
         let mut done = stop.load(Ordering::SeqCst);
         if !done && !shared.aborted() && !shared.past_deadline(ctx.clock.now_secs()) {
             input_records.fetch_add(batch.len(), Ordering::SeqCst);

@@ -77,6 +77,13 @@ pub struct ExecutionOutcome {
 }
 
 impl ExecutionOutcome {
+    /// Estimate-vs-observed drift for this run: the optimizer's
+    /// per-operator predictions zipped against the measured stats.
+    /// `None` when the report kept no estimates or the shapes disagree.
+    pub fn drift_report(&self) -> Option<optimizer::drift::DriftReport> {
+        optimizer::drift::DriftReport::new(&self.report.op_estimates, &self.stats)
+    }
+
     /// EXPLAIN-style report: the chosen physical plan, its pre-execution
     /// estimates, the optimizer's search statistics, and the measured
     /// per-operator table.
@@ -176,7 +183,8 @@ pub mod prelude {
         AggExpr, AggFunc, Cardinality, FilterPredicate, LogicalOp, LogicalPlan,
     };
     pub use crate::ops::physical::{PhysicalOp, PhysicalPlan};
-    pub use crate::optimizer::cost::PlanEstimate;
+    pub use crate::optimizer::cost::{OperatorEstimate, PlanEstimate};
+    pub use crate::optimizer::drift::{DriftReport, StageDrift};
     pub use crate::optimizer::policy::Policy;
     pub use crate::optimizer::Optimizer;
     pub use crate::record::{DataRecord, Value};

@@ -158,6 +158,35 @@ pub struct PlanEstimate {
     pub output_cardinality: f64,
 }
 
+/// The optimizer's per-operator predictions, retained from the chosen
+/// plan's estimate so the drift report can compare them against observed
+/// `OperatorStats` after execution.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperatorEstimate {
+    pub physical: String,
+    pub model: Option<String>,
+    pub input_cardinality: f64,
+    pub output_cardinality: f64,
+    pub cost_usd: f64,
+    /// Predicted operator time (after any worker-pool divisor).
+    pub time_secs: f64,
+    /// Predicted provider calls (fractional: cardinalities are estimates).
+    pub llm_calls: f64,
+    /// Predicted total tokens (input + output) across those calls.
+    pub tokens: f64,
+}
+
+impl OperatorEstimate {
+    /// Predicted selectivity (output/input); 1.0 for a source operator.
+    pub fn selectivity(&self) -> f64 {
+        if self.input_cardinality <= 0.0 {
+            1.0
+        } else {
+            self.output_cardinality / self.input_cardinality
+        }
+    }
+}
+
 /// Probability a strict-majority vote of *independent* judges with
 /// per-judge accuracies `qs` is correct (ties count as wrong). Computed by
 /// dynamic programming over the count of correct votes.
@@ -258,6 +287,17 @@ pub fn estimate_plan(plan: &PhysicalPlan, ctx: &CostContext) -> PlanEstimate {
 /// is driven by the bottleneck stage rather than the sum of stages. Cost,
 /// quality, and cardinality are mode-independent.
 pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool) -> PlanEstimate {
+    estimate_plan_detailed(plan, ctx, pipelined).0
+}
+
+/// [`estimate_plan_for`] plus the per-operator breakdown — the totals are
+/// produced by the same single pass, so they always agree.
+pub fn estimate_plan_detailed(
+    plan: &PhysicalPlan,
+    ctx: &CostContext,
+    pipelined: bool,
+) -> (PlanEstimate, Vec<OperatorEstimate>) {
+    let mut details: Vec<OperatorEstimate> = Vec::with_capacity(plan.ops.len());
     let mut card = 0.0f64;
     let mut tokens = ctx.source_tokens();
     let mut bottleneck = 0.0f64;
@@ -289,6 +329,9 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
     for (idx, op) in plan.ops.iter().enumerate() {
         let time_before = est.time_secs;
         let card_before = card;
+        let cost_before = est.cost_usd;
+        let mut op_calls = 0.0f64;
+        let mut op_tokens = 0.0f64;
         match op {
             PhysicalOp::Scan { .. } => {
                 card = ctx.input_cardinality;
@@ -306,6 +349,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                     est.cost_usd += card * m.cost_usd(in_tokens as usize, 1);
                     est.time_secs +=
                         card * m.latency_secs(raw_tokens as usize, 1) * effort_multiplier(*effort);
+                    op_calls = card;
+                    op_tokens = card * (in_tokens + 1.0);
                     let q = ctx
                         .quality_override(idx, model.as_str())
                         .unwrap_or_else(|| effective_quality(m.quality, *effort));
@@ -328,6 +373,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                         est.time_secs += card
                             * m.latency_secs(raw_tokens as usize, 1)
                             * effort_multiplier(*effort);
+                        op_calls += card;
+                        op_tokens += card * (in_tokens + 1.0);
                         member_q.push(
                             ctx.quality_override(idx, model.as_str())
                                 .unwrap_or_else(|| effective_quality(m.quality, *effort)),
@@ -341,6 +388,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                 if let Some(m) = ctx.catalog.get(model) {
                     est.cost_usd += card * m.cost_usd(tokens as usize, 0);
                     est.time_secs += card * m.latency_secs(tokens as usize, 0);
+                    op_calls = card;
+                    op_tokens = card * tokens;
                 }
                 est.quality *= ctx
                     .quality_override(idx, model.as_str())
@@ -370,6 +419,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                     est.time_secs += card
                         * m.latency_secs(raw_tokens as usize, out_tokens as usize)
                         * effort_multiplier(*effort);
+                    op_calls = card;
+                    op_tokens = card * (in_tokens + out_tokens);
                     let q = ctx
                         .quality_override(idx, model.as_str())
                         .unwrap_or_else(|| effective_quality(m.quality, *effort));
@@ -402,6 +453,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                         * n_fields
                         * m.latency_secs(raw_tokens as usize, out_tokens as usize)
                         * effort_multiplier(*effort);
+                    op_calls = card * n_fields;
+                    op_tokens = card * n_fields * (in_tokens + out_tokens);
                     let base_q = ctx
                         .quality_override(idx, model.as_str())
                         .unwrap_or_else(|| effective_quality(m.quality, *effort));
@@ -432,6 +485,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                     est.cost_usd += card * m.cost_usd(in_tokens as usize, 4);
                     est.time_secs +=
                         card * m.latency_secs(raw_tokens as usize, 4) * effort_multiplier(*effort);
+                    op_calls = card;
+                    op_tokens = card * (in_tokens + 4.0);
                     let q = ctx
                         .quality_override(idx, model.as_str())
                         .unwrap_or_else(|| effective_quality(m.quality, *effort));
@@ -488,6 +543,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                     est.cost_usd += pairs * m.cost_usd(in_tokens as usize, 1);
                     est.time_secs +=
                         pairs * m.latency_secs(raw_tokens as usize, 1) * effort_multiplier(*effort);
+                    op_calls = pairs;
+                    op_tokens = pairs * (in_tokens + 1.0);
                     let q = ctx
                         .quality_override(idx, model.as_str())
                         .unwrap_or_else(|| effective_quality(m.quality, *effort));
@@ -501,6 +558,8 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
                     let total_tokens = card * tokens;
                     est.cost_usd += m.cost_usd(total_tokens as usize, 0);
                     est.time_secs += m.latency_secs(total_tokens as usize, 0);
+                    op_calls = 1.0;
+                    op_tokens = total_tokens;
                 }
                 est.quality *= 0.9;
                 card = card.min(*k as f64);
@@ -528,12 +587,22 @@ pub fn estimate_plan_for(plan: &PhysicalPlan, ctx: &CostContext, pipelined: bool
             est.time_secs = time_before + (est.time_secs - time_before) / divisor;
         }
         bottleneck = bottleneck.max(est.time_secs - time_before);
+        details.push(OperatorEstimate {
+            physical: op.describe(),
+            model: op.model().map(|m| m.to_string()),
+            input_cardinality: card_before,
+            output_cardinality: card,
+            cost_usd: est.cost_usd - cost_before,
+            time_secs: est.time_secs - time_before,
+            llm_calls: op_calls,
+            tokens: op_tokens,
+        });
     }
     est.output_cardinality = card;
     if pipelined {
         est.time_secs = bottleneck;
     }
-    est
+    (est, details)
 }
 
 #[cfg(test)]

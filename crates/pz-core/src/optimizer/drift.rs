@@ -1,0 +1,298 @@
+//! Estimate-vs-observed drift: how far the optimizer's per-operator
+//! predictions landed from what the executor actually measured.
+//!
+//! The optimizer keeps its per-operator predictions for the chosen plan
+//! in [`OptimizerReport::op_estimates`](super::OptimizerReport); the
+//! executor produces [`OperatorStats`] rows. Zipping them gives a
+//! per-stage drift row: predicted vs observed time, cost, selectivity,
+//! calls, and tokens. Large ratios point at stale calibration (run
+//! sentinels), bad selectivity priors, or operators whose token model
+//! diverges from the real prompts.
+
+use super::cost::OperatorEstimate;
+use crate::exec::stats::ExecutionStats;
+use serde::{Deserialize, Serialize};
+
+/// One operator's predicted-vs-observed comparison.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageDrift {
+    /// Operator index in the physical plan.
+    pub index: usize,
+    /// Physical description, e.g. `LLMFilter[gpt-4o]`.
+    pub physical: String,
+    /// Model used, if any (LLM / embedding stages).
+    pub model: Option<String>,
+    pub est_time_secs: f64,
+    pub obs_time_secs: f64,
+    pub est_cost_usd: f64,
+    pub obs_cost_usd: f64,
+    pub est_selectivity: f64,
+    pub obs_selectivity: f64,
+    pub est_llm_calls: f64,
+    pub obs_llm_calls: f64,
+    pub est_tokens: f64,
+    pub obs_tokens: f64,
+}
+
+/// Observed / estimated with zero-guards: both ~zero → 1.0 (no drift),
+/// estimate ~zero but observation not → infinity (the estimate missed
+/// the phenomenon entirely).
+fn ratio(obs: f64, est: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    if est.abs() <= EPS {
+        if obs.abs() <= EPS {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        obs / est
+    }
+}
+
+impl StageDrift {
+    pub fn time_ratio(&self) -> f64 {
+        ratio(self.obs_time_secs, self.est_time_secs)
+    }
+
+    pub fn cost_ratio(&self) -> f64 {
+        ratio(self.obs_cost_usd, self.est_cost_usd)
+    }
+
+    pub fn selectivity_ratio(&self) -> f64 {
+        ratio(self.obs_selectivity, self.est_selectivity)
+    }
+
+    pub fn calls_ratio(&self) -> f64 {
+        ratio(self.obs_llm_calls, self.est_llm_calls)
+    }
+
+    pub fn tokens_ratio(&self) -> f64 {
+        ratio(self.obs_tokens, self.est_tokens)
+    }
+
+    /// Whether this stage issued (or was predicted to issue) model calls.
+    pub fn is_llm(&self) -> bool {
+        self.model.is_some()
+    }
+}
+
+/// Drift rows for a whole plan, plus the totals.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    pub stages: Vec<StageDrift>,
+    pub est_total_cost_usd: f64,
+    pub obs_total_cost_usd: f64,
+    /// Sum of per-stage estimated times (materializing view; the
+    /// pipelined plan estimate is the bottleneck stage, not this sum).
+    pub est_total_time_secs: f64,
+    pub obs_total_time_secs: f64,
+}
+
+impl DriftReport {
+    /// Zip per-operator estimates against observed stats. Returns `None`
+    /// when the shapes disagree (different plan, or no estimates kept) —
+    /// a drift row computed against the wrong operator is worse than no
+    /// row at all.
+    pub fn new(estimates: &[OperatorEstimate], stats: &ExecutionStats) -> Option<Self> {
+        if estimates.is_empty() || estimates.len() != stats.operators.len() {
+            return None;
+        }
+        let stages: Vec<StageDrift> = estimates
+            .iter()
+            .zip(&stats.operators)
+            .enumerate()
+            .map(|(index, (e, o))| StageDrift {
+                index,
+                physical: o.physical.clone(),
+                model: o.model.clone().or_else(|| e.model.clone()),
+                est_time_secs: e.time_secs,
+                obs_time_secs: o.time_secs,
+                est_cost_usd: e.cost_usd,
+                obs_cost_usd: o.cost_usd,
+                est_selectivity: e.selectivity(),
+                obs_selectivity: o.selectivity(),
+                est_llm_calls: e.llm_calls,
+                obs_llm_calls: o.llm_calls as f64,
+                est_tokens: e.tokens,
+                obs_tokens: (o.input_tokens + o.output_tokens) as f64,
+            })
+            .collect();
+        Some(Self {
+            est_total_cost_usd: stages.iter().map(|s| s.est_cost_usd).sum(),
+            obs_total_cost_usd: stats.total_cost_usd,
+            est_total_time_secs: stages.iter().map(|s| s.est_time_secs).sum(),
+            obs_total_time_secs: stats.total_time_secs,
+            stages,
+        })
+    }
+
+    /// Index of the LLM stage whose time drifted furthest from 1.0 (in
+    /// log space, so 0.25x and 4x are equally bad). `None` if no stage
+    /// touched a model.
+    pub fn worst_time_drift(&self) -> Option<usize> {
+        self.stages
+            .iter()
+            .filter(|s| s.is_llm())
+            .max_by(|a, b| {
+                let da = a.time_ratio().ln().abs();
+                let db = b.time_ratio().ln().abs();
+                da.total_cmp(&db)
+            })
+            .map(|s| s.index)
+    }
+
+    /// Human-readable drift table (ratios are observed/estimated).
+    pub fn render_table(&self) -> String {
+        fn fmt_ratio(r: f64) -> String {
+            if r.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{r:.2}x")
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            "stage  operator                          time(est/obs)        cost(est/obs)        sel(est/obs)    ratio(t)\n",
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:>5}  {:<32}  {:>8.3}s/{:<8.3}s  ${:>7.4}/${:<7.4}  {:>5.2}/{:<5.2}  {:>7}\n",
+                s.index,
+                truncate(&s.physical, 32),
+                s.est_time_secs,
+                s.obs_time_secs,
+                s.est_cost_usd,
+                s.obs_cost_usd,
+                s.est_selectivity,
+                s.obs_selectivity,
+                fmt_ratio(s.time_ratio()),
+            ));
+        }
+        out.push_str(&format!(
+            "total  cost ${:.4} est / ${:.4} obs ({}); stage-time sum {:.3}s est / {:.3}s obs\n",
+            self.est_total_cost_usd,
+            self.obs_total_cost_usd,
+            fmt_ratio(ratio(self.obs_total_cost_usd, self.est_total_cost_usd)),
+            self.est_total_time_secs,
+            self.obs_total_time_secs,
+        ));
+        if let Some(w) = self.worst_time_drift() {
+            let s = &self.stages[w];
+            out.push_str(&format!(
+                "worst time drift: stage {} ({}) at {}\n",
+                w,
+                s.physical,
+                fmt_ratio(s.time_ratio())
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::stats::OperatorStats;
+
+    fn est(time: f64, cost: f64, inp: f64, out: f64, calls: f64, tokens: f64) -> OperatorEstimate {
+        OperatorEstimate {
+            physical: "LLMFilter[gpt-4o]".into(),
+            model: Some("gpt-4o".into()),
+            input_cardinality: inp,
+            output_cardinality: out,
+            cost_usd: cost,
+            time_secs: time,
+            llm_calls: calls,
+            tokens,
+        }
+    }
+
+    fn obs(time: f64, cost: f64, inp: usize, out: usize, calls: usize) -> OperatorStats {
+        OperatorStats {
+            logical: "filter".into(),
+            physical: "LLMFilter[gpt-4o]".into(),
+            model: Some("gpt-4o".into()),
+            input_records: inp,
+            output_records: out,
+            llm_calls: calls,
+            input_tokens: 1000,
+            output_tokens: 10,
+            cost_usd: cost,
+            time_secs: time,
+        }
+    }
+
+    fn stats(ops: Vec<OperatorStats>) -> ExecutionStats {
+        let mut s = ExecutionStats {
+            operators: ops,
+            ..Default::default()
+        };
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn ratios_have_zero_guards() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+        assert!((ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zips_estimates_against_observed_rows() {
+        let estimates = vec![est(10.0, 0.5, 100.0, 50.0, 100.0, 50_000.0)];
+        let s = stats(vec![obs(20.0, 0.25, 100, 40, 100)]);
+        let report = DriftReport::new(&estimates, &s).expect("shapes match");
+        assert_eq!(report.stages.len(), 1);
+        let row = &report.stages[0];
+        assert!((row.time_ratio() - 2.0).abs() < 1e-9);
+        assert!((row.cost_ratio() - 0.5).abs() < 1e-9);
+        assert!((row.obs_selectivity - 0.4).abs() < 1e-9);
+        assert_eq!(report.worst_time_drift(), Some(0));
+    }
+
+    #[test]
+    fn shape_mismatch_returns_none() {
+        let estimates = vec![est(1.0, 0.1, 10.0, 5.0, 10.0, 100.0)];
+        let s = stats(vec![
+            obs(1.0, 0.1, 10, 5, 10),
+            obs(1.0, 0.1, 5, 5, 5),
+        ]);
+        assert!(DriftReport::new(&estimates, &s).is_none());
+        assert!(DriftReport::new(&[], &s).is_none());
+    }
+
+    #[test]
+    fn worst_drift_is_symmetric_in_log_space() {
+        // 0.25x under-run and 3x over-run: 0.25 is further from 1.0 in
+        // log space than 3.0, so it wins.
+        let estimates = vec![
+            est(4.0, 0.1, 10.0, 5.0, 10.0, 100.0),
+            est(1.0, 0.1, 5.0, 5.0, 5.0, 50.0),
+        ];
+        let s = stats(vec![obs(1.0, 0.1, 10, 5, 10), obs(3.0, 0.1, 5, 5, 5)]);
+        let report = DriftReport::new(&estimates, &s).unwrap();
+        assert_eq!(report.worst_time_drift(), Some(0));
+    }
+
+    #[test]
+    fn render_table_mentions_every_stage_and_totals() {
+        let estimates = vec![est(10.0, 0.5, 100.0, 50.0, 100.0, 50_000.0)];
+        let s = stats(vec![obs(20.0, 0.25, 100, 40, 100)]);
+        let report = DriftReport::new(&estimates, &s).unwrap();
+        let table = report.render_table();
+        assert!(table.contains("LLMFilter[gpt-4o]"));
+        assert!(table.contains("2.00x"));
+        assert!(table.contains("worst time drift: stage 0"));
+    }
+}

@@ -15,6 +15,7 @@
 //! sample first.
 
 pub mod cost;
+pub mod drift;
 pub mod enumerate;
 pub mod pareto;
 pub mod policy;
@@ -41,6 +42,10 @@ pub struct OptimizerReport {
     pub calibrated: bool,
     /// What the logical rewriter changed.
     pub rewrites: rewrite::RewriteReport,
+    /// Per-operator predictions for the *chosen* plan (final calibrated
+    /// cost model), kept so execution can be compared back against the
+    /// estimate ([`drift::DriftReport`]).
+    pub op_estimates: Vec<cost::OperatorEstimate>,
 }
 
 /// The optimizer facade.
@@ -162,6 +167,9 @@ impl Optimizer {
             .choose(&frontier)
             .ok_or_else(|| PzError::Optimizer("no candidate plans".into()))?;
         let (chosen, est) = frontier.into_iter().nth(idx).expect("index from choose");
+        // Re-estimate the winner once more for the per-operator breakdown;
+        // same cost context, so totals match `est` exactly.
+        report.op_estimates = cost::estimate_plan_detailed(&chosen, &cost_ctx, self.pipelined_time).1;
         span.set_attr("plan_space", report.plan_space_size.to_string());
         span.set_attr("considered", report.plans_considered.to_string());
         span.set_attr("pareto", report.pareto_size.to_string());

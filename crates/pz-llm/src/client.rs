@@ -205,6 +205,11 @@ pub struct RetryContext<'a> {
     pub clock: Option<&'a crate::clock::VirtualClock>,
     pub health: Option<&'a crate::breaker::HealthTracker>,
     pub deadline_at_secs: Option<f64>,
+    /// Profiler sink for backoff time: every virtual microsecond the
+    /// retry loop sleeps is added here, so the executor can attribute
+    /// retry/backoff time to the stage that incurred it. `None` (the
+    /// default) records nothing.
+    pub wait_sink: Option<&'a std::sync::atomic::AtomicU64>,
 }
 
 impl<'a> RetryContext<'a> {
@@ -213,6 +218,7 @@ impl<'a> RetryContext<'a> {
             clock: Some(clock),
             health: None,
             deadline_at_secs: None,
+            wait_sink: None,
         }
     }
 
@@ -223,6 +229,11 @@ impl<'a> RetryContext<'a> {
 
     pub fn with_deadline(mut self, deadline_at_secs: Option<f64>) -> Self {
         self.deadline_at_secs = deadline_at_secs;
+        self
+    }
+
+    pub fn with_wait_sink(mut self, sink: Option<&'a std::sync::atomic::AtomicU64>) -> Self {
+        self.wait_sink = sink;
         self
     }
 
@@ -242,8 +253,7 @@ impl RetryPolicy {
     ) -> Result<CompletionResponse, LlmError> {
         let rc = RetryContext {
             clock,
-            health: None,
-            deadline_at_secs: None,
+            ..Default::default()
         };
         self.complete_with(client, req, &rc)
     }
@@ -259,8 +269,7 @@ impl RetryPolicy {
     ) -> Result<EmbeddingResponse, LlmError> {
         let rc = RetryContext {
             clock,
-            health: None,
-            deadline_at_secs: None,
+            ..Default::default()
         };
         self.embed_with(client, req, &rc)
     }
@@ -392,6 +401,14 @@ impl RetryPolicy {
                     }
                     if let Some(c) = rc.clock {
                         c.advance_secs(wait);
+                        // Attribute the backoff sleep (virtual time only:
+                        // without a clock no virtual time passes).
+                        if let Some(sink) = rc.wait_sink {
+                            sink.fetch_add(
+                                (wait * 1e6).round() as u64,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
                     }
                     backoff = (backoff * self.backoff_multiplier).min(self.max_backoff_secs);
                     last_err = Some(e);

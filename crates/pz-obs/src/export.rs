@@ -1,0 +1,238 @@
+//! Standard-format exporters: Prometheus text exposition for
+//! counters/histograms and Chrome trace-event JSON (loadable in Perfetto
+//! or `chrome://tracing`) for spans and events.
+
+use crate::sink::TraceSnapshot;
+use crate::span::SpanId;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// Sanitize a metric name for Prometheus: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+/// Dots (our namespace separator) become underscores.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render counters and histograms in the Prometheus text exposition
+/// format (version 0.0.4). Counters become `counter` metrics; histograms
+/// become `summary` metrics with p50/p95/p99 quantile lines (quantiles
+/// are omitted for summaries parsed from sample-free legacy exports).
+pub fn to_prometheus(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# TYPE {metric} summary");
+        if !h.samples.is_empty() {
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{metric}{{quantile=\"{q}\"}} {v}");
+            }
+        }
+        let _ = writeln!(out, "{metric}_sum {}", h.sum);
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+    }
+    out
+}
+
+/// Lane assignment for the Chrome trace: the plan span and everything
+/// structural stays on tid 0; each executor `op:*` stage gets its own
+/// tid (1-based, in creation order) so Perfetto renders one lane per
+/// pipeline stage. Descendants inherit their stage's lane.
+fn chrome_tid(snap: &TraceSnapshot, id: &SpanId) -> u32 {
+    let mut stage_roots: Vec<&SpanId> = Vec::new();
+    for s in &snap.spans {
+        if s.name.starts_with("op:") {
+            stage_roots.push(&s.id);
+        }
+    }
+    for (i, root) in stage_roots.iter().enumerate() {
+        if root.contains(id) {
+            return i as u32 + 1;
+        }
+    }
+    0
+}
+
+/// Export the snapshot as Chrome trace-event JSON: closed spans as `X`
+/// (complete) events, open spans as `B` (begin) events, point events as
+/// `i` (instant), plus `M` metadata naming the per-stage lanes.
+pub fn to_chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": "palimpchat"}
+    }));
+    let mut named_lanes: Vec<(u32, String)> = vec![(0, "plan".to_string())];
+    for s in &snap.spans {
+        if s.name.starts_with("op:") {
+            let tid = chrome_tid(snap, &s.id);
+            named_lanes.push((tid, s.name.clone()));
+        }
+    }
+    for (tid, name) in named_lanes {
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name}
+        }));
+    }
+    for s in &snap.spans {
+        let tid = chrome_tid(snap, &s.id);
+        let mut args = serde_json::Map::new();
+        args.insert("span_id".to_string(), Value::String(s.id.to_string()));
+        for (k, v) in &s.attrs {
+            args.insert(k.clone(), Value::String(v.clone()));
+        }
+        match s.end_us {
+            Some(end) => events.push(json!({
+                "name": s.name,
+                "cat": s.layer.name(),
+                "ph": "X",
+                "ts": s.start_us,
+                "dur": end.saturating_sub(s.start_us),
+                "pid": 1,
+                "tid": tid,
+                "args": Value::Object(args)
+            })),
+            None => events.push(json!({
+                "name": s.name,
+                "cat": s.layer.name(),
+                "ph": "B",
+                "ts": s.start_us,
+                "pid": 1,
+                "tid": tid,
+                "args": Value::Object(args)
+            })),
+        }
+    }
+    for e in &snap.events {
+        let tid = e.span.as_ref().map_or(0, |id| chrome_tid(snap, id));
+        let mut args = serde_json::Map::new();
+        for (k, v) in &e.attrs {
+            args.insert(k.clone(), Value::String(v.clone()));
+        }
+        events.push(json!({
+            "name": e.name,
+            "cat": e.layer.name(),
+            "ph": "i",
+            "ts": e.at_us,
+            "pid": 1,
+            "tid": tid,
+            "s": "t",
+            "args": Value::Object(args)
+        }));
+    }
+    let doc = json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms"
+    });
+    serde_json::to_string(&doc).expect("chrome trace json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrozenClock, Layer, Tracer};
+    use std::sync::Arc;
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::new(Arc::new(FrozenClock(5_000)));
+        {
+            let plan = t.span(Layer::Executor, "execute_plan");
+            plan.set_attr("plan", "scan -> filter");
+            let op = t.leaf_span(Layer::Executor, "op:LLMFilter[gpt-4o]");
+            op.set_attr("llm_calls", "7");
+            t.event(Layer::Llm, "cache_miss", &[("model", "gpt-4o".to_string())]);
+        }
+        t.incr("llm.calls", 7);
+        t.observe("llm.latency_us", 120.0);
+        t.observe("llm.latency_us", 480.0);
+        t
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_quantiles() {
+        let text = to_prometheus(&sample_tracer().snapshot());
+        assert!(text.contains("# TYPE llm_calls counter"), "{text}");
+        assert!(text.contains("llm_calls 7"), "{text}");
+        assert!(text.contains("# TYPE llm_latency_us summary"), "{text}");
+        assert!(text.contains("llm_latency_us{quantile=\"0.95\"} 480"), "{text}");
+        assert!(text.contains("llm_latency_us_count 2"), "{text}");
+        assert!(text.contains("llm_latency_us_sum 600"), "{text}");
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("llm.cache.hits"), "llm_cache_hits");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let out = to_chrome_trace(&sample_tracer().snapshot());
+        let doc: Value = serde_json::from_str(&out).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // Two spans (X), one instant (i), plus metadata (M).
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        for e in &xs {
+            for key in ["name", "cat", "ts", "dur", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "X event missing {key}: {e:?}");
+            }
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i")));
+        // The op span rides its own lane (tid 1); the plan span lane 0.
+        let op = xs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("op:LLMFilter[gpt-4o]"))
+            .unwrap();
+        assert_eq!(op.get("tid").and_then(|t| t.as_u64()), Some(1));
+        let plan = xs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("execute_plan"))
+            .unwrap();
+        assert_eq!(plan.get("tid").and_then(|t| t.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn open_spans_export_as_begin_events() {
+        let t = Tracer::new(Arc::new(FrozenClock(0)));
+        let _open = t.span(Layer::Chat, "turn");
+        let out = to_chrome_trace(&t.snapshot());
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B")));
+    }
+}

@@ -32,10 +32,14 @@
 //! parent but do **not** push, so concurrent workers can open leaf spans
 //! under one operator span without corrupting each other's scope.
 
+mod export;
+pub mod profile;
 mod render;
 mod sink;
 mod span;
 
+pub use export::{to_chrome_trace, to_prometheus};
+pub use profile::{critical_path, profile_plan, PlanProfile, StageBuckets, StageProfile};
 pub use render::render_tree;
 pub use sink::{HistogramSummary, TraceSnapshot, Tracer};
 pub use span::{Event, Layer, SpanGuard, SpanId, SpanRecord};

@@ -24,9 +24,23 @@ fn render_span(snap: &TraceSnapshot, span: &SpanRecord, indent: usize, out: &mut
     for (k, v) in &span.attrs {
         let _ = write!(attrs, " {k}={v}");
     }
+    // On deep trees the useful number is where time was spent *in this
+    // span itself* vs delegated to children; show both when they differ.
+    let mut timing = String::new();
+    if span.end_us.is_some() {
+        let child = snap.child_time_us(&span.id);
+        if child > 0 {
+            let _ = write!(
+                timing,
+                " (self {} / child {})",
+                fmt_us(snap.self_time_us(&span.id)),
+                fmt_us(child)
+            );
+        }
+    }
     let _ = writeln!(
         out,
-        "{pad}[{}] {} #{} @{} +{dur}{attrs}",
+        "{pad}[{}] {} #{} @{} +{dur}{timing}{attrs}",
         span.layer,
         span.name,
         span.id,
@@ -72,9 +86,19 @@ pub fn render_tree(snap: &TraceSnapshot) -> String {
     if !snap.histograms.is_empty() {
         out.push_str("histograms:\n");
         for (name, h) in &snap.histograms {
+            let mut quantiles = String::new();
+            if !h.samples.is_empty() {
+                let _ = write!(
+                    quantiles,
+                    " p50={:.2} p95={:.2} p99={:.2}",
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                );
+            }
             let _ = writeln!(
                 out,
-                "  {name}: n={} mean={:.2} min={:.2} max={:.2}",
+                "  {name}: n={} mean={:.2} min={:.2} max={:.2}{quantiles}",
                 h.count,
                 h.mean(),
                 h.min,
@@ -110,6 +134,27 @@ mod tests {
         assert!(text.contains("· cache_miss"));
         assert!(text.contains("vector.probes = 4"));
         assert!(text.contains("llm.latency_us: n=1"));
+        assert!(text.contains("p95=1500.00"));
+    }
+
+    #[test]
+    fn shows_self_vs_child_time_on_nested_spans() {
+        struct Steps(std::sync::atomic::AtomicU64);
+        impl crate::TraceClock for Steps {
+            fn now_micros(&self) -> u64 {
+                self.0.fetch_add(1_000, std::sync::atomic::Ordering::SeqCst)
+            }
+        }
+        let t = Tracer::new(Arc::new(Steps(Default::default())));
+        {
+            let _turn = t.span(Layer::Chat, "turn"); // @0ms .. @3ms
+            let inner = t.span(Layer::Executor, "op"); // @1ms .. @2ms
+            inner.finish();
+        }
+        let text = render_tree(&t.snapshot());
+        assert!(text.contains("(self 2.0ms / child 1.0ms)"));
+        // Leaf spans (no children) stay unannotated.
+        assert!(!text.contains("op #1.1 @1.0ms +1.0ms (self"));
     }
 
     #[test]

@@ -5,16 +5,22 @@ use crate::TraceClock;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Running summary of an observed distribution (count/sum/min/max — the
-/// moments Figure-5-style reports need, without storing every sample).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// Running summary of an observed distribution. Keeps the moments
+/// (count/sum/min/max) plus the raw samples, so percentile queries
+/// (p50/p95/p99 — serving SLOs) are exact rather than sketched. The
+/// sample vector serializes only when non-empty, so pre-quantile JSONL
+/// exports still parse.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub samples: Vec<f64>,
 }
 
 impl HistogramSummary {
@@ -23,6 +29,7 @@ impl HistogramSummary {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.samples.push(value);
     }
 
     fn new(value: f64) -> Self {
@@ -31,6 +38,7 @@ impl HistogramSummary {
             sum: value,
             min: value,
             max: value,
+            samples: vec![value],
         }
     }
 
@@ -40,6 +48,31 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile over the recorded samples (`q` in `[0, 1]`).
+    /// Returns 0.0 when no samples were kept (e.g. a summary parsed from
+    /// an old JSONL export that predates sample retention).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -84,6 +117,10 @@ pub struct Tracer {
 struct Inner {
     clock: Arc<dyn TraceClock>,
     state: Mutex<TraceState>,
+    /// When false (the default) the executor skips all profiling gauges
+    /// (queue depth, wait attribution, utilization), keeping default-run
+    /// traces byte-identical to pre-profiler builds.
+    profiling: AtomicBool,
 }
 
 impl Tracer {
@@ -92,12 +129,25 @@ impl Tracer {
             inner: Arc::new(Inner {
                 clock,
                 state: Mutex::new(TraceState::default()),
+                profiling: AtomicBool::new(false),
             }),
         }
     }
 
     pub fn now_micros(&self) -> u64 {
         self.inner.clock.now_micros()
+    }
+
+    /// Enable or disable profiling gauges (off by default). Instrumented
+    /// code checks [`Tracer::profiling_enabled`] before recording any
+    /// gauge, so a disabled profiler costs one relaxed atomic load.
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether profiling gauges should be recorded.
+    pub fn profiling_enabled(&self) -> bool {
+        self.inner.profiling.load(Ordering::Relaxed)
     }
 
     fn open_span(&self, layer: Layer, name: &str, push: bool) -> SpanGuard {
@@ -283,7 +333,7 @@ impl TraceSnapshot {
             out.push_str(
                 &serde_json::to_string(&TraceLine::Histogram {
                     name: name.clone(),
-                    summary: *summary,
+                    summary: summary.clone(),
                 })
                 .expect("histogram json"),
             );
@@ -350,6 +400,38 @@ impl TraceSnapshot {
             .filter(|e| e.span.as_ref() == Some(id))
             .collect()
     }
+
+    /// Total trace duration in microseconds: latest closed end minus
+    /// earliest start across all spans (0 for an empty or all-open trace).
+    pub fn duration_micros(&self) -> u64 {
+        let start = self.spans.iter().map(|s| s.start_us).min();
+        let end = self.spans.iter().filter_map(|s| s.end_us).max();
+        match (start, end) {
+            (Some(s), Some(e)) => e.saturating_sub(s),
+            _ => 0,
+        }
+    }
+
+    /// Time a span spent in its direct children, in microseconds.
+    /// Clamped to the parent's own duration so malformed traces (child
+    /// outliving parent) never report child-time above total.
+    pub fn child_time_us(&self, id: &SpanId) -> u64 {
+        let total = match self.spans.iter().find(|s| &s.id == id) {
+            Some(s) => s.duration_us(),
+            None => return 0,
+        };
+        let children: u64 = self.children(id).iter().map(|c| c.duration_us()).sum();
+        children.min(total)
+    }
+
+    /// Self-time of a span: its duration minus time covered by direct
+    /// children. The quantity the profiler attributes to the span itself.
+    pub fn self_time_us(&self, id: &SpanId) -> u64 {
+        match self.spans.iter().find(|s| &s.id == id) {
+            Some(s) => s.duration_us().saturating_sub(self.child_time_us(id)),
+            None => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -406,11 +488,75 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.events[0].span, Some(SpanId(vec![1])));
-        let h = snap.histograms["llm.latency_us"];
+        let h = &snap.histograms["llm.latency_us"];
         assert_eq!(h.count, 2);
         assert_eq!(h.mean(), 20.0);
         assert_eq!(h.min, 10.0);
         assert_eq!(h.max, 30.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_nearest_rank() {
+        let t = tracer();
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
+            t.observe("lat", v);
+        }
+        let snap = t.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p95(), 100.0);
+        assert_eq!(h.p99(), 100.0);
+        assert_eq!(h.quantile(0.0), 10.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+
+        let single = &Tracer::new(Arc::new(FrozenClock(0)));
+        single.observe("one", 7.0);
+        assert_eq!(single.snapshot().histograms["one"].p99(), 7.0);
+    }
+
+    #[test]
+    fn old_jsonl_histograms_without_samples_still_parse() {
+        // A line from a pre-quantile export: no `samples` field.
+        let line = r#"{"Histogram":{"name":"lat","summary":{"count":2,"sum":40.0,"min":10.0,"max":30.0}}}"#;
+        let snap = TraceSnapshot::from_jsonl(line).expect("parse legacy line");
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 2);
+        assert!(h.samples.is_empty());
+        assert_eq!(h.p95(), 0.0); // no samples retained → quantiles degrade to 0
+    }
+
+    #[test]
+    fn duration_and_self_time_helpers() {
+        struct Steps(std::sync::atomic::AtomicU64);
+        impl crate::TraceClock for Steps {
+            fn now_micros(&self) -> u64 {
+                self.0.fetch_add(100, std::sync::atomic::Ordering::SeqCst)
+            }
+        }
+        let t = Tracer::new(Arc::new(Steps(Default::default())));
+        let outer = t.span(Layer::Executor, "outer"); // starts @0
+        let inner = t.span(Layer::Llm, "inner"); // starts @100
+        inner.finish(); // ends @200
+        outer.finish(); // ends @300
+
+        let snap = t.snapshot();
+        assert_eq!(snap.duration_micros(), 300);
+        let outer_id = SpanId::root(1);
+        assert_eq!(snap.child_time_us(&outer_id), 100);
+        assert_eq!(snap.self_time_us(&outer_id), 200);
+        assert_eq!(snap.self_time_us(&outer_id.child(1)), 100);
+    }
+
+    #[test]
+    fn profiling_flag_defaults_off_and_toggles() {
+        let t = tracer();
+        assert!(!t.profiling_enabled());
+        t.set_profiling(true);
+        assert!(t.profiling_enabled());
+        let clone = t.clone();
+        assert!(clone.profiling_enabled()); // shared with clones
+        t.set_profiling(false);
+        assert!(!clone.profiling_enabled());
     }
 
     #[test]
