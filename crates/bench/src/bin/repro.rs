@@ -13,6 +13,9 @@
 //! experiment (default: materializing). `--fault-plan <spec>` scripts
 //! provider faults (e.g. `gpt-4o:outage@0..120`) into the E1 headline run
 //! and the trace export, so CI can archive a degraded-run trace.
+//! `--adaptive` arms runtime adaptive re-optimization in every experiment's
+//! executor (E18 scripts its own adaptive-vs-static brownout comparison
+//! regardless of the flag).
 //! `--profile` runs the E16 demo plan with the pipeline profiler armed and
 //! prints the per-stage attribution table, critical path, and the
 //! estimate-vs-observed drift report (this is experiment E17);
@@ -43,12 +46,25 @@ static FAULT_PLAN: std::sync::OnceLock<pz_llm::FaultPlan> = std::sync::OnceLock:
 /// Only affects streaming runs; materializing ignores it.
 static PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
 
+/// Runtime adaptive re-optimization (`--adaptive`): every experiment's
+/// executor re-costs the remaining plan suffix mid-run and swaps degraded
+/// models. E18 scripts its own adaptive-vs-static comparison regardless.
+static ADAPTIVE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
 fn exec_mode() -> ExecMode {
     EXEC_MODE.get().copied().unwrap_or(ExecMode::Materializing)
 }
 
 fn parallelism() -> usize {
     PARALLELISM.get().copied().unwrap_or(1).max(1)
+}
+
+fn adaptive_cfg() -> AdaptiveConfig {
+    if ADAPTIVE.get().copied().unwrap_or(false) {
+        AdaptiveConfig::on()
+    } else {
+        AdaptiveConfig::default()
+    }
 }
 
 fn scripted_faults(ctx: &PzContext) {
@@ -61,12 +77,14 @@ fn cfg_seq() -> ExecutionConfig {
     ExecutionConfig::sequential()
         .with_mode(exec_mode())
         .with_parallelism_config(ParallelismConfig::fixed(parallelism()))
+        .with_adaptive(adaptive_cfg())
 }
 
 fn cfg_par(workers: usize) -> ExecutionConfig {
     ExecutionConfig::parallel(workers)
         .with_mode(exec_mode())
         .with_parallelism_config(ParallelismConfig::fixed(parallelism()))
+        .with_adaptive(adaptive_cfg())
 }
 
 fn main() {
@@ -139,6 +157,11 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--adaptive") {
+        args.remove(i);
+        let _ = ADAPTIVE.set(true);
+        println!("adaptive replanning: on (suffix re-costing + champion/challenger swaps)");
+    }
     if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
         if i + 1 >= args.len() {
             eprintln!("--fault-plan requires a spec, e.g. gpt-4o:outage@0..120");
@@ -175,8 +198,7 @@ fn main() {
     // A bare `--profile` (or export flag) runs only the profiled E17 pass;
     // experiment ids can still be combined with it explicitly.
     let run = |id: &str| {
-        (args.is_empty() && !profile_requested)
-            || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+        (args.is_empty() && !profile_requested) || args.iter().any(|a| a.eq_ignore_ascii_case(id))
     };
     if run("e1") {
         e1_headline();
@@ -230,6 +252,9 @@ fn main() {
             drift_out.as_deref(),
         );
     }
+    if run("e18") {
+        e18_adaptive();
+    }
     if let Some(path) = trace_out {
         export_trace(&path);
     }
@@ -240,7 +265,11 @@ fn main() {
 fn export_trace(path: &str) {
     banner("TRACE", "unified observability trace of the §3 dialogue");
     let mut chat = PalimpChat::new();
-    chat.session().lock().ctx.exec_mode = exec_mode();
+    {
+        let mut session = chat.session().lock();
+        session.ctx.exec_mode = exec_mode();
+        session.ctx.adaptive = adaptive_cfg();
+    }
     scripted_faults(&chat.session().lock().ctx);
     for turn in [
         "Please load the dataset of scientific papers from my folder",
@@ -1029,12 +1058,15 @@ fn e16_parallelism() {
 /// Optional paths export the profiled trace as a Chrome trace-event file,
 /// Prometheus text exposition, and drift-report text (the CI artifacts).
 fn e17_profiling(chrome_out: Option<&str>, prom_out: Option<&str>, drift_out: Option<&str>) {
-    banner("E17", "pipeline profiler: attribution, critical path, drift");
+    banner(
+        "E17",
+        "pipeline profiler: attribution, critical path, drift",
+    );
     let (ctx, _truth) = demo_context();
     ctx.tracer.set_profiling(true);
     scripted_faults(&ctx);
-    let outcome = execute(&ctx, &demo_plan(), &Policy::MaxQuality, streaming_cfg(8))
-        .expect("profiled run");
+    let outcome =
+        execute(&ctx, &demo_plan(), &Policy::MaxQuality, streaming_cfg(8)).expect("profiled run");
     let snap = ctx.tracer.snapshot();
     let profile = pz_obs::profile_plan(&snap).expect("plan profile from the trace");
     print!("{}", profile.render());
@@ -1068,7 +1100,9 @@ fn e17_profiling(chrome_out: Option<&str>, prom_out: Option<&str>, drift_out: Op
     );
 
     // Drift: the optimizer's per-stage predictions vs what actually ran.
-    let drift = outcome.drift_report().expect("drift report for the chosen plan");
+    let drift = outcome
+        .drift_report()
+        .expect("drift report for the chosen plan");
     let llm_stages: Vec<&StageDrift> = drift.stages.iter().filter(|s| s.is_llm()).collect();
     assert!(
         !llm_stages.is_empty(),
@@ -1104,6 +1138,156 @@ fn e17_profiling(chrome_out: Option<&str>, prom_out: Option<&str>, drift_out: Op
     println!("wait; upstream stages show backpressure against it; the critical path runs");
     println!("through the bottleneck stage; observed time/cost sit near the estimates");
     println!("(the simulator is the cost model's own ground truth).");
+}
+
+/// One brownout run for E18: the demo plan with the filter pinned on
+/// gpt-4o (browning out: 25 s stalls on ~35% of calls — under the
+/// breaker's trip rate, so static execution just keeps paying) and the
+/// convert on healthy llama-3-70b. Returns (virtual time, ledger cost,
+/// output multiset, replan reports).
+fn e18_brownout_run(adaptive: bool) -> (f64, f64, Vec<String>, Vec<AdaptiveReport>) {
+    use pz_llm::protocol::Effort;
+    let (ctx, _truth) = demo_context();
+    ctx.faults.set(
+        pz_llm::FaultPlan::parse("gpt-4o:timeout@0..1e9:p=0.35:stall=25", 11).expect("fault spec"),
+    );
+    let plan = PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: DEMO_DATASET.into(),
+            },
+            PhysicalOp::LlmFilter {
+                predicate: pz_datagen::science::FILTER_PREDICATE.into(),
+                model: "gpt-4o".into(),
+                effort: Effort::Standard,
+            },
+            PhysicalOp::LlmConvert {
+                target: clinical_schema(),
+                cardinality: Cardinality::OneToMany,
+                description: "extract datasets".into(),
+                model: "llama-3-70b".into(),
+                effort: Effort::Standard,
+            },
+        ],
+    };
+    let config = if adaptive {
+        ExecutionConfig::streaming().with_adaptive(AdaptiveConfig::on())
+    } else {
+        ExecutionConfig::streaming()
+    };
+    let (records, stats) = pz_core::exec::execute_plan(&ctx, &plan, config).expect("brownout run");
+    (
+        ctx.clock.now_secs(),
+        ctx.ledger.total_cost_usd(),
+        record_multiset(&records),
+        stats.adaptive,
+    )
+}
+
+/// E18 — runtime adaptive re-optimization under a brownout: the static
+/// plan keeps paying 25-second stalls on the degraded champion; the
+/// adaptive executor detects the drift, re-costs the remaining suffix and
+/// sticky-swaps the filter onto a healthy model mid-stream. Same output
+/// multiset, near-healthy runtime.
+fn e18_adaptive() {
+    banner("E18", "adaptive replanning under a model brownout");
+    let (healthy_time, healthy_cost, _, _) = {
+        use pz_llm::protocol::Effort;
+        let (ctx, _truth) = demo_context();
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan {
+                    dataset: DEMO_DATASET.into(),
+                },
+                PhysicalOp::LlmFilter {
+                    predicate: pz_datagen::science::FILTER_PREDICATE.into(),
+                    model: "gpt-4o".into(),
+                    effort: Effort::Standard,
+                },
+                PhysicalOp::LlmConvert {
+                    target: clinical_schema(),
+                    cardinality: Cardinality::OneToMany,
+                    description: "extract datasets".into(),
+                    model: "llama-3-70b".into(),
+                    effort: Effort::Standard,
+                },
+            ],
+        };
+        let (records, _) =
+            pz_core::exec::execute_plan(&ctx, &plan, ExecutionConfig::streaming()).expect("runs");
+        (
+            ctx.clock.now_secs(),
+            ctx.ledger.total_cost_usd(),
+            record_multiset(&records),
+            Vec::<AdaptiveReport>::new(),
+        )
+    };
+    let (static_time, static_cost, static_keys, _) = e18_brownout_run(false);
+    let (adaptive_time, adaptive_cost, adaptive_keys, reports) = e18_brownout_run(true);
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>8}",
+        "configuration", "time(s)", "cost($)", "records", "replans"
+    );
+    for (name, time, cost, n, replans) in [
+        (
+            "healthy baseline",
+            healthy_time,
+            healthy_cost,
+            static_keys.len(),
+            0,
+        ),
+        (
+            "brownout, static",
+            static_time,
+            static_cost,
+            static_keys.len(),
+            0,
+        ),
+        (
+            "brownout, adaptive",
+            adaptive_time,
+            adaptive_cost,
+            adaptive_keys.len(),
+            reports.len(),
+        ),
+    ] {
+        println!(
+            "{:<22} {:>9.1} {:>9.3} {:>8} {:>8}",
+            name, time, cost, n, replans
+        );
+    }
+    assert_eq!(
+        static_keys, adaptive_keys,
+        "adaptive run changed the output multiset"
+    );
+    assert!(
+        adaptive_time < static_time,
+        "adaptive ({adaptive_time:.1}s) not faster than static ({static_time:.1}s)"
+    );
+    println!("\nreplan decisions:");
+    for r in &reports {
+        println!(
+            "  op[{}] {}: {} -> {} ({}: {:.2} >= {:.2}, {} record(s) remaining, t={:.1}s)",
+            r.operator_index,
+            r.operator,
+            r.from_model,
+            r.to_model,
+            r.trigger,
+            r.observed_ratio,
+            r.threshold,
+            r.records_remaining,
+            r.at_secs
+        );
+    }
+    println!(
+        "\nspeedup vs static brownout: {:.2}x; overhead vs healthy: {:.2}x",
+        static_time / adaptive_time,
+        adaptive_time / healthy_time
+    );
+    println!("expected shape: identical output multiset; the static run pays every stall");
+    println!("while the breaker never trips (35% < its 75% trip rate); the adaptive run");
+    println!("swaps the browning-out filter after a few records and lands near the");
+    println!("healthy frontier at equal output.");
 }
 
 /// `repro bench-json [--out PATH]` — the CI perf gate. Re-measures the
@@ -1189,10 +1373,37 @@ fn bench_json(out: &str) {
             "profiler overhead {obs_overhead_pct:.2}% is at or above the {OBS_OVERHEAD_CEILING_PCT}% ceiling"
         ));
     }
+    // Adaptive brownout gate (E18): under the scripted brownout the
+    // adaptive run must beat the static one on virtual-clock time while
+    // producing the identical output multiset.
+    const ADAPTIVE_SPEEDUP_FLOOR: f64 = 1.2;
+    let (static_time, _, static_keys, _) = e18_brownout_run(false);
+    let (adaptive_time, _, adaptive_keys, replans) = e18_brownout_run(true);
+    let adaptive_brownout_speedup = static_time / adaptive_time.max(1e-9);
+    println!(
+        "adaptive brownout: static {static_time:.1}s / adaptive {adaptive_time:.1}s -> \
+         {adaptive_brownout_speedup:.2}x ({} replan(s), floor {ADAPTIVE_SPEEDUP_FLOOR}x)",
+        replans.len()
+    );
+    if static_keys != adaptive_keys {
+        failures.push("adaptive brownout run changed the output multiset".to_string());
+    }
+    if replans.is_empty() {
+        failures.push("adaptive brownout run recorded no replan".to_string());
+    }
+    if adaptive_brownout_speedup < ADAPTIVE_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "adaptive brownout speedup {adaptive_brownout_speedup:.2}x is below the \
+             {ADAPTIVE_SPEEDUP_FLOOR}x floor"
+        ));
+    }
     let doc = serde_json::json!({
         "experiment": "E1/E14 demo plan (Scan -> LLMFilter -> LLMConvert, MaxQuality)",
         "speedup_floor": SPEEDUP_FLOOR,
         "speedup_streaming_vs_materializing": speedup,
+        "adaptive_brownout_speedup": adaptive_brownout_speedup,
+        "adaptive_brownout_speedup_floor": ADAPTIVE_SPEEDUP_FLOOR,
+        "adaptive_brownout_replans": replans.len(),
         "obs_overhead_pct": obs_overhead_pct,
         "obs_overhead_ceiling_pct": OBS_OVERHEAD_CEILING_PCT,
         "pass": failures.is_empty(),

@@ -10,7 +10,10 @@
 //! session's observability trace tree, `:export <path>` to write the trace
 //! as JSONL, `:exec streaming|materializing` to switch the execution mode,
 //! `:parallelism <n>|auto` to size the streaming per-stage worker pools,
-//! `:faults <spec>|off` to script provider faults into the simulator,
+//! `:adaptive [on|off|thresholds <time> <cost> <health>]` to arm runtime
+//! plan repair (re-cost the remaining suffix mid-run, swap degraded
+//! models), `:faults <spec>|off` to script provider faults into the
+//! simulator,
 //! `:breaker` to inspect per-model circuit breakers, `:profile on|off` to
 //! arm the pipeline profiler (`:profile` alone prints the attribution
 //! table for the last profiled run), `:export-chrome <path>` /
@@ -34,6 +37,7 @@ fn main() {
          (:trace toggles traces, :spans shows the span tree, :export <path> writes JSONL, \
          :exec streaming|materializing switches the executor, \
          :parallelism <n>|auto sizes the streaming worker pools, \
+         :adaptive [on|off|thresholds t c h] arms runtime plan repair, \
          :faults <spec>|off scripts provider faults, :breaker shows model health, \
          :profile [on|off] arms/prints the pipeline profiler, \
          :export-chrome <path> writes a Chrome trace, \
@@ -103,6 +107,37 @@ fn main() {
                 }
                 continue;
             }
+            ":adaptive" => {
+                let a = chat.session().lock().ctx.adaptive;
+                if a.enabled {
+                    println!(
+                        "adaptive replanning: on (time drift >= {:.1}x, cost drift >= {:.1}x, \
+                         failure rate >= {:.2}, min {} records, max {} repairs/run)",
+                        a.time_drift_threshold,
+                        a.cost_drift_threshold,
+                        a.health_failure_rate,
+                        a.min_records,
+                        a.max_repairs
+                    );
+                } else {
+                    println!("adaptive replanning: off (arm with :adaptive on)");
+                }
+                continue;
+            }
+            ":adaptive on" => {
+                let mut s = chat.session().lock();
+                s.ctx.adaptive.enabled = true;
+                println!(
+                    "adaptive replanning: on — degraded models are re-costed and swapped mid-run \
+                     (rides on failover; see :faults to script a brownout)"
+                );
+                continue;
+            }
+            ":adaptive off" => {
+                chat.session().lock().ctx.adaptive.enabled = false;
+                println!("adaptive replanning: off");
+                continue;
+            }
             ":profile on" => {
                 chat.tracer().set_profiling(true);
                 println!("pipeline profiler: on (per-stage gauges recorded on the next run)");
@@ -126,6 +161,34 @@ fn main() {
                     println!("execution mode: materializing (operator-at-a-time)");
                 }
                 other => println!("unknown mode {other:?} — try :exec streaming | materializing"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":adaptive thresholds ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let parsed: Option<(f64, f64, f64)> = match parts.as_slice() {
+                [t, c, h] => match (t.parse(), c.parse(), h.parse()) {
+                    (Ok(t), Ok(c), Ok(h)) => Some((t, c, h)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match parsed {
+                Some((t, c, h)) if t >= 1.0 && c >= 1.0 && (0.0..=1.0).contains(&h) => {
+                    let mut s = chat.session().lock();
+                    s.ctx.adaptive.time_drift_threshold = t;
+                    s.ctx.adaptive.cost_drift_threshold = c;
+                    s.ctx.adaptive.health_failure_rate = h;
+                    s.ctx.adaptive.enabled = true;
+                    println!(
+                        "adaptive replanning: on (time drift >= {t:.1}x, cost drift >= {c:.1}x, \
+                         failure rate >= {h:.2})"
+                    );
+                }
+                _ => println!(
+                    "usage: :adaptive thresholds <time>=1.0 <cost>=1.0 <health 0..1> \
+                     (e.g. :adaptive thresholds 3 3 0.34)"
+                ),
             }
             continue;
         }
@@ -179,7 +242,9 @@ fn main() {
         if let Some(path) = line.strip_prefix(":export-chrome ") {
             let path = path.trim();
             match std::fs::write(path, pz_obs::to_chrome_trace(&chat.tracer().snapshot())) {
-                Ok(()) => println!("Chrome trace exported to {path} (open in chrome://tracing or Perfetto)"),
+                Ok(()) => println!(
+                    "Chrome trace exported to {path} (open in chrome://tracing or Perfetto)"
+                ),
                 Err(e) => println!("export failed: {e}"),
             }
             continue;

@@ -308,10 +308,12 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             &policy,
             // The session's `:exec` switch decides materializing vs
             // streaming. `workers` partitions a materializing run;
-            // `parallelism` sizes each streaming stage's worker pool.
+            // `parallelism` sizes each streaming stage's worker pool;
+            // `:adaptive` arms runtime plan repair.
             ExecutionConfig::parallel(workers)
                 .with_mode(state.ctx.exec_mode)
-                .with_parallelism(parallelism),
+                .with_parallelism(parallelism)
+                .with_adaptive(state.ctx.adaptive),
         )
         .map_err(|e| tool_err("execute_pipeline", e))?;
         let mut summary = format!(
@@ -332,6 +334,18 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
                 d.reason,
                 d.records_affected,
                 d.est_quality_delta,
+            ));
+        }
+        for r in &outcome.stats.adaptive {
+            summary.push_str(&format!(
+                " NOTE: adaptive replan swapped {} from {} to {} ({}: {:.2} >= {:.2}, {} record(s) remaining).",
+                r.operator,
+                r.from_model,
+                r.to_model,
+                r.trigger,
+                r.observed_ratio,
+                r.threshold,
+                r.records_remaining,
             ));
         }
         if outcome.stats.deadline_exceeded {
@@ -358,6 +372,7 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             "time_secs": outcome.stats.total_time_secs,
             "plan": outcome.chosen_plan.describe(),
             "degraded": outcome.stats.degraded.len(),
+            "replanned": outcome.stats.adaptive.len(),
             "deadline_exceeded": outcome.stats.deadline_exceeded,
             "profiled": profiled,
         });

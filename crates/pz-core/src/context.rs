@@ -60,6 +60,10 @@ pub struct PzContext {
     /// REPL's `:parallelism` switch and the pipeline tool read this;
     /// explicit `ExecutionConfig`s override it). `1` = serial.
     pub parallelism: usize,
+    /// Default adaptive re-optimization configuration (the REPL's
+    /// `:adaptive` switch and the pipeline tool read this; explicit
+    /// `ExecutionConfig`s override it). Disabled by default.
+    pub adaptive: crate::optimizer::adaptive::AdaptiveConfig,
     /// Profiler sink for retry-backoff time (virtual µs). The executor
     /// points this at a per-stage accumulator on its cloned stage
     /// contexts when profiling is enabled; `None` records nothing.
@@ -104,6 +108,7 @@ impl PzContext {
             embed_model: "text-embedding-3-small".into(),
             exec_mode: crate::exec::ExecMode::Materializing,
             parallelism: 1,
+            adaptive: crate::optimizer::adaptive::AdaptiveConfig::default(),
             retry_wait_us: None,
             ids: Arc::new(AtomicU64::new(1)),
         }
@@ -123,6 +128,13 @@ impl PzContext {
         } else {
             workers
         };
+        self
+    }
+
+    /// Set the default adaptive re-optimization configuration for plans
+    /// run through this context.
+    pub fn with_adaptive(mut self, adaptive: crate::optimizer::adaptive::AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
         self
     }
 

@@ -213,11 +213,43 @@ mod tests {
             FailoverRank::Cost,
             0.0,
         );
-        let first = catalog.get(&c[0]).unwrap();
+        // Every ranked candidate must resolve in the catalog (candidates
+        // are drawn from it, never fabricated) — resolve without unwrap so
+        // a ranking bug reads as an assertion, not a panic.
+        let cost = |m: &pz_llm::ModelId| {
+            catalog
+                .get(m)
+                .map(|card| card.cost_usd(1000, 100))
+                .unwrap_or_else(|| panic!("candidate {m} missing from catalog"))
+        };
+        let first = cost(&c[0]);
         for m in &c[1..] {
-            let other = catalog.get(m).unwrap();
-            assert!(first.cost_usd(1000, 100) <= other.cost_usd(1000, 100));
+            assert!(first <= cost(m));
         }
+    }
+
+    #[test]
+    fn missing_model_degrades_instead_of_panicking() {
+        // An operator whose planned model is absent from the catalog (a
+        // retired alias, a typo in a hand-written plan) must still rank
+        // substitutes: `candidates` draws from the catalog rather than
+        // resolving the current model, so nothing can unwrap-panic the
+        // worker thread.
+        let catalog = Catalog::builtin();
+        let health = HealthTracker::default();
+        let op = filter_op("retired-model-v0");
+        let c = candidates(&catalog, &health, &op, FailoverRank::Quality, 0.0);
+        assert!(!c.is_empty(), "healthy substitutes must still be offered");
+        assert_eq!(c.first().map(|m| m.as_str()), Some("gpt-4o"));
+        // Ranking by cost and time exercises the card-derived sort keys.
+        for rank in [FailoverRank::Cost, FailoverRank::Time] {
+            assert!(!candidates(&catalog, &health, &op, rank, 0.0).is_empty());
+        }
+        // Quality delta against an unknown model stays finite (treated as
+        // quality 0, i.e. the swap reads as an upgrade, never a panic).
+        let d = quality_delta(&catalog, &"retired-model-v0".into(), &c[0]);
+        assert!(d.is_finite());
+        assert!(with_model(&op, c[0].clone()).is_some());
     }
 
     #[test]

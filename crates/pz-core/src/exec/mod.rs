@@ -7,6 +7,7 @@ pub mod run;
 pub mod stats;
 mod streaming;
 
+pub use crate::optimizer::adaptive::{AdaptiveConfig, AdaptiveReport};
 pub use failover::FailoverRank;
 pub use run::{available_cores, execute_plan, ExecMode, ExecutionConfig, ParallelismConfig};
 pub use stats::{DegradedExecution, ExecutionStats, OperatorStats};

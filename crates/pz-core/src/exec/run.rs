@@ -11,8 +11,10 @@ use crate::error::{PzError, PzResult};
 use crate::exec::failover::{self, FailoverRank};
 use crate::exec::stats::{DegradedExecution, ExecutionStats, OperatorStats};
 use crate::ops::physical::{PhysicalOp, PhysicalPlan};
+use crate::optimizer::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::record::DataRecord;
 use pz_llm::ModelId;
+use std::sync::Arc;
 
 /// How a physical plan is driven.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -156,6 +158,11 @@ pub struct ExecutionConfig {
     /// ledger cost, and trace reconciliation are byte-identical to the
     /// serial run — only attributed time shrinks.
     pub parallelism: ParallelismConfig,
+    /// Runtime adaptive re-optimization: re-cost the remaining plan suffix
+    /// during execution and swap degraded models out before they fail
+    /// outright. Requires `failover` (it reuses the same substitution
+    /// machinery); disabled by default and byte-invisible while off.
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for ExecutionConfig {
@@ -167,6 +174,7 @@ impl Default for ExecutionConfig {
             rank: FailoverRank::default(),
             deadline_secs: None,
             parallelism: ParallelismConfig::serial(),
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -252,6 +260,12 @@ impl ExecutionConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Set the adaptive re-optimization configuration.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
 }
 
 /// Execute a physical plan, returning output records and statistics.
@@ -270,11 +284,22 @@ pub fn execute_plan(
         if profiling {
             // Collect retry-backoff time; per-op deltas are attributed on
             // the op spans below. Off by default (no sink, no overhead).
-            c.retry_wait_us = Some(std::sync::Arc::new(
-                std::sync::atomic::AtomicU64::new(0),
-            ));
+            c.retry_wait_us = Some(std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)));
+        } else {
+            // A caller's context may still carry the sink a previous run
+            // installed (e.g. a deadline-aborted profiled run): clear it
+            // so this run's retries never leak into stale attribution.
+            c.retry_wait_us = None;
         }
         c
+    };
+    // Adaptive re-optimization rides on the failover machinery; the
+    // controller is only constructed when both are on, so disabled runs
+    // stay byte-identical.
+    let adaptive = if config.adaptive.enabled && config.failover {
+        AdaptiveController::from_plan(ctx, plan, config.adaptive, config.rank).map(Arc::new)
+    } else {
+        None
     };
     if let ExecMode::Streaming {
         channel_capacity,
@@ -287,6 +312,7 @@ pub fn execute_plan(
             channel_capacity,
             batch_size,
             &config,
+            adaptive,
         );
     }
     let mut records: Vec<DataRecord> = Vec::new();
@@ -298,7 +324,12 @@ pub fn execute_plan(
     plan_span.set_attr("plan", plan.describe());
     plan_span.set_attr("workers", config.workers.to_string());
 
-    for (op_index, op) in plan.ops.iter().enumerate() {
+    // The plan is cloned into a working copy so the adaptive controller
+    // can rewrite not-yet-executed operators between steps.
+    let mut ops: Vec<PhysicalOp> = plan.ops.clone();
+    let mut op_index = 0usize;
+    while op_index < ops.len() {
+        let op = &ops[op_index].clone();
         if let Some(d) = deadline_at {
             if ctx.clock.now_secs() >= d {
                 stats.deadline_exceeded = true;
@@ -395,6 +426,22 @@ pub fn execute_plan(
         }
         op_span.finish();
         stats.operators.push(op_stats);
+        if let Some(ctrl) = &adaptive {
+            // Feed the completed operator's observation in, then let the
+            // controller repair the unexecuted suffix if a model drifted.
+            ctrl.observe(
+                op_index,
+                op.model(),
+                input_count,
+                raw_elapsed,
+                ledger_after.3 - ledger_before.3,
+            );
+            ctrl.repair_suffix(ctx, &mut ops, op_index + 1, records.len());
+        }
+        op_index += 1;
+    }
+    if let Some(ctrl) = &adaptive {
+        stats.adaptive = ctrl.take_reports();
     }
     stats.finalize();
     plan_span.set_attr("output_records", stats.output_records.to_string());

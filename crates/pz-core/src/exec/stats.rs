@@ -3,6 +3,7 @@
 //! about the plan execution such as the operators chosen and the total
 //! pipeline cost and runtime."
 
+use crate::optimizer::adaptive::AdaptiveReport;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -77,6 +78,11 @@ pub struct ExecutionStats {
     /// healthy runs.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub degraded: Vec<DegradedExecution>,
+    /// Adaptive plan repairs (champion/challenger switches), in the order
+    /// they were made. Empty unless the adaptive controller is enabled
+    /// *and* fired, so serialized stats stay byte-identical otherwise.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub adaptive: Vec<AdaptiveReport>,
     /// The execution deadline elapsed and the run returned partial results.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub deadline_exceeded: bool,
@@ -128,7 +134,7 @@ impl ExecutionStats {
         let mut best: Option<(usize, f64)> = None;
         for (i, op) in self.operators.iter().enumerate() {
             let end = fill + op.time_secs;
-            if best.map_or(true, |(_, b)| end > b) {
+            if best.is_none_or(|(_, b)| end > b) {
                 best = Some((i, end));
             }
             fill += startup.get(i).copied().unwrap_or(0.0);
@@ -183,6 +189,22 @@ impl ExecutionStats {
                 d.records_affected,
                 d.est_quality_delta,
                 d.reason
+            );
+        }
+        for r in &self.adaptive {
+            let _ = writeln!(
+                s,
+                "REPLANNED: op#{} {} switched {} -> {} ({}: {:.2} >= {:.2}, est suffix {:.1}s -> {:.1}s, {} records left)",
+                r.operator_index,
+                r.operator,
+                r.from_model,
+                r.to_model,
+                r.trigger,
+                r.observed_ratio,
+                r.threshold,
+                r.est_suffix_secs_before,
+                r.est_suffix_secs_after,
+                r.records_remaining
             );
         }
         if self.deadline_exceeded {
@@ -341,10 +363,43 @@ mod tests {
         // Healthy runs serialize without resilience fields...
         assert!(!j.contains("degraded"));
         assert!(!j.contains("deadline_exceeded"));
+        assert!(!j.contains("adaptive"));
         // ...and old serialized stats still deserialize.
         let old: ExecutionStats = serde_json::from_str(&j).unwrap();
         assert!(old.degraded.is_empty());
         assert!(!old.deadline_exceeded);
+        assert!(old.adaptive.is_empty());
+    }
+
+    #[test]
+    fn render_annotates_replans_only_when_present() {
+        let mut stats = ExecutionStats {
+            plan: "p".into(),
+            operators: vec![op("LLMFilter[gpt-4o]", 11, 5, 0.1, 1.0)],
+            ..Default::default()
+        };
+        stats.finalize();
+        assert!(!stats.render_table().contains("REPLANNED"));
+        stats.adaptive.push(AdaptiveReport {
+            operator_index: 1,
+            operator: "LLMFilter[gpt-4o]".into(),
+            from_model: "gpt-4o".into(),
+            to_model: "llama-3-70b".into(),
+            trigger: "time drift".into(),
+            observed_ratio: 4.21,
+            threshold: 3.0,
+            est_suffix_secs_before: 120.0,
+            est_suffix_secs_after: 25.0,
+            records_remaining: 9,
+            at_secs: 31.5,
+        });
+        let t = stats.render_table();
+        assert!(
+            t.contains("REPLANNED: op#1 LLMFilter[gpt-4o] switched gpt-4o -> llama-3-70b"),
+            "{t}"
+        );
+        assert!(t.contains("time drift"), "{t}");
+        assert!(t.contains("4.21"), "{t}");
     }
 
     #[test]

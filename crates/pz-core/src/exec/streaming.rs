@@ -65,6 +65,7 @@ use crate::exec::failover;
 use crate::exec::run::ExecutionConfig;
 use crate::exec::stats::{DegradedExecution, ExecutionStats, OperatorStats};
 use crate::ops::physical::{PhysicalOp, PhysicalPlan};
+use crate::optimizer::adaptive::AdaptiveController;
 use crate::record::DataRecord;
 use parking_lot::Mutex;
 use pz_llm::{
@@ -233,10 +234,17 @@ struct StageFailover {
     op_index: usize,
     enabled: bool,
     rank: crate::exec::FailoverRank,
+    /// Adaptive controller shared by all stages; `None` unless enabled.
+    adaptive: Option<Arc<AdaptiveController>>,
 }
 
 impl StageFailover {
-    fn new(op: PhysicalOp, op_index: usize, config: &ExecutionConfig) -> Self {
+    fn new(
+        op: PhysicalOp,
+        op_index: usize,
+        config: &ExecutionConfig,
+        adaptive: Option<Arc<AdaptiveController>>,
+    ) -> Self {
         let enabled = config.failover && failover::swappable(&op);
         Self {
             planned_model: op.model().cloned(),
@@ -245,6 +253,7 @@ impl StageFailover {
             op_index,
             enabled,
             rank: config.rank,
+            adaptive: if enabled { adaptive } else { None },
         }
     }
 
@@ -253,15 +262,61 @@ impl StageFailover {
     /// substitute accrue onto the latest degraded entry so
     /// `records_affected` sums to exactly the records the planned model
     /// did not handle.
+    ///
+    /// With an adaptive controller attached, each batch is preceded by a
+    /// champion/challenger check (sticky swap off a degraded-but-alive
+    /// model) and followed by an observation: the batch's clock delta
+    /// minus *other* stages' billed latency — the only attribution that
+    /// sees fault stalls and retry backoff, which never reach the ledger.
     fn execute(
         &mut self,
         ctx: &PzContext,
         input: Vec<DataRecord>,
         degraded: &mut Vec<DegradedExecution>,
+        meter: &StageMeter,
     ) -> PzResult<Vec<DataRecord>> {
         if !self.enabled {
             return self.active.execute(ctx, input);
         }
+        if let Some(to) = self
+            .adaptive
+            .as_ref()
+            .and_then(|ctrl| ctrl.challenge(ctx, &self.active, self.op_index))
+        {
+            self.active = failover::with_model(&self.active, to).expect("swappable operator");
+            // The substitution is sticky: later failover entries and
+            // records_affected accrual are relative to the adaptively
+            // chosen model, not the originally planned one.
+            self.planned_model = self.active.model().cloned();
+            self.planned_desc = self.active.describe();
+        }
+        let batch_len = input.len();
+        let obs = self.adaptive.as_ref().map(|_| {
+            (
+                self.active.model().cloned(),
+                ctx.clock.now_secs(),
+                ctx.ledger.total_latency_secs(),
+                meter.busy_secs(),
+            )
+        });
+        let out = self.execute_with_failover(ctx, input, degraded);
+        if let (Some(ctrl), Some((model, clock0, lat0, busy0))) = (&self.adaptive, obs) {
+            if out.is_ok() {
+                let clock_delta = ctx.clock.now_secs() - clock0;
+                let others = (ctx.ledger.total_latency_secs() - lat0) - (meter.busy_secs() - busy0);
+                let attributed = (clock_delta - others).max(0.0);
+                ctrl.observe(self.op_index, model.as_ref(), batch_len, attributed, 0.0);
+            }
+        }
+        out
+    }
+
+    fn execute_with_failover(
+        &mut self,
+        ctx: &PzContext,
+        input: Vec<DataRecord>,
+        degraded: &mut Vec<DegradedExecution>,
+    ) -> PzResult<Vec<DataRecord>> {
         let mut tried: Vec<ModelId> = self.active.model().cloned().into_iter().collect();
         let mut first_err: Option<PzError> = None;
         loop {
@@ -554,6 +609,7 @@ pub(crate) fn execute_streaming(
     channel_capacity: usize,
     batch_size: usize,
     config: &ExecutionConfig,
+    adaptive: Option<Arc<AdaptiveController>>,
 ) -> PzResult<(Vec<DataRecord>, ExecutionStats)> {
     let mut stats = ExecutionStats {
         plan: plan.describe(),
@@ -636,9 +692,10 @@ pub(crate) fn execute_streaming(
             let op = op.clone();
             let shared = shared.clone();
             let config = *config;
+            let adaptive = adaptive.clone();
             handles.push(s.spawn(move |_| {
                 run_stage(
-                    &stage_ctx, &op, idx, input, tx, batch_size, &shared, &meter, &config,
+                    &stage_ctx, &op, idx, input, tx, batch_size, &shared, &meter, &config, adaptive,
                 )
             }));
         }
@@ -657,6 +714,9 @@ pub(crate) fn execute_streaming(
     // Merge per-stage failover decisions in plan order.
     for report in &mut reports {
         stats.degraded.append(&mut report.degraded);
+    }
+    if let Some(ctrl) = &adaptive {
+        stats.adaptive = ctrl.take_reports();
     }
     if shared.deadline_exceeded.load(Ordering::SeqCst) {
         stats.deadline_exceeded = true;
@@ -758,6 +818,7 @@ fn run_stage(
     shared: &StageShared,
     meter: &StageMeter,
     config: &ExecutionConfig,
+    adaptive: Option<Arc<AdaptiveController>>,
 ) -> StageReport {
     let mut report = StageReport::default();
     let mut emitter = Emitter {
@@ -765,13 +826,13 @@ fn run_stage(
         collected: Vec::new(),
         first_emit_busy: None,
     };
-    let mut fo = StageFailover::new(op.clone(), idx, config);
+    let mut fo = StageFailover::new(op.clone(), idx, config, adaptive);
     let prof_t0 = meter.prof.as_ref().map(|p| p.now());
 
     match input {
         // Source stage: materialize once, then stream out in batches. A
         // failed emit means downstream cancelled — stop scanning early.
-        None => match fo.execute(ctx, Vec::new(), &mut report.degraded) {
+        None => match fo.execute(ctx, Vec::new(), &mut report.degraded, meter) {
             Ok(out) => {
                 for chunk in out.chunks(batch_size) {
                     if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
@@ -797,7 +858,7 @@ fn run_stage(
                             break;
                         }
                         report.input_records += batch.len();
-                        match fo.execute(ctx, batch, &mut report.degraded) {
+                        match fo.execute(ctx, batch, &mut report.degraded, meter) {
                             Ok(out) => {
                                 if out.is_empty() {
                                     continue;
@@ -827,7 +888,7 @@ fn run_stage(
                 // A blocking op whose input was cut short by the deadline
                 // still runs — partial input, partial output.
                 if !shared.aborted() && !shared.past_deadline(ctx.clock.now_secs()) {
-                    match fo.execute(ctx, buf, &mut report.degraded) {
+                    match fo.execute(ctx, buf, &mut report.degraded, meter) {
                         Ok(out) => {
                             for chunk in out.chunks(batch_size) {
                                 report.output_records += chunk.len();
@@ -1040,7 +1101,7 @@ fn pool_worker(
             let result = {
                 let mut guard = failover.lock();
                 let (fo, degraded) = &mut *guard;
-                fo.execute(ctx, batch, degraded)
+                fo.execute(ctx, batch, degraded, meter)
             };
             match result {
                 Ok(out) => {

@@ -183,6 +183,7 @@ pub mod prelude {
         AggExpr, AggFunc, Cardinality, FilterPredicate, LogicalOp, LogicalPlan,
     };
     pub use crate::ops::physical::{PhysicalOp, PhysicalPlan};
+    pub use crate::optimizer::adaptive::{AdaptiveConfig, AdaptiveReport};
     pub use crate::optimizer::cost::{OperatorEstimate, PlanEstimate};
     pub use crate::optimizer::drift::{DriftReport, StageDrift};
     pub use crate::optimizer::policy::Policy;

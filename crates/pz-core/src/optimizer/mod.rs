@@ -14,6 +14,7 @@
 //! optionally calibrates the estimates by running candidates on a data
 //! sample first.
 
+pub mod adaptive;
 pub mod cost;
 pub mod drift;
 pub mod enumerate;
@@ -169,7 +170,8 @@ impl Optimizer {
         let (chosen, est) = frontier.into_iter().nth(idx).expect("index from choose");
         // Re-estimate the winner once more for the per-operator breakdown;
         // same cost context, so totals match `est` exactly.
-        report.op_estimates = cost::estimate_plan_detailed(&chosen, &cost_ctx, self.pipelined_time).1;
+        report.op_estimates =
+            cost::estimate_plan_detailed(&chosen, &cost_ctx, self.pipelined_time).1;
         span.set_attr("plan_space", report.plan_space_size.to_string());
         span.set_attr("considered", report.plans_considered.to_string());
         span.set_attr("pareto", report.pareto_size.to_string());

@@ -177,7 +177,10 @@ mod tests {
         assert!(text.contains("# TYPE llm_calls counter"), "{text}");
         assert!(text.contains("llm_calls 7"), "{text}");
         assert!(text.contains("# TYPE llm_latency_us summary"), "{text}");
-        assert!(text.contains("llm_latency_us{quantile=\"0.95\"} 480"), "{text}");
+        assert!(
+            text.contains("llm_latency_us{quantile=\"0.95\"} 480"),
+            "{text}"
+        );
         assert!(text.contains("llm_latency_us_count 2"), "{text}");
         assert!(text.contains("llm_latency_us_sum 600"), "{text}");
     }

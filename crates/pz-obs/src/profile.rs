@@ -170,8 +170,7 @@ pub fn profile_plan(snap: &TraceSnapshot) -> Option<PlanProfile> {
     let plan_span = snap
         .spans
         .iter()
-        .filter(|s| s.layer == Layer::Executor && s.name == "execute_plan")
-        .last()?;
+        .rfind(|s| s.layer == Layer::Executor && s.name == "execute_plan")?;
     let stages = snap
         .children(&plan_span.id)
         .into_iter()
@@ -196,7 +195,7 @@ impl PlanProfile {
         let mut best: Option<(usize, f64)> = None;
         for stage in &self.stages {
             let end = fill + stage.time_secs;
-            if best.map_or(true, |(_, b)| end > b) {
+            if best.is_none_or(|(_, b)| end > b) {
                 best = Some((stage.index, end));
             }
             fill += stage.startup_secs;
