@@ -13,7 +13,10 @@
 //! `:adaptive [on|off|thresholds <time> <cost> <health>]` to arm runtime
 //! plan repair (re-cost the remaining suffix mid-run, swap degraded
 //! models), `:faults <spec>|off` to script provider faults into the
-//! simulator,
+//! simulator, `:watch <dataset>|off` to arm incremental execution (the
+//! dataset becomes editable and re-runs replay memoized operator verdicts,
+//! re-billing only changed records), `:append <dataset> <filename>
+//! <content...>` to stream a new record into a watched dataset,
 //! `:breaker` to inspect per-model circuit breakers, `:profile on|off` to
 //! arm the pipeline profiler (`:profile` alone prints the attribution
 //! table for the last profiled run), `:export-chrome <path>` /
@@ -21,7 +24,7 @@
 //! or Prometheus text exposition, `:quit` to exit.
 
 use palimpchat::PalimpChat;
-use pz_core::prelude::ExecMode;
+use pz_core::prelude::{ExecMode, ExecutionSnapshot, VersionedSource};
 use std::io::{self, BufRead, Write};
 
 fn main() {
@@ -38,7 +41,10 @@ fn main() {
          :exec streaming|materializing switches the executor, \
          :parallelism <n>|auto sizes the streaming worker pools, \
          :adaptive [on|off|thresholds t c h] arms runtime plan repair, \
-         :faults <spec>|off scripts provider faults, :breaker shows model health, \
+         :faults <spec>|off scripts provider faults, \
+         :watch <dataset>|off arms incremental re-runs, \
+         :append <dataset> <file> <text> streams in a record, \
+         :breaker shows model health, \
          :profile [on|off] arms/prints the pipeline profiler, \
          :export-chrome <path> writes a Chrome trace, \
          :export-prom <path> writes Prometheus metrics, :quit exits)\n"
@@ -138,6 +144,23 @@ fn main() {
                 println!("adaptive replanning: off");
                 continue;
             }
+            ":watch" => {
+                let s = chat.session().lock();
+                match &s.ctx.incremental {
+                    Some(snap) => println!(
+                        "watch: on — {} memoized operator verdict(s); re-runs re-bill \
+                         only changed records (disarm with :watch off)",
+                        snap.len()
+                    ),
+                    None => println!("watch: off (arm with :watch <dataset>)"),
+                }
+                continue;
+            }
+            ":watch off" => {
+                chat.session().lock().ctx.incremental = None;
+                println!("watch: off (memo dropped; the next run pays full price)");
+                continue;
+            }
             ":profile on" => {
                 chat.tracer().set_profiling(true);
                 println!("pipeline profiler: on (per-stage gauges recorded on the next run)");
@@ -213,6 +236,85 @@ fn main() {
                     }
                     _ => println!("usage: :parallelism <n>=1 | auto"),
                 },
+            }
+            continue;
+        }
+        if let Some(ds) = line.strip_prefix(":watch ") {
+            let ds = ds.trim().to_string();
+            let mut s = chat.session().lock();
+            match s.ctx.registry.get(&ds) {
+                Err(e) => println!("cannot watch: {e}"),
+                Ok(src) => {
+                    // A watched dataset must accept live edits. Re-wrap a
+                    // plain source's current records into a VersionedSource
+                    // under the same name so `:append` has somewhere to go;
+                    // already-versioned sources are kept as-is (their memo
+                    // history stays valid).
+                    if src.as_versioned().is_none() {
+                        match src.records(0) {
+                            Ok(recs) => {
+                                let items = recs
+                                    .iter()
+                                    .map(|r| {
+                                        (
+                                            r.get("filename")
+                                                .map(|v| v.as_display())
+                                                .unwrap_or_default(),
+                                            r.get("contents")
+                                                .map(|v| v.as_display())
+                                                .unwrap_or_default(),
+                                        )
+                                    })
+                                    .collect();
+                                s.ctx
+                                    .registry
+                                    .register(std::sync::Arc::new(VersionedSource::new(
+                                        &ds,
+                                        src.schema(),
+                                        items,
+                                    )));
+                            }
+                            Err(e) => {
+                                println!("cannot watch {ds}: {e}");
+                                continue;
+                            }
+                        }
+                    }
+                    if s.ctx.incremental.is_none() {
+                        s.ctx.incremental = Some(ExecutionSnapshot::new());
+                    }
+                    println!(
+                        "watching {ds} — incremental execution armed: re-runs replay \
+                         memoized operator verdicts and re-bill only changed records \
+                         (:append {ds} <file> <text> to add one, :watch off to disarm)"
+                    );
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":append ") {
+            let mut parts = rest.trim().splitn(3, char::is_whitespace);
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(ds), Some(filename), Some(content)) => {
+                    let s = chat.session().lock();
+                    match s.ctx.registry.get(ds) {
+                        Err(e) => println!("cannot append: {e}"),
+                        Ok(src) => match src.as_versioned() {
+                            None => println!(
+                                "{ds} is not watched — :watch {ds} first to make it editable"
+                            ),
+                            Some(v) => {
+                                let stamp = v.append(filename, content);
+                                println!(
+                                    "{ds} v{}: {} record(s) — re-run the pipeline; only \
+                                     the new record will be billed",
+                                    stamp.version, stamp.records
+                                );
+                            }
+                        },
+                    }
+                }
+                _ => println!("usage: :append <dataset> <filename> <content...>"),
             }
             continue;
         }

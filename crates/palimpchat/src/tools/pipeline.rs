@@ -302,20 +302,20 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             .map(|n| n.clamp(1, 64) as usize)
             .unwrap_or(state.ctx.parallelism);
         let policy = state.policy.clone();
-        let outcome = execute(
-            &state.ctx,
-            &plan,
-            &policy,
-            // The session's `:exec` switch decides materializing vs
-            // streaming. `workers` partitions a materializing run;
-            // `parallelism` sizes each streaming stage's worker pool;
-            // `:adaptive` arms runtime plan repair.
-            ExecutionConfig::parallel(workers)
-                .with_mode(state.ctx.exec_mode)
-                .with_parallelism(parallelism)
-                .with_adaptive(state.ctx.adaptive),
-        )
-        .map_err(|e| tool_err("execute_pipeline", e))?;
+        // The session's `:exec` switch decides materializing vs
+        // streaming. `workers` partitions a materializing run;
+        // `parallelism` sizes each streaming stage's worker pool;
+        // `:adaptive` arms runtime plan repair; `:watch` arms the
+        // incremental memo so re-runs re-bill only changed records.
+        let mut config = ExecutionConfig::parallel(workers)
+            .with_mode(state.ctx.exec_mode)
+            .with_parallelism(parallelism)
+            .with_adaptive(state.ctx.adaptive);
+        if state.ctx.incremental.is_some() {
+            config = config.with_incremental();
+        }
+        let outcome = execute(&state.ctx, &plan, &policy, config)
+            .map_err(|e| tool_err("execute_pipeline", e))?;
         let mut summary = format!(
             "Executed plan [{}] under {}: {} output record(s), {:.1}s runtime (virtual), ${:.4} cost, {} LLM call(s).",
             outcome.chosen_plan.describe(),
@@ -348,6 +348,12 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
                 r.records_remaining,
             ));
         }
+        if outcome.stats.memo_hits > 0 {
+            summary.push_str(&format!(
+                " NOTE: incremental re-run — {} memoized operator verdict(s) replayed; only the delta was re-billed.",
+                outcome.stats.memo_hits,
+            ));
+        }
         if outcome.stats.deadline_exceeded {
             summary.push_str(" NOTE: the execution deadline elapsed — results are partial.");
         }
@@ -373,6 +379,7 @@ pub fn execute_pipeline_tool(session: SessionHandle) -> Arc<dyn Tool> {
             "plan": outcome.chosen_plan.describe(),
             "degraded": outcome.stats.degraded.len(),
             "replanned": outcome.stats.adaptive.len(),
+            "memo_replays": outcome.stats.memo_hits,
             "deadline_exceeded": outcome.stats.deadline_exceeded,
             "profiled": profiled,
         });

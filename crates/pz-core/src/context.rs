@@ -68,6 +68,14 @@ pub struct PzContext {
     /// points this at a per-stage accumulator on its cloned stage
     /// contexts when profiling is enabled; `None` records nothing.
     pub retry_wait_us: Option<Arc<AtomicU64>>,
+    /// Per-operator memo store for incremental re-execution, installed via
+    /// [`Self::with_incremental`] (the REPL's `:watch` switch and the
+    /// pipeline tool read this). Clones share it, so it persists across
+    /// runs — the first run populates it, later runs replay unchanged
+    /// records from it. `None` (the default) leaves every executor
+    /// byte-identical to a snapshot-less run; the memo path additionally
+    /// requires `ExecutionConfig::with_incremental`.
+    pub incremental: Option<crate::exec::ExecutionSnapshot>,
     ids: Arc<AtomicU64>,
 }
 
@@ -110,6 +118,7 @@ impl PzContext {
             parallelism: 1,
             adaptive: crate::optimizer::adaptive::AdaptiveConfig::default(),
             retry_wait_us: None,
+            incremental: None,
             ids: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -149,6 +158,17 @@ impl PzContext {
             .with_ledger(self.ledger.clone());
         self.cache = Some(cache.clone());
         self.llm = Arc::new(cache);
+        self
+    }
+
+    /// Install a fresh incremental memo snapshot: executions configured
+    /// with `ExecutionConfig::with_incremental` memoize every operator
+    /// verdict into it and replay unchanged records on re-runs, re-billing
+    /// only the delta. The snapshot is shared by clones and persists
+    /// across runs until replaced (or cleared via
+    /// [`crate::exec::ExecutionSnapshot::clear`]).
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = Some(crate::exec::ExecutionSnapshot::new());
         self
     }
 

@@ -35,6 +35,155 @@ pub trait DataSource: Send + Sync {
     fn cardinality_hint(&self) -> Option<usize> {
         None
     }
+    /// Downcast hook for sources that accept live edits (the REPL's
+    /// `:append` finds the change-stream interface through this).
+    fn as_versioned(&self) -> Option<&VersionedSource> {
+        None
+    }
+}
+
+/// Version stamp of a [`VersionedSource`]: bumped once per applied change
+/// batch, with the record count after the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetVersion {
+    /// Monotone change-batch counter (0 = the base corpus).
+    pub version: u64,
+    /// Records in the dataset at this version.
+    pub records: usize,
+}
+
+/// One edit to a versioned dataset, keyed by `filename` — the stable
+/// record identity the incremental executor's memo store hashes over.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DatasetChange {
+    /// Add a new record at the end of the dataset.
+    Append { filename: String, content: String },
+    /// Replace the content of an existing record (no-op if absent).
+    Update { filename: String, content: String },
+    /// Remove a record (no-op if absent).
+    Delete { filename: String },
+}
+
+/// A [`MemorySource`] that accepts append/update/delete change batches
+/// between runs: the change-stream view of a dataset the incremental
+/// executor re-runs against. Register once; edits apply in place through
+/// interior mutability, so no re-registration is needed and every clone of
+/// the owning context observes the new version on its next `records()`.
+pub struct VersionedSource {
+    name: String,
+    schema: Schema,
+    items: RwLock<Vec<(String, String)>>,
+    version: std::sync::atomic::AtomicU64,
+}
+
+impl VersionedSource {
+    pub fn new(name: impl Into<String>, schema: Schema, items: Vec<(String, String)>) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            items: RwLock::new(items),
+            version: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Apply one batch of changes atomically and bump the version.
+    pub fn apply(&self, changes: &[DatasetChange]) -> DatasetVersion {
+        let mut items = self.items.write();
+        for change in changes {
+            match change {
+                DatasetChange::Append { filename, content } => {
+                    items.push((filename.clone(), content.clone()));
+                }
+                DatasetChange::Update { filename, content } => {
+                    if let Some(slot) = items.iter_mut().find(|(f, _)| f == filename) {
+                        slot.1 = content.clone();
+                    }
+                }
+                DatasetChange::Delete { filename } => {
+                    items.retain(|(f, _)| f != filename);
+                }
+            }
+        }
+        let version = self
+            .version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        DatasetVersion {
+            version,
+            records: items.len(),
+        }
+    }
+
+    /// Append a single record (one-change batch).
+    pub fn append(
+        &self,
+        filename: impl Into<String>,
+        content: impl Into<String>,
+    ) -> DatasetVersion {
+        self.apply(&[DatasetChange::Append {
+            filename: filename.into(),
+            content: content.into(),
+        }])
+    }
+
+    /// Replace one record's content (one-change batch).
+    pub fn update(
+        &self,
+        filename: impl Into<String>,
+        content: impl Into<String>,
+    ) -> DatasetVersion {
+        self.apply(&[DatasetChange::Update {
+            filename: filename.into(),
+            content: content.into(),
+        }])
+    }
+
+    /// Delete one record (one-change batch).
+    pub fn delete(&self, filename: impl Into<String>) -> DatasetVersion {
+        self.apply(&[DatasetChange::Delete {
+            filename: filename.into(),
+        }])
+    }
+
+    /// Current version stamp.
+    pub fn version(&self) -> DatasetVersion {
+        DatasetVersion {
+            version: self.version.load(std::sync::atomic::Ordering::Relaxed),
+            records: self.items.read().len(),
+        }
+    }
+}
+
+impl DataSource for VersionedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn records(&self, base_id: u64) -> PzResult<Vec<DataRecord>> {
+        Ok(self
+            .items
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, (filename, content))| {
+                DataRecord::new(base_id + i as u64)
+                    .with_field("filename", filename.as_str())
+                    .with_field("contents", parse_content(filename, content))
+            })
+            .collect())
+    }
+
+    fn cardinality_hint(&self) -> Option<usize> {
+        Some(self.items.read().len())
+    }
+
+    fn as_versioned(&self) -> Option<&VersionedSource> {
+        Some(self)
+    }
 }
 
 /// In-memory source: each `(filename, content)` item becomes one record.

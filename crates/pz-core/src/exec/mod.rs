@@ -3,11 +3,13 @@
 
 pub mod channel;
 pub mod failover;
+pub mod incremental;
 pub mod run;
 pub mod stats;
 mod streaming;
 
 pub use crate::optimizer::adaptive::{AdaptiveConfig, AdaptiveReport};
 pub use failover::FailoverRank;
+pub use incremental::ExecutionSnapshot;
 pub use run::{available_cores, execute_plan, ExecMode, ExecutionConfig, ParallelismConfig};
 pub use stats::{DegradedExecution, ExecutionStats, OperatorStats};

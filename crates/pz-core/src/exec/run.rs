@@ -163,6 +163,12 @@ pub struct ExecutionConfig {
     /// outright. Requires `failover` (it reuses the same substitution
     /// machinery); disabled by default and byte-invisible while off.
     pub adaptive: AdaptiveConfig,
+    /// Incremental re-execution: replay memoized operator verdicts for
+    /// unchanged records from the context's `ExecutionSnapshot` and
+    /// re-bill only the dirty delta. Requires a snapshot installed via
+    /// `PzContext::with_incremental`; off by default and byte-invisible
+    /// while off (or while no snapshot is installed).
+    pub incremental: bool,
 }
 
 impl Default for ExecutionConfig {
@@ -175,6 +181,7 @@ impl Default for ExecutionConfig {
             deadline_secs: None,
             parallelism: ParallelismConfig::serial(),
             adaptive: AdaptiveConfig::default(),
+            incremental: false,
         }
     }
 }
@@ -266,6 +273,14 @@ impl ExecutionConfig {
         self.adaptive = adaptive;
         self
     }
+
+    /// Enable incremental re-execution against the context's memo
+    /// snapshot (`PzContext::with_incremental`): unchanged records replay
+    /// memoized operator verdicts, only the delta is executed and billed.
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
 }
 
 /// Execute a physical plan, returning output records and statistics.
@@ -301,19 +316,32 @@ pub fn execute_plan(
     } else {
         None
     };
+    // Incremental re-execution is armed only when both the config flag and
+    // a context snapshot are present; the per-run replay count is the
+    // delta on the (shared, cumulative) snapshot counter.
+    let memo = if config.incremental {
+        ctx.incremental.clone()
+    } else {
+        None
+    };
+    let memo_hits_before = memo.as_ref().map_or(0, |s| s.hits());
     if let ExecMode::Streaming {
         channel_capacity,
         batch_size,
     } = config.mode
     {
-        return crate::exec::streaming::execute_streaming(
+        let (records, mut stats) = crate::exec::streaming::execute_streaming(
             ctx,
             plan,
             channel_capacity,
             batch_size,
             &config,
             adaptive,
-        );
+        )?;
+        if let Some(s) = &memo {
+            stats.memo_hits = s.hits() - memo_hits_before;
+        }
+        return Ok((records, stats));
     }
     let mut records: Vec<DataRecord> = Vec::new();
     let mut stats = ExecutionStats {
@@ -443,11 +471,44 @@ pub fn execute_plan(
     if let Some(ctrl) = &adaptive {
         stats.adaptive = ctrl.take_reports();
     }
+    if let Some(s) = &memo {
+        stats.memo_hits = s.hits() - memo_hits_before;
+    }
     stats.finalize();
     plan_span.set_attr("output_records", stats.output_records.to_string());
     plan_span.set_attr("llm_calls", stats.total_llm_calls.to_string());
     plan_span.set_attr("cost_usd", format!("{:.6}", stats.total_cost_usd));
     Ok((records, stats))
+}
+
+/// Run one operator, splitting off memoized records first when incremental
+/// re-execution is armed: unchanged records replay their memoized verdicts
+/// from the context snapshot, and only the dirty subset flows through the
+/// normal (failover-wrapped) execution path below.
+#[allow(clippy::too_many_arguments)]
+fn execute_op_with_failover(
+    ctx: &PzContext,
+    op: &PhysicalOp,
+    op_index: usize,
+    input: Vec<DataRecord>,
+    workers: usize,
+    config: &ExecutionConfig,
+    degraded: &mut Vec<DegradedExecution>,
+) -> PzResult<Vec<DataRecord>> {
+    if config.incremental {
+        if let Some(snap) = ctx.incremental.clone() {
+            return crate::exec::incremental::execute_memoized(
+                ctx,
+                &snap,
+                op,
+                input,
+                &mut |dirty| {
+                    execute_op_uncached(ctx, op, op_index, dirty, workers, config, degraded)
+                },
+            );
+        }
+    }
+    execute_op_uncached(ctx, op, op_index, input, workers, config, degraded)
 }
 
 /// Run one operator, failing over to substitute models when its fault
@@ -456,7 +517,7 @@ pub fn execute_plan(
 /// stay on the ledger; per-op snapshot deltas keep stats reconciled).
 /// Errors come back unwrapped — the caller adds operator context.
 #[allow(clippy::too_many_arguments)]
-fn execute_op_with_failover(
+fn execute_op_uncached(
     ctx: &PzContext,
     op: &PhysicalOp,
     op_index: usize,

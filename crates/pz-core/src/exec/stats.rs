@@ -91,6 +91,17 @@ pub struct ExecutionStats {
     /// pre-parallelism runs.
     #[serde(default, skip_serializing_if = "serial_workers")]
     pub parallelism: usize,
+    /// Incremental re-execution: operator verdicts replayed from the memo
+    /// snapshot instead of being re-billed. `0` (including every
+    /// non-incremental run) keeps serialized stats byte-identical to
+    /// pre-incremental runs.
+    #[serde(default, skip_serializing_if = "zero_hits")]
+    pub memo_hits: usize,
+}
+
+/// Serialization predicate: a run without memo replays carries no field.
+fn zero_hits(n: &usize) -> bool {
+    *n == 0
 }
 
 /// Serialization predicate: a serial run carries no parallelism field.
@@ -205,6 +216,13 @@ impl ExecutionStats {
                 r.est_suffix_secs_before,
                 r.est_suffix_secs_after,
                 r.records_remaining
+            );
+        }
+        if self.memo_hits > 0 {
+            let _ = writeln!(
+                s,
+                "INCREMENTAL: {} memoized operator verdict(s) replayed; only the delta was re-billed",
+                self.memo_hits
             );
         }
         if self.deadline_exceeded {

@@ -236,6 +236,10 @@ struct StageFailover {
     rank: crate::exec::FailoverRank,
     /// Adaptive controller shared by all stages; `None` unless enabled.
     adaptive: Option<Arc<AdaptiveController>>,
+    /// Incremental re-execution armed (`ExecutionConfig::with_incremental`
+    /// plus a context snapshot): memoized records in each batch replay,
+    /// only the dirty subset reaches the operator below.
+    incremental: bool,
 }
 
 impl StageFailover {
@@ -254,6 +258,7 @@ impl StageFailover {
             enabled,
             rank: config.rank,
             adaptive: if enabled { adaptive } else { None },
+            incremental: config.incremental,
         }
     }
 
@@ -269,6 +274,35 @@ impl StageFailover {
     /// minus *other* stages' billed latency — the only attribution that
     /// sees fault stalls and retry backoff, which never reach the ledger.
     fn execute(
+        &mut self,
+        ctx: &PzContext,
+        input: Vec<DataRecord>,
+        degraded: &mut Vec<DegradedExecution>,
+        meter: &StageMeter,
+    ) -> PzResult<Vec<DataRecord>> {
+        // Memo split first, so every stage shape (source, per-batch,
+        // pooled, blocking) replays memoized records and routes only the
+        // dirty subset through the adaptive/failover machinery below. The
+        // fingerprint follows the *active* operator: a sticky model swap
+        // changes the memo namespace along with the outputs.
+        if self.incremental {
+            if let Some(snap) = ctx.incremental.clone() {
+                let op = self.active.clone();
+                if crate::exec::incremental::memoizable(&op) {
+                    return crate::exec::incremental::execute_memoized(
+                        ctx,
+                        &snap,
+                        &op,
+                        input,
+                        &mut |dirty| self.execute_direct(ctx, dirty, degraded, meter),
+                    );
+                }
+            }
+        }
+        self.execute_direct(ctx, input, degraded, meter)
+    }
+
+    fn execute_direct(
         &mut self,
         ctx: &PzContext,
         input: Vec<DataRecord>,

@@ -170,11 +170,14 @@ pub fn execute_with_optimizer(
 pub mod prelude {
     pub use crate::context::PzContext;
     pub use crate::dataset::Dataset;
-    pub use crate::datasource::{DataRegistry, DirectorySource, MemorySource, UdfRegistry};
+    pub use crate::datasource::{
+        DataRegistry, DatasetChange, DatasetVersion, DirectorySource, MemorySource, UdfRegistry,
+        VersionedSource,
+    };
     pub use crate::error::{PzError, PzResult};
     pub use crate::exec::{
-        DegradedExecution, ExecMode, ExecutionConfig, ExecutionStats, FailoverRank, OperatorStats,
-        ParallelismConfig,
+        DegradedExecution, ExecMode, ExecutionConfig, ExecutionSnapshot, ExecutionStats,
+        FailoverRank, OperatorStats, ParallelismConfig,
     };
     pub use crate::execute;
     pub use crate::execute_with_optimizer;

@@ -22,6 +22,7 @@
 //!
 //! All generation is a pure function of the config (including its seed).
 
+pub mod edits;
 pub mod legal;
 pub mod realestate;
 pub mod science;

@@ -134,7 +134,13 @@ impl CachingClient {
         self.embeddings.lock().clear();
     }
 
-    fn completion_key(req: &CompletionRequest) -> u64 {
+    /// Exact-match cache key for a completion request. Public because the
+    /// executor's per-operator memo store (`pz-core`'s incremental
+    /// `ExecutionSnapshot`) generalizes this leaf cache: both key on the
+    /// same [`stable_hash`] over request-determining content, so a record
+    /// that misses the operator memo but repeats a prompt verbatim still
+    /// lands on the same response here.
+    pub fn completion_key(req: &CompletionRequest) -> u64 {
         stable_hash(&[
             req.model.as_str(),
             req.system.as_deref().unwrap_or(""),

@@ -7,39 +7,14 @@
 //! the same output multiset in less virtual time. Off (the default), the
 //! layer must be byte-invisible.
 
+mod common;
+
+use common::{assert_reconciled, clinical_schema, ctx_with, sorted_names};
 use pz_core::prelude::*;
 use pz_datagen::science;
-use pz_llm::{FaultPlan, SimConfig};
+use pz_llm::FaultPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-fn ctx_with(plan: FaultPlan, seed: u64) -> PzContext {
-    let ctx = PzContext::simulated_with(SimConfig {
-        seed,
-        fault_plan: plan,
-        ..Default::default()
-    });
-    let (docs, _) = science::demo_corpus();
-    let items: Vec<(String, String)> = docs.into_iter().map(|d| (d.filename, d.content)).collect();
-    ctx.registry.register(Arc::new(MemorySource::new(
-        "sigmod-demo",
-        Schema::pdf_file(),
-        items,
-    )));
-    ctx
-}
-
-fn clinical_schema() -> Schema {
-    Schema::new(
-        "ClinicalData",
-        "datasets",
-        vec![
-            FieldDef::text("name", "The dataset name"),
-            FieldDef::text("url", "The public URL of the dataset"),
-        ],
-    )
-    .unwrap()
-}
 
 fn demo_plan() -> LogicalPlan {
     Dataset::source("sigmod-demo")
@@ -80,27 +55,6 @@ fn brownout_plan() -> PhysicalPlan {
 /// far below the breaker's trip rate (0.75 over a 12-failure window).
 fn brownout() -> FaultPlan {
     FaultPlan::parse("gpt-4o:timeout@0..1e9:p=0.35:stall=25", 11).unwrap()
-}
-
-fn sorted_names(records: &[DataRecord]) -> Vec<String> {
-    let mut v: Vec<String> = records
-        .iter()
-        .map(|r| r.get("name").unwrap().as_display())
-        .collect();
-    v.sort();
-    v
-}
-
-fn assert_reconciled(ctx: &PzContext, stats: &ExecutionStats) {
-    let op_cost: f64 = stats.operators.iter().map(|o| o.cost_usd).sum();
-    assert!(
-        (op_cost - ctx.ledger.total_cost_usd()).abs() < 1e-9,
-        "operator cost {} vs ledger {}",
-        op_cost,
-        ctx.ledger.total_cost_usd()
-    );
-    let op_calls: usize = stats.operators.iter().map(|o| o.llm_calls).sum();
-    assert_eq!(op_calls, ctx.ledger.total_requests());
 }
 
 /// Off by default: a faulted run with adaptation disabled must leave zero

@@ -1,6 +1,8 @@
 //! Cross-crate property tests: invariants of the relational operators and
 //! lossless plan serialization.
 
+mod common;
+
 use proptest::prelude::*;
 use pz_core::ops::relational::{distinct, limit, project, sort};
 use pz_core::prelude::*;
@@ -128,97 +130,8 @@ proptest! {
 
 mod differential {
     use super::*;
+    use crate::common::{arb_corpus, arb_steps, build_plan, fresh_ctx, has_early_exit, multiset};
     use pz_core::exec::execute_plan;
-    use pz_llm::protocol::Effort;
-    use std::sync::Arc;
-
-    const PREDICATES: [&str; 3] = [
-        "the document is about cancer research",
-        "the document mentions a public dataset",
-        "the document describes a modern home",
-    ];
-
-    /// One step of a randomized plan tail.
-    #[derive(Clone, Debug)]
-    enum Step {
-        Filter(usize),
-        Sort(bool),
-        Limit(usize),
-        Project,
-        Distinct,
-    }
-
-    fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-        proptest::collection::vec((0u8..5, 0usize..12, any::<bool>()), 0..4).prop_map(|raw| {
-            raw.into_iter()
-                .map(|(kind, n, b)| match kind {
-                    0 => Step::Filter(n % PREDICATES.len()),
-                    1 => Step::Sort(b),
-                    2 => Step::Limit(n),
-                    3 => Step::Project,
-                    _ => Step::Distinct,
-                })
-                .collect()
-        })
-    }
-
-    fn arb_corpus() -> impl Strategy<Value = Vec<(String, String)>> {
-        proptest::collection::vec("[a-f ]{0,40}", 1..9).prop_map(|contents| {
-            contents
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| (format!("doc-{i:03}.pdf"), format!("Document {i}. {c}")))
-                .collect()
-        })
-    }
-
-    fn build_plan(steps: &[Step]) -> PhysicalPlan {
-        let mut ops = vec![PhysicalOp::Scan {
-            dataset: "diff".into(),
-        }];
-        for s in steps {
-            ops.push(match s {
-                Step::Filter(i) => PhysicalOp::LlmFilter {
-                    predicate: PREDICATES[*i].into(),
-                    model: "gpt-4o-mini".into(),
-                    effort: Effort::Standard,
-                },
-                Step::Sort(desc) => PhysicalOp::Sort {
-                    field: "filename".into(),
-                    descending: *desc,
-                },
-                Step::Limit(n) => PhysicalOp::Limit { n: *n },
-                Step::Project => PhysicalOp::Project {
-                    fields: vec!["filename".into()],
-                },
-                Step::Distinct => PhysicalOp::Distinct {
-                    fields: vec!["filename".into()],
-                },
-            });
-        }
-        PhysicalPlan { ops }
-    }
-
-    fn fresh_ctx(corpus: &[(String, String)]) -> PzContext {
-        let ctx = PzContext::simulated();
-        ctx.registry.register(Arc::new(MemorySource::new(
-            "diff",
-            Schema::pdf_file(),
-            corpus.to_vec(),
-        )));
-        ctx
-    }
-
-    /// Field-content multiset key: record ids are excluded (the two modes
-    /// allocate ids differently), field maps are ordered, so JSON is stable.
-    fn multiset(records: &[DataRecord]) -> Vec<String> {
-        let mut keys: Vec<String> = records
-            .iter()
-            .map(|r| serde_json::to_string(&r.to_json()).unwrap())
-            .collect();
-        keys.sort();
-        keys
-    }
 
     proptest! {
         #[test]
@@ -228,16 +141,16 @@ mod differential {
             capacity in 1usize..4,
             batch in 1usize..6,
         ) {
-            let plan = build_plan(&steps);
+            let plan = build_plan("diff", &steps);
             // A tail Limit legitimately lets streaming skip upstream LLM
             // calls, so cost equality is only asserted when every record
             // flows end to end. Output equality must hold regardless.
-            let has_early_exit = steps.iter().any(|s| matches!(s, Step::Limit(_)));
+            let has_early_exit = has_early_exit(&steps);
 
-            let ctx_m = fresh_ctx(&corpus);
+            let ctx_m = fresh_ctx("diff", &corpus);
             let (rec_m, stats_m) =
                 execute_plan(&ctx_m, &plan, ExecutionConfig::sequential()).unwrap();
-            let ctx_s = fresh_ctx(&corpus);
+            let ctx_s = fresh_ctx("diff", &corpus);
             let (rec_s, stats_s) =
                 execute_plan(&ctx_s, &plan, ExecutionConfig::streaming_with(capacity, batch))
                     .unwrap();
@@ -275,13 +188,13 @@ mod differential {
             batch in 1usize..4,
         ) {
             let parallelism = [1usize, 2, 8][p_idx];
-            let plan = build_plan(&steps);
-            let has_early_exit = steps.iter().any(|s| matches!(s, Step::Limit(_)));
+            let plan = build_plan("diff", &steps);
+            let has_early_exit = has_early_exit(&steps);
 
-            let ctx_1 = fresh_ctx(&corpus);
+            let ctx_1 = fresh_ctx("diff", &corpus);
             let (rec_1, stats_1) =
                 execute_plan(&ctx_1, &plan, ExecutionConfig::streaming_with(2, batch)).unwrap();
-            let ctx_p = fresh_ctx(&corpus);
+            let ctx_p = fresh_ctx("diff", &corpus);
             let (rec_p, stats_p) = execute_plan(
                 &ctx_p,
                 &plan,
