@@ -296,6 +296,9 @@ fn main() {
     if run("e19") {
         e19_incremental();
     }
+    if run("e20") {
+        e20_serving();
+    }
     if let Some(path) = trace_out {
         export_trace(&path);
     }
@@ -1496,6 +1499,227 @@ fn e19_incremental() {
     println!("record through filter + convert, every memoized verdict replays for free.");
 }
 
+/// Shared plumbing for E20 and the bench-json serving gate. A corpus per
+/// session, content-salted with the dataset name: template corpora can
+/// collide byte-for-byte across seeds, and a collision would make
+/// shared-cache hit counts depend on session interleaving instead of
+/// being deterministic.
+fn serve_corpus(ctx: &PzContext, dataset: &str, seed: u64, n_docs: usize) {
+    let (docs, _) = pz_datagen::science::generate(pz_datagen::science::ScienceConfig {
+        n_papers: n_docs,
+        seed,
+        ..Default::default()
+    });
+    let items: Vec<(String, String)> = docs
+        .into_iter()
+        .map(|d| (d.filename, format!("{}\n[workspace {dataset}]", d.content)))
+        .collect();
+    ctx.registry.register(std::sync::Arc::new(MemorySource::new(
+        dataset,
+        Schema::pdf_file(),
+        items,
+    )));
+}
+
+fn serve_session_plan(dataset: &str) -> LogicalPlan {
+    Dataset::source(dataset)
+        .filter(pz_datagen::science::FILTER_PREDICATE)
+        .build()
+        .expect("static plan is valid")
+}
+
+/// Sim seed for a serving tenant: a stable function of its id so solo and
+/// concurrent hosts agree.
+fn serve_tenant_seed(id: &str) -> u64 {
+    3000 + id.bytes().map(u64::from).sum::<u64>()
+}
+
+fn serve_admission(slots: usize, queue: usize) -> pz_serve::ServeConfig {
+    pz_serve::ServeConfig {
+        admission: pz_serve::AdmissionConfig {
+            max_concurrent_runs: slots,
+            max_queued: queue,
+            expected_run_secs: 30.0,
+        },
+        shared_cache: true,
+    }
+}
+
+/// Provision a host with every tenant in `plan` and build the session
+/// jobs (no deadlines: E20's parity leg compares solo vs concurrent
+/// bills, and deadline hits would be load-dependent on the shared clock).
+fn serve_provision(
+    host: &mut pz_serve::ServeHost,
+    tenants: &[pz_datagen::traffic::TenantTraffic],
+) -> Vec<pz_serve::SessionJob> {
+    let mut jobs = Vec::new();
+    for t in tenants {
+        host.add_tenant(
+            pz_serve::TenantSpec::new(&t.id)
+                .with_weight(t.weight)
+                .with_seed(serve_tenant_seed(&t.id)),
+        );
+        let ctx = host.session_ctx(&t.id).unwrap();
+        for s in &t.sessions {
+            serve_corpus(&ctx, &s.session, s.corpus_seed, s.n_docs);
+            let mut job =
+                pz_serve::SessionJob::new(&t.id, &s.session, serve_session_plan(&s.session));
+            if !t.interactive {
+                job = job.batch();
+            }
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
+/// Everything the E20 printout and the bench-json serving gate need, from
+/// one measurement pass: a 4-tenant concurrent serve vs per-tenant solo
+/// baselines (cost-bleed check), then the same traffic through a host
+/// with a third of the capacity (overload shedding check).
+/// (requests, tokens, cost) billed to one tenant's ledger.
+type TenantUsage = (usize, usize, f64);
+
+struct E20Numbers {
+    metrics: pz_serve::ServeMetrics,
+    scheduler_granted: u64,
+    /// Per tenant: (id, concurrent usage, solo-baseline usage).
+    bleed: Vec<(String, TenantUsage, TenantUsage)>,
+    overload: pz_serve::ServeMetrics,
+    /// Failures that were neither success nor a structured shed.
+    overload_unstructured: usize,
+    /// Every shed carried a reason and a positive retry-after hint.
+    overload_sheds_structured: bool,
+}
+
+fn e20_measure() -> E20Numbers {
+    let traffic = pz_datagen::traffic::generate(pz_datagen::traffic::TrafficConfig {
+        tenants: 4,
+        sessions_per_tenant: 3,
+        interactive_fraction: 0.5,
+        docs_per_session: 4,
+        interactive_deadline_secs: 600.0,
+        seed: 20,
+    });
+    let n_jobs = traffic.total_sessions();
+
+    // Concurrent serve, capacity roomy enough that nothing sheds.
+    let mut host = pz_serve::ServeHost::new(serve_admission(n_jobs, n_jobs));
+    let jobs = serve_provision(&mut host, &traffic.tenants);
+    let report = host.serve(jobs);
+
+    // Per-tenant solo baselines over identical corpora and seeds.
+    let mut bleed = Vec::new();
+    for t in &traffic.tenants {
+        let mut solo = pz_serve::ServeHost::new(serve_admission(n_jobs, n_jobs));
+        let solo_jobs = serve_provision(&mut solo, std::slice::from_ref(t));
+        solo.serve(solo_jobs);
+        let ledger = |h: &pz_serve::ServeHost| {
+            let l = &h.tenant(&t.id).unwrap().ctx.ledger;
+            (
+                l.total_requests(),
+                l.total_usage().total_tokens(),
+                l.total_cost_usd(),
+            )
+        };
+        bleed.push((t.id.clone(), ledger(&host), ledger(&solo)));
+    }
+
+    // Overload: the same traffic against a third of the capacity — far
+    // more simultaneous arrivals than slots + queue, so the host must
+    // shed, and every shed must be a structured Overloaded error.
+    let mut tight = pz_serve::ServeHost::new(serve_admission(2, 2));
+    let tight_jobs = serve_provision(&mut tight, &traffic.tenants);
+    let overload_report = tight.serve(tight_jobs);
+    let mut unstructured = 0usize;
+    let mut sheds_structured = true;
+    for o in &overload_report.outcomes {
+        match &o.result {
+            Ok(_) => {}
+            Err(PzError::Overloaded {
+                reason,
+                retry_after_secs,
+            }) => {
+                if reason.is_empty() || *retry_after_secs <= 0.0 {
+                    sheds_structured = false;
+                }
+            }
+            Err(_) => unstructured += 1,
+        }
+    }
+
+    E20Numbers {
+        metrics: report.metrics,
+        scheduler_granted: report.scheduler.granted,
+        bleed,
+        overload: overload_report.metrics,
+        overload_unstructured: unstructured,
+        overload_sheds_structured: sheds_structured,
+    }
+}
+
+/// E20 — multi-tenant serving: 4 tenants (2 interactive, 2 batch) serve
+/// 12 concurrent sessions over the shared substrate. Isolation is
+/// differential: every tenant's bill under concurrency matches its solo
+/// bill. Then the same traffic hits a host with a third of the capacity
+/// and must shed with structured errors instead of hanging.
+fn e20_serving() {
+    banner(
+        "E20",
+        "multi-tenant serving: fairness, cost isolation, overload shedding",
+    );
+    let n = e20_measure();
+    println!(
+        "{:<12} {:>9} {:>6} {:>11} {:>11} {:>10}",
+        "tenant", "completed", "shed", "cost($)", "solo($)", "llm calls"
+    );
+    for tm in &n.metrics.per_tenant {
+        let (_, con, solo) = n
+            .bleed
+            .iter()
+            .find(|(id, _, _)| id == &tm.tenant)
+            .expect("bleed row per tenant");
+        println!(
+            "{:<12} {:>9} {:>6} {:>11.4} {:>11.4} {:>10}",
+            tm.tenant, tm.sessions_completed, tm.sessions_shed, con.2, solo.2, tm.llm_calls
+        );
+        assert_eq!(con.0, solo.0, "tenant {} request count shifted", tm.tenant);
+        assert_eq!(con.1, solo.1, "tenant {} token count shifted", tm.tenant);
+        assert!(
+            (con.2 - solo.2).abs() < 1e-9,
+            "tenant {} cost bled: {} concurrent vs {} solo",
+            tm.tenant,
+            con.2,
+            solo.2
+        );
+    }
+    println!(
+        "\nnormal load: {}/{} completed, p50 {:.1}s p99 {:.1}s, {:.3} sessions/s, \
+         Jain fairness {:.3}, {} scheduler grants",
+        n.metrics.sessions_completed,
+        n.metrics.sessions_submitted,
+        n.metrics.p50_latency_secs,
+        n.metrics.p99_latency_secs,
+        n.metrics.throughput_per_sec,
+        n.metrics.fairness_jain,
+        n.scheduler_granted,
+    );
+    println!(
+        "overload (1/3 capacity): {}/{} completed, {} shed ({:.0}%), p99 {:.1}s, \
+         structured sheds: {}",
+        n.overload.sessions_completed,
+        n.overload.sessions_submitted,
+        n.overload.sessions_shed,
+        n.overload.shed_rate * 100.0,
+        n.overload.p99_latency_secs,
+        n.overload_sheds_structured && n.overload_unstructured == 0,
+    );
+    assert!(n.overload.sessions_shed > 0, "overloaded host shed nothing");
+    println!("\nexpected shape: per-tenant bills identical solo vs concurrent (no cost");
+    println!("bleed); under 3x overload the host sheds with structured Overloaded");
+    println!("errors (reason + retry-after) while admitted sessions still complete.");
+}
+
 /// `repro bench-json [--out PATH]` — the CI perf gate. Re-measures the
 /// E1/E14 headline comparison plus the parallelism sweep and writes the
 /// numbers as machine-readable JSON. Floors are enforced *here* (nonzero
@@ -1636,6 +1860,64 @@ fn bench_json(out: &str) {
              {INCREMENTAL_SPEEDUP_FLOOR}x floor"
         ));
     }
+    // Serving gate (E20): under concurrent multi-tenant load, completed
+    // sessions split fairly (Jain >= floor), no tenant's bill moves a cent
+    // relative to its solo run, and a 3x-overloaded host sheds with
+    // structured errors while keeping p99 bounded.
+    const SERVE_FAIRNESS_FLOOR: f64 = 0.8;
+    const SERVE_P99_CEILING_SECS: f64 = 100_000.0;
+    let serve = e20_measure();
+    let cost_bleed_max = serve
+        .bleed
+        .iter()
+        .map(|(_, con, solo)| (con.2 - solo.2).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "serving: Jain {:.3} (floor {SERVE_FAIRNESS_FLOOR}), max cost bleed ${:.2e}, \
+         overload shed {}/{} p99 {:.1}s",
+        serve.metrics.fairness_jain,
+        cost_bleed_max,
+        serve.overload.sessions_shed,
+        serve.overload.sessions_submitted,
+        serve.overload.p99_latency_secs,
+    );
+    if serve.metrics.fairness_jain < SERVE_FAIRNESS_FLOOR {
+        failures.push(format!(
+            "serving fairness (Jain) {:.3} is below the {SERVE_FAIRNESS_FLOOR} floor",
+            serve.metrics.fairness_jain
+        ));
+    }
+    for (id, con, solo) in &serve.bleed {
+        if con.0 != solo.0 || con.1 != solo.1 {
+            failures.push(format!(
+                "serving cost bleed: tenant {id} billed {}/{} requests/tokens concurrent \
+                 vs {}/{} solo",
+                con.0, con.1, solo.0, solo.1
+            ));
+        }
+        if (con.2 - solo.2).abs() > 1e-9 {
+            failures.push(format!(
+                "serving cost bleed: tenant {id} cost ${} concurrent vs ${} solo",
+                con.2, solo.2
+            ));
+        }
+    }
+    if serve.overload.sessions_shed == 0 {
+        failures.push("overloaded serving host shed no sessions".to_string());
+    }
+    if serve.overload_unstructured > 0 || !serve.overload_sheds_structured {
+        failures.push(format!(
+            "overload sheds were not all structured Overloaded errors \
+             ({} unstructured failures)",
+            serve.overload_unstructured
+        ));
+    }
+    if serve.overload.p99_latency_secs >= SERVE_P99_CEILING_SECS {
+        failures.push(format!(
+            "overload p99 latency {:.1}s is at or above the {SERVE_P99_CEILING_SECS}s ceiling",
+            serve.overload.p99_latency_secs
+        ));
+    }
     let doc = serde_json::json!({
         "experiment": "E1/E14 demo plan (Scan -> LLMFilter -> LLMConvert, MaxQuality)",
         "speedup_floor": SPEEDUP_FLOOR,
@@ -1649,6 +1931,16 @@ fn bench_json(out: &str) {
         "incremental_memo_replays": inc.memo_hits,
         "obs_overhead_pct": obs_overhead_pct,
         "obs_overhead_ceiling_pct": OBS_OVERHEAD_CEILING_PCT,
+        "serve_fairness_jain": serve.metrics.fairness_jain,
+        "serve_fairness_floor": SERVE_FAIRNESS_FLOOR,
+        "serve_cost_bleed_max_usd": cost_bleed_max,
+        "serve_p50_latency_secs": serve.metrics.p50_latency_secs,
+        "serve_p99_latency_secs": serve.metrics.p99_latency_secs,
+        "serve_throughput_per_sec": serve.metrics.throughput_per_sec,
+        "serve_overload_shed_rate": serve.overload.shed_rate,
+        "serve_overload_p99_secs": serve.overload.p99_latency_secs,
+        "serve_overload_p99_ceiling_secs": SERVE_P99_CEILING_SECS,
+        "serve_sheds_structured": serve.overload_sheds_structured && serve.overload_unstructured == 0,
         "pass": failures.is_empty(),
         "failures": failures,
         "runs": runs.iter().map(|(name, p, time, cost, records, _)| serde_json::json!({

@@ -17,6 +17,8 @@
 //! dataset becomes editable and re-runs replay memoized operator verdicts,
 //! re-billing only changed records), `:append <dataset> <filename>
 //! <content...>` to stream a new record into a watched dataset,
+//! `:serve [tenants] [sessions]` to run a seeded multi-tenant serving demo
+//! (fair scheduling, per-tenant ledgers, admission control — see pz-serve),
 //! `:breaker` to inspect per-model circuit breakers, `:profile on|off` to
 //! arm the pipeline profiler (`:profile` alone prints the attribution
 //! table for the last profiled run), `:export-chrome <path>` /
@@ -44,6 +46,7 @@ fn main() {
          :faults <spec>|off scripts provider faults, \
          :watch <dataset>|off arms incremental re-runs, \
          :append <dataset> <file> <text> streams in a record, \
+         :serve [tenants] [sessions] runs a multi-tenant serving demo, \
          :breaker shows model health, \
          :profile [on|off] arms/prints the pipeline profiler, \
          :export-chrome <path> writes a Chrome trace, \
@@ -171,7 +174,26 @@ fn main() {
                 println!("pipeline profiler: off");
                 continue;
             }
+            ":serve" => {
+                serve_demo(4, 2);
+                continue;
+            }
             _ => {}
+        }
+        if let Some(rest) = line.strip_prefix(":serve ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                [t] => match t.parse::<usize>() {
+                    Ok(t) if t >= 1 => serve_demo(t, 2),
+                    _ => println!("usage: :serve [tenants>=1] [sessions>=1]"),
+                },
+                [t, s] => match (t.parse::<usize>(), s.parse::<usize>()) {
+                    (Ok(t), Ok(s)) if t >= 1 && s >= 1 => serve_demo(t, s),
+                    _ => println!("usage: :serve [tenants>=1] [sessions>=1]"),
+                },
+                _ => println!("usage: :serve [tenants>=1] [sessions>=1]"),
+            }
+            continue;
         }
         if let Some(mode) = line.strip_prefix(":exec ") {
             match mode.trim() {
@@ -367,6 +389,10 @@ fn main() {
             }
             continue;
         }
+        if line.starts_with(':') {
+            println!("unknown command {line:?} — see the banner for the command list");
+            continue;
+        }
         match chat.handle(line) {
             Ok(resp) => {
                 if show_trace {
@@ -378,4 +404,107 @@ fn main() {
         }
     }
     println!("bye.");
+}
+
+/// `:serve [tenants] [sessions]` — a self-contained multi-tenant serving
+/// demo on a fresh `pz-serve` host: seeded traffic (half interactive chat
+/// tenants at weight 4, half batch at weight 1), every session a private
+/// corpus and pipeline, all submitted concurrently through admission
+/// control and the weighted-fair scheduler. Prints per-tenant completions,
+/// bills, and the aggregate fairness/latency numbers.
+fn serve_demo(tenants: usize, sessions: usize) {
+    use pz_core::prelude::{Dataset, MemorySource, Schema};
+    use pz_serve::{AdmissionConfig, ServeConfig, ServeHost, SessionJob, TenantSpec};
+
+    let traffic = pz_datagen::traffic::generate(pz_datagen::traffic::TrafficConfig {
+        tenants,
+        sessions_per_tenant: sessions,
+        docs_per_session: 3,
+        ..Default::default()
+    });
+    let n_jobs = traffic.total_sessions();
+    let mut host = ServeHost::new(ServeConfig {
+        admission: AdmissionConfig {
+            max_concurrent_runs: n_jobs.max(1),
+            max_queued: n_jobs.max(1),
+            expected_run_secs: 30.0,
+        },
+        shared_cache: true,
+    });
+    let mut jobs = Vec::new();
+    for t in &traffic.tenants {
+        host.add_tenant(
+            TenantSpec::new(&t.id)
+                .with_weight(t.weight)
+                .with_seed(3000 + t.id.bytes().map(u64::from).sum::<u64>()),
+        );
+        let ctx = host.session_ctx(&t.id).expect("tenant just provisioned");
+        for s in &t.sessions {
+            let (docs, _) = pz_datagen::science::generate(pz_datagen::science::ScienceConfig {
+                n_papers: s.n_docs,
+                seed: s.corpus_seed,
+                ..Default::default()
+            });
+            // Salt content per session so the shared cache never dedups
+            // across sessions and bills stay deterministic.
+            let items: Vec<(String, String)> = docs
+                .into_iter()
+                .map(|d| {
+                    (
+                        d.filename,
+                        format!("{}\n[workspace {}]", d.content, s.session),
+                    )
+                })
+                .collect();
+            ctx.registry.register(std::sync::Arc::new(MemorySource::new(
+                &s.session,
+                Schema::pdf_file(),
+                items,
+            )));
+            let plan = Dataset::source(&s.session)
+                .filter(pz_datagen::science::FILTER_PREDICATE)
+                .build()
+                .expect("static plan is valid");
+            let mut job = SessionJob::new(&t.id, &s.session, plan);
+            if !t.interactive {
+                job = job.batch();
+            }
+            jobs.push(job);
+        }
+    }
+    println!(
+        "serving {n_jobs} session(s) across {tenants} tenant(s) \
+         ({} interactive, {} batch)...",
+        traffic.tenants.iter().filter(|t| t.interactive).count(),
+        traffic.tenants.iter().filter(|t| !t.interactive).count(),
+    );
+    let report = host.serve(jobs);
+    println!(
+        "{:<12} {:>6} {:>9} {:>6} {:>11} {:>10}",
+        "tenant", "weight", "completed", "shed", "cost($)", "llm calls"
+    );
+    for tm in &report.metrics.per_tenant {
+        let weight = traffic
+            .tenants
+            .iter()
+            .find(|t| t.id == tm.tenant)
+            .map(|t| t.weight)
+            .unwrap_or(1.0);
+        println!(
+            "{:<12} {:>6.1} {:>9} {:>6} {:>11.4} {:>10}",
+            tm.tenant, weight, tm.sessions_completed, tm.sessions_shed, tm.cost_usd, tm.llm_calls
+        );
+    }
+    println!(
+        "{}/{} completed, {} shed — p50 {:.1}s p99 {:.1}s (virtual), \
+         {:.3} sessions/s, Jain fairness {:.3}, {} scheduler grant(s)",
+        report.metrics.sessions_completed,
+        report.metrics.sessions_submitted,
+        report.metrics.sessions_shed,
+        report.metrics.p50_latency_secs,
+        report.metrics.p99_latency_secs,
+        report.metrics.throughput_per_sec,
+        report.metrics.fairness_jain,
+        report.scheduler.granted,
+    );
 }

@@ -7,6 +7,7 @@
 //! parallel workers.
 
 use crate::datasource::{DataRegistry, UdfRegistry};
+use crate::error::PzResult;
 use pz_llm::{
     CachingClient, Catalog, FaultInjector, HealthTracker, LlmClient, ModelId, RetryContext,
     RetryPolicy, SimConfig, SimulatedLlm, TracedClient, UsageLedger, VirtualClock,
@@ -15,6 +16,23 @@ use pz_obs::Tracer;
 use pz_vector::VectorStore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Admission control consulted by the executor at the top of every run.
+///
+/// Implemented by serving hosts (`pz-serve`): `begin` either admits the run
+/// (possibly after queueing on the virtual clock) and returns a ticket, or
+/// refuses with [`crate::PzError::Overloaded`]. The executor calls `end`
+/// with the same ticket when the run finishes, success or failure, so the
+/// host can release the slot. A context without a gate admits everything.
+pub trait AdmissionGate: Send + Sync {
+    /// Request admission for a run starting at `now_secs` with an optional
+    /// absolute deadline. Returns an opaque ticket on admission.
+    fn begin(&self, now_secs: f64, deadline_at_secs: Option<f64>) -> PzResult<u64>;
+
+    /// Release the slot held by `ticket`. Must be infallible: it runs on
+    /// every exit path, including failures.
+    fn end(&self, ticket: u64, now_secs: f64);
+}
 
 /// Shared execution environment.
 #[derive(Clone)]
@@ -76,6 +94,11 @@ pub struct PzContext {
     /// byte-identical to a snapshot-less run; the memo path additionally
     /// requires `ExecutionConfig::with_incremental`.
     pub incremental: Option<crate::exec::ExecutionSnapshot>,
+    /// Admission gate consulted at the top of every executed plan. `None`
+    /// (the default) admits everything; serving hosts install their gate so
+    /// per-run capacity and load shedding apply uniformly to REPL, tool and
+    /// API traffic running through this context.
+    pub admission: Option<Arc<dyn AdmissionGate>>,
     ids: Arc<AtomicU64>,
 }
 
@@ -88,9 +111,17 @@ impl PzContext {
 
     /// Context with explicit simulator configuration.
     pub fn simulated_with(config: SimConfig) -> Self {
+        Self::simulated_shared(config, VirtualClock::new(), UsageLedger::new())
+    }
+
+    /// Context with explicit simulator configuration over a *caller-owned*
+    /// clock and ledger. This is the multi-tenant constructor: a serving
+    /// host gives every tenant its own ledger (and fault plan, via
+    /// `config.fault_plan`) while all tenants share one virtual clock, so
+    /// cross-tenant latency measurements are on a common timebase but
+    /// billing and fault state never mix.
+    pub fn simulated_shared(config: SimConfig, clock: VirtualClock, ledger: UsageLedger) -> Self {
         let catalog = Catalog::builtin();
-        let clock = VirtualClock::new();
-        let ledger = UsageLedger::new();
         let tracer = Tracer::new(Arc::new(clock.clone()));
         let sim = SimulatedLlm::new(catalog.clone(), config, clock.clone(), ledger.clone());
         // Keep a handle on the injector so faults can be scripted live.
@@ -119,8 +150,26 @@ impl PzContext {
             adaptive: crate::optimizer::adaptive::AdaptiveConfig::default(),
             retry_wait_us: None,
             incremental: None,
+            admission: None,
             ids: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Replace the model client (e.g. with a serving layer's scheduled +
+    /// shared-cache stack). The caller is responsible for any tracing
+    /// wrapper it wants; `self.cache` is cleared because the old handle no
+    /// longer fronts the installed client.
+    pub fn with_client(mut self, llm: Arc<dyn LlmClient>) -> Self {
+        self.llm = llm;
+        self.cache = None;
+        self
+    }
+
+    /// Install an admission gate consulted at the top of every executed
+    /// plan (see [`AdmissionGate`]).
+    pub fn with_admission(mut self, gate: Arc<dyn AdmissionGate>) -> Self {
+        self.admission = Some(gate);
+        self
     }
 
     /// Set the default execution mode for plans run through this context.

@@ -19,10 +19,27 @@ pub enum PzError {
     Execution(String),
     #[error("optimizer error: {0}")]
     Optimizer(String),
+    /// The serving layer refused to admit this run: the host is at
+    /// capacity (or the run's deadline cannot be met from the back of the
+    /// queue). Structured so callers can distinguish load shedding from a
+    /// pipeline failure and retry after `retry_after_secs` of backoff.
+    #[error("overloaded: {reason} (retry after {retry_after_secs:.1}s)")]
+    Overloaded {
+        reason: String,
+        retry_after_secs: f64,
+    },
     #[error(transparent)]
     Llm(#[from] LlmError),
     #[error(transparent)]
     Vector(#[from] VectorStoreError),
+}
+
+impl PzError {
+    /// True when this error is the serving layer shedding load rather than
+    /// the pipeline itself failing — the canonical "try again later" signal.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, PzError::Overloaded { .. })
+    }
 }
 
 /// Crate-wide result alias.
@@ -43,6 +60,20 @@ mod tests {
     fn vector_error_converts() {
         let e: PzError = VectorStoreError::CollectionNotFound("c".into()).into();
         assert!(e.to_string().contains("collection not found"));
+    }
+
+    #[test]
+    fn overloaded_is_structured_and_detectable() {
+        let e = PzError::Overloaded {
+            reason: "queue full (8 waiting)".into(),
+            retry_after_secs: 2.5,
+        };
+        assert!(e.is_overloaded());
+        assert_eq!(
+            e.to_string(),
+            "overloaded: queue full (8 waiting) (retry after 2.5s)"
+        );
+        assert!(!PzError::Plan("x".into()).is_overloaded());
     }
 
     #[test]

@@ -283,6 +283,30 @@ impl ExecutionConfig {
     }
 }
 
+/// Holds an admission slot for the duration of one run; `end` fires on
+/// every exit path (success, pipeline error, panic unwind).
+struct AdmissionGuard {
+    gate: std::sync::Arc<dyn crate::context::AdmissionGate>,
+    clock: pz_llm::VirtualClock,
+    ticket: u64,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.gate.end(self.ticket, self.clock.now_secs());
+    }
+}
+
+/// True when `e` is the tenant's own budget refusing further calls — the
+/// signal for quota truncation (flagged partial results) rather than a
+/// pipeline failure.
+fn is_quota_exhausted(e: &crate::error::PzError) -> bool {
+    matches!(
+        e,
+        crate::error::PzError::Llm(pz_llm::LlmError::QuotaExhausted { .. })
+    )
+}
+
 /// Execute a physical plan, returning output records and statistics.
 pub fn execute_plan(
     ctx: &PzContext,
@@ -292,6 +316,21 @@ pub fn execute_plan(
     // The deadline is absolute on the virtual clock; retries see it via
     // the cloned context so backoff never sleeps past it.
     let deadline_at = config.deadline_secs.map(|d| ctx.clock.now_secs() + d);
+    // Admission: a serving host gates the run here (capacity, queueing,
+    // deadline-aware shedding). The deadline is anchored at *submission*,
+    // so queue wait eats into it. The RAII guard releases the slot on
+    // every exit path, including errors.
+    let _admission = match &ctx.admission {
+        Some(gate) => {
+            let ticket = gate.begin(ctx.clock.now_secs(), deadline_at)?;
+            Some(AdmissionGuard {
+                gate: gate.clone(),
+                clock: ctx.clock.clone(),
+                ticket,
+            })
+        }
+        None => None,
+    };
     let profiling = ctx.tracer.profiling_enabled();
     let ctx = &{
         let mut c = ctx.clone();
@@ -356,6 +395,10 @@ pub fn execute_plan(
     // can rewrite not-yet-executed operators between steps.
     let mut ops: Vec<PhysicalOp> = plan.ops.clone();
     let mut op_index = 0usize;
+    // Quota truncation is armed only when the tenant ledger carries a
+    // budget: unbudgeted runs skip the per-op input clone entirely and
+    // stay byte-identical to pre-quota builds.
+    let quota_armed = ctx.ledger.quota().is_limited();
     while op_index < ops.len() {
         let op = &ops[op_index].clone();
         if let Some(d) = deadline_at {
@@ -391,6 +434,13 @@ pub fn execute_plan(
             .span(pz_obs::Layer::Executor, &format!("op:{}", op.describe()));
 
         let workers = config.workers.min(records.len().max(1));
+        // Under a budget, keep the op's input so a mid-op quota refusal can
+        // return results through the last *completed* operator.
+        let saved = if quota_armed {
+            Some(records.clone())
+        } else {
+            None
+        };
         let result = execute_op_with_failover(
             ctx,
             op,
@@ -400,9 +450,33 @@ pub fn execute_plan(
             &config,
             &mut stats.degraded,
         );
-        records = result.map_err(|e| {
-            crate::error::PzError::Execution(format!("operator {}: {e}", op.describe()))
-        })?;
+        records = match result {
+            Ok(out) => out,
+            Err(e) if quota_armed && is_quota_exhausted(&e) => {
+                // The tenant's own budget refused the next call. Calls made
+                // before the refusal are billed (they ran); nothing past the
+                // budget ever was. Truncate: flag the stats, restore the
+                // input of the aborted operator, and stop here.
+                stats.quota_exhausted = true;
+                ctx.tracer.event(
+                    pz_obs::Layer::Executor,
+                    "quota_exhausted",
+                    &[
+                        ("at_op", op.describe()),
+                        ("at_secs", format!("{:.3}", ctx.clock.now_secs())),
+                    ],
+                );
+                op_span.finish();
+                records = saved.unwrap_or_default();
+                break;
+            }
+            Err(e) => {
+                return Err(crate::error::PzError::Execution(format!(
+                    "operator {}: {e}",
+                    op.describe()
+                )))
+            }
+        };
 
         let ledger_after = snapshot(ctx);
         let raw_elapsed = ctx.clock.now_secs() - clock_before;

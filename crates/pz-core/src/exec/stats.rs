@@ -86,6 +86,12 @@ pub struct ExecutionStats {
     /// The execution deadline elapsed and the run returned partial results.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub deadline_exceeded: bool,
+    /// The tenant's budget refused further model calls mid-run and the run
+    /// returned flagged partial results (never silently billed past the
+    /// quota). Absent on healthy runs so serialized stats stay
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub quota_exhausted: bool,
     /// Largest intra-operator worker-pool size used by any streaming
     /// stage. `0`/`1` (serial) keeps serialized stats byte-identical to
     /// pre-parallelism runs.
@@ -227,6 +233,12 @@ impl ExecutionStats {
         }
         if self.deadline_exceeded {
             let _ = writeln!(s, "DEADLINE EXCEEDED: results are partial");
+        }
+        if self.quota_exhausted {
+            let _ = writeln!(
+                s,
+                "QUOTA EXHAUSTED: results are partial; the tenant budget refused further calls"
+            );
         }
         s
     }
@@ -381,11 +393,13 @@ mod tests {
         // Healthy runs serialize without resilience fields...
         assert!(!j.contains("degraded"));
         assert!(!j.contains("deadline_exceeded"));
+        assert!(!j.contains("quota_exhausted"));
         assert!(!j.contains("adaptive"));
         // ...and old serialized stats still deserialize.
         let old: ExecutionStats = serde_json::from_str(&j).unwrap();
         assert!(old.degraded.is_empty());
         assert!(!old.deadline_exceeded);
+        assert!(!old.quota_exhausted);
         assert!(old.adaptive.is_empty());
     }
 

@@ -168,7 +168,7 @@ pub fn execute_with_optimizer(
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::context::PzContext;
+    pub use crate::context::{AdmissionGate, PzContext};
     pub use crate::dataset::Dataset;
     pub use crate::datasource::{
         DataRegistry, DatasetChange, DatasetVersion, DirectorySource, MemorySource, UdfRegistry,

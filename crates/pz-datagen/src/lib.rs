@@ -27,6 +27,7 @@ pub mod legal;
 pub mod realestate;
 pub mod science;
 pub mod text;
+pub mod traffic;
 pub mod truth;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,212 @@
+//! Seeded many-tenant traffic generation for serving load tests.
+//!
+//! Emits a deterministic *description* of a serving workload — which
+//! tenants exist, their scheduler weights, and the sessions each submits
+//! (interactive chat turns vs batch analytics jobs, each over its own
+//! salted corpus seed). The serving harness materializes the corpora with
+//! [`crate::science::generate`] and builds pipelines from the specs; this
+//! module stays plain data so it can be serialized into bench configs.
+//!
+//! Per-session corpus seeds are distinct by construction (tenant × session
+//! salted into the master seed), which keeps concurrent sessions from
+//! deduplicating each other's prompts through a shared response cache —
+//! exactly the property the differential isolation tests need for
+//! byte-identical solo-vs-concurrent cost parity.
+
+use crate::text::Prng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a generated serving workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Sessions each tenant submits.
+    pub sessions_per_tenant: usize,
+    /// Fraction of tenants that are interactive (chat): higher scheduler
+    /// weight, small corpora, tight deadlines. The rest are batch: weight
+    /// 1, larger corpora, no deadline.
+    pub interactive_fraction: f64,
+    /// Documents per interactive session (batch sessions get 4×).
+    pub docs_per_session: usize,
+    /// Virtual-seconds deadline attached to interactive sessions.
+    pub interactive_deadline_secs: f64,
+    /// Master seed; every derived seed is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 4,
+            sessions_per_tenant: 3,
+            interactive_fraction: 0.5,
+            docs_per_session: 6,
+            interactive_deadline_secs: 600.0,
+            seed: 17,
+        }
+    }
+}
+
+/// One session a tenant will submit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Unique name, e.g. `tenant-01/s002`.
+    pub session: String,
+    /// Seed for this session's private corpus — distinct across every
+    /// (tenant, session) pair.
+    pub corpus_seed: u64,
+    /// Corpus size for this session.
+    pub n_docs: usize,
+    /// Deadline in virtual seconds, if latency-sensitive.
+    pub deadline_secs: Option<f64>,
+}
+
+/// One tenant's slice of the workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantTraffic {
+    /// Stable id, e.g. `tenant-01`.
+    pub id: String,
+    /// Scheduler weight (interactive tenants 4.0, batch 1.0).
+    pub weight: f64,
+    /// Whether this tenant's sessions are interactive chat turns.
+    pub interactive: bool,
+    pub sessions: Vec<SessionSpec>,
+}
+
+/// A full serving workload description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficPlan {
+    pub tenants: Vec<TenantTraffic>,
+}
+
+impl TrafficPlan {
+    /// Total sessions across all tenants.
+    pub fn total_sessions(&self) -> usize {
+        self.tenants.iter().map(|t| t.sessions.len()).sum()
+    }
+
+    /// Sessions flattened to `(tenant_index, session_index)` submission
+    /// order, interleaved round-robin so no tenant's block submits first.
+    pub fn round_robin(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.total_sessions());
+        let max = self
+            .tenants
+            .iter()
+            .map(|t| t.sessions.len())
+            .max()
+            .unwrap_or(0);
+        for s in 0..max {
+            for (t, tenant) in self.tenants.iter().enumerate() {
+                if s < tenant.sessions.len() {
+                    out.push((t, s));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generate a deterministic traffic plan. Pure function of `cfg`.
+pub fn generate(cfg: TrafficConfig) -> TrafficPlan {
+    let mut rng = Prng::new(cfg.seed ^ 0x7261_6666_6963_3137);
+    let interactive_count = ((cfg.tenants as f64) * cfg.interactive_fraction).round() as usize;
+    let mut tenants = Vec::with_capacity(cfg.tenants);
+    for t in 0..cfg.tenants {
+        let interactive = t < interactive_count;
+        let id = format!("tenant-{t:02}");
+        let mut sessions = Vec::with_capacity(cfg.sessions_per_tenant);
+        for s in 0..cfg.sessions_per_tenant {
+            // Salt the corpus seed with tenant and session indices so no
+            // two sessions anywhere share one (rng.next keeps plans with
+            // different master seeds fully decorrelated).
+            let corpus_seed = rng
+                .next_u64()
+                .wrapping_add((t as u64) << 32)
+                .wrapping_add(s as u64 + 1);
+            sessions.push(SessionSpec {
+                session: format!("{id}/s{s:03}"),
+                corpus_seed,
+                n_docs: if interactive {
+                    cfg.docs_per_session
+                } else {
+                    cfg.docs_per_session * 4
+                },
+                deadline_secs: interactive.then_some(cfg.interactive_deadline_secs),
+            });
+        }
+        tenants.push(TenantTraffic {
+            id,
+            weight: if interactive { 4.0 } else { 1.0 },
+            interactive,
+            sessions,
+        });
+    }
+    TrafficPlan { tenants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TrafficConfig::default());
+        let b = generate(TrafficConfig::default());
+        assert_eq!(a, b);
+        let c = generate(TrafficConfig {
+            seed: 18,
+            ..TrafficConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_seeds_are_unique_across_all_sessions() {
+        let plan = generate(TrafficConfig {
+            tenants: 8,
+            sessions_per_tenant: 16,
+            ..TrafficConfig::default()
+        });
+        let seeds: HashSet<u64> = plan
+            .tenants
+            .iter()
+            .flat_map(|t| t.sessions.iter().map(|s| s.corpus_seed))
+            .collect();
+        assert_eq!(seeds.len(), plan.total_sessions());
+    }
+
+    #[test]
+    fn interactive_split_and_weights() {
+        let plan = generate(TrafficConfig {
+            tenants: 4,
+            interactive_fraction: 0.5,
+            ..TrafficConfig::default()
+        });
+        let interactive: Vec<_> = plan.tenants.iter().filter(|t| t.interactive).collect();
+        assert_eq!(interactive.len(), 2);
+        for t in &plan.tenants {
+            assert_eq!(t.weight, if t.interactive { 4.0 } else { 1.0 });
+            for s in &t.sessions {
+                assert_eq!(s.deadline_secs.is_some(), t.interactive);
+                if !t.interactive {
+                    assert_eq!(s.n_docs, TrafficConfig::default().docs_per_session * 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let plan = generate(TrafficConfig {
+            tenants: 3,
+            sessions_per_tenant: 2,
+            ..TrafficConfig::default()
+        });
+        assert_eq!(
+            plan.round_robin(),
+            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+        );
+    }
+}

@@ -85,6 +85,33 @@ impl CachingClient {
         self
     }
 
+    /// A handle onto the *same* cache (same maps, same counters) routed
+    /// through a different inner client.
+    ///
+    /// This is how the serving layer shares one cross-tenant result cache
+    /// while every tenant keeps its own billing/fault/breaker stack: the
+    /// maps are shared, the misses flow to each tenant's own client.
+    /// Isolation audit: keys are pure content hashes over
+    /// `(model, system, prompt, max_output_tokens)` — see
+    /// [`Self::completion_key`] — with no session- or tenant-local state
+    /// folded in, so a hit can only ever replay a response another request
+    /// with the *byte-identical* prompt would have produced. Tenant-scoped
+    /// tracer/ledger attachments are deliberately dropped here; re-attach
+    /// the new tenant's own via [`Self::with_tracer`] / [`Self::with_ledger`].
+    pub fn with_inner(&self, inner: Arc<dyn LlmClient>) -> Self {
+        Self {
+            inner,
+            completions: self.completions.clone(),
+            embeddings: self.embeddings.clone(),
+            completion_hits: self.completion_hits.clone(),
+            completion_misses: self.completion_misses.clone(),
+            embedding_hits: self.embedding_hits.clone(),
+            embedding_misses: self.embedding_misses.clone(),
+            tracer: None,
+            ledger: None,
+        }
+    }
+
     fn note_completion(&self, model: &crate::ModelId, hit: bool) {
         if let Some(t) = &self.tracer {
             let name = if hit { "cache_hit" } else { "cache_miss" };
@@ -225,8 +252,10 @@ impl LlmClient for CachingClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::Catalog;
+    use crate::clock::VirtualClock;
     use crate::protocol::filter_prompt;
-    use crate::sim::SimulatedLlm;
+    use crate::sim::{SimConfig, SimulatedLlm};
 
     fn caching_sim() -> (CachingClient, Arc<SimulatedLlm>) {
         let sim = Arc::new(SimulatedLlm::with_defaults());
@@ -377,5 +406,97 @@ mod tests {
         cache.complete(&req).unwrap();
         clone.complete(&req).unwrap();
         assert_eq!(clone.stats().completion_hits, 1);
+    }
+
+    /// Two tenants, each with their own simulator/clock/ledger, sharing one
+    /// cache via [`CachingClient::with_inner`]: an identical prompt dedups
+    /// (tenant B pays nothing for tenant A's miss), and the hit shifts no
+    /// cost between ledgers — A's bill is unchanged by B's hit.
+    #[test]
+    fn shared_cache_dedups_across_tenants_without_cost_bleed() {
+        let clock = VirtualClock::new();
+        let sim_a = Arc::new(SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            clock.clone(),
+            UsageLedger::new(),
+        ));
+        let sim_b = Arc::new(SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            clock.clone(),
+            UsageLedger::new(),
+        ));
+        let cache_a = CachingClient::new(sim_a.clone());
+        let cache_b = cache_a.with_inner(sim_b.clone());
+
+        let req = CompletionRequest::new("gpt-4o", filter_prompt("topic", "shared document"));
+        let first = cache_a.complete(&req).unwrap();
+        let a_cost = sim_a.ledger().total_cost_usd();
+        assert!(a_cost > 0.0);
+
+        let second = cache_b.complete(&req).unwrap();
+        assert_eq!(second.text, first.text);
+        assert_eq!(second.cost_usd, 0.0);
+        // B billed nothing; A's ledger did not move on B's hit.
+        assert_eq!(sim_b.ledger().total_cost_usd(), 0.0);
+        assert_eq!(sim_b.ledger().total_requests(), 0);
+        assert_eq!(sim_a.ledger().total_cost_usd(), a_cost);
+        // One shared pair of counters across both handles.
+        assert_eq!(cache_b.stats().completion_hits, 1);
+        assert_eq!(cache_b.stats().completion_misses, 1);
+    }
+
+    /// Leakage audit: the cache key is a pure content hash, so tenants with
+    /// *different* prompt bytes can never observe each other's responses —
+    /// and there is no tenant-id dimension that could fragment identical
+    /// content into per-tenant entries.
+    #[test]
+    fn shared_cache_never_leaks_across_distinct_prompts() {
+        let clock = VirtualClock::new();
+        let sim_a = Arc::new(SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            clock.clone(),
+            UsageLedger::new(),
+        ));
+        let sim_b = Arc::new(SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            clock.clone(),
+            UsageLedger::new(),
+        ));
+        let cache_a = CachingClient::new(sim_a.clone());
+        let cache_b = cache_a.with_inner(sim_b.clone());
+
+        // Tenant A warms the cache with its (private) document. Free-form
+        // prompts echo content back, so a leak would be visible in the text.
+        let private = CompletionRequest::new("gpt-4o", "summarize: tenant A confidential record");
+        let a_resp = cache_a.complete(&private).unwrap();
+
+        // Tenant B asks about *its own* document: near-identical task, one
+        // byte of content difference. Must miss and be answered from B's own
+        // client, never from A's entry.
+        let b_req = CompletionRequest::new("gpt-4o", "summarize: tenant B confidential record");
+        let b_resp = cache_b.complete(&b_req).unwrap();
+        assert_ne!(
+            CachingClient::completion_key(&private),
+            CachingClient::completion_key(&b_req)
+        );
+        assert_ne!(b_resp.text, a_resp.text);
+        assert!(b_resp.cost_usd > 0.0);
+        assert_eq!(cache_b.stats().completion_hits, 0);
+        assert_eq!(cache_b.stats().completion_misses, 2);
+
+        // Embeddings share the same discipline: content-hash key, no tenant
+        // dimension.
+        let embed_req = EmbeddingRequest {
+            model: "text-embedding-3-small".into(),
+            inputs: vec!["alpha".into()],
+        };
+        let ea = cache_a.embed(&embed_req).unwrap();
+        let eb = cache_b.embed(&embed_req).unwrap();
+        assert_eq!(ea.vectors, eb.vectors);
+        assert_eq!(sim_b.ledger().total_requests(), 1); // only B's filter call
     }
 }

@@ -44,6 +44,12 @@ pub enum LlmError {
     /// without reaching the provider.
     #[error("circuit breaker open for {model} (retry in {retry_in_secs:.1}s)")]
     CircuitOpen { model: ModelId, retry_in_secs: f64 },
+    /// The caller's usage ledger refused the charge: admitting this call
+    /// would cross its tenant's budget. The call was refused locally and
+    /// billed nothing. Not retryable, and *not* a provider fault — failing
+    /// over to a cheaper model cannot help, the budget itself is spent.
+    #[error("tenant budget exhausted for {model}: {reason}")]
+    QuotaExhausted { model: ModelId, reason: String },
     #[error("request rejected: {0}")]
     Rejected(String),
 }

@@ -50,7 +50,7 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
 pub use sim::{SimConfig, SimulatedLlm};
 pub use tokenizer::count_tokens;
 pub use traced::TracedClient;
-pub use usage::{ModelUsage, Usage, UsageLedger};
+pub use usage::{ModelUsage, Quota, QuotaExceeded, Usage, UsageLedger};
 
 /// Stable 64-bit FNV-1a hash used everywhere the substrate needs seeded,
 /// reproducible pseudo-randomness (error injection, embeddings, latency

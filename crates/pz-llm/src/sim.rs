@@ -797,8 +797,15 @@ impl LlmClient for SimulatedLlm {
         let usage = Usage::new(billed_input, output_tokens);
         let cost_usd = card.cost_usd(billed_input, output_tokens);
         let latency_secs = card.latency_secs(input_tokens, output_tokens) * effort_multiplier;
+        // Atomic check-and-bill: a call the tenant's budget cannot cover is
+        // refused before it "happens" — no ledger entry, no clock advance.
+        self.ledger
+            .try_charge(&card.id, usage, cost_usd, latency_secs)
+            .map_err(|q| LlmError::QuotaExhausted {
+                model: card.id.clone(),
+                reason: q.reason,
+            })?;
         self.clock.advance_secs(latency_secs);
-        self.ledger.record(&card.id, usage, cost_usd, latency_secs);
         Ok(CompletionResponse {
             text,
             usage,
@@ -826,8 +833,13 @@ impl LlmClient for SimulatedLlm {
         let usage = Usage::new(input_tokens, 0);
         let cost_usd = card.cost_usd(input_tokens, 0);
         let latency_secs = card.latency_secs(input_tokens, 0);
+        self.ledger
+            .try_charge(&card.id, usage, cost_usd, latency_secs)
+            .map_err(|q| LlmError::QuotaExhausted {
+                model: card.id.clone(),
+                reason: q.reason,
+            })?;
         self.clock.advance_secs(latency_secs);
-        self.ledger.record(&card.id, usage, cost_usd, latency_secs);
         Ok(EmbeddingResponse {
             vectors,
             usage,
@@ -1246,6 +1258,44 @@ mod tests {
         assert_eq!(s.ledger().total_requests(), requests_before);
         assert!((clock.now_secs() - now_before).abs() < 1e-9);
         assert!(s.ledger().total_cost_usd().abs() < 1e-12);
+    }
+
+    /// Quota enforcement happens at the billing point: a call the tenant's
+    /// budget cannot cover is refused with a structured error, bills
+    /// nothing, and consumes no virtual time. Not a provider fault: the
+    /// failover machinery must not route around a spent budget by swapping
+    /// models (the ledger — and so the refusal — is tenant-wide).
+    #[test]
+    fn quota_refusal_bills_nothing_and_burns_no_time() {
+        use crate::usage::Quota;
+        let clock = VirtualClock::new();
+        let ledger = UsageLedger::new();
+        let s = SimulatedLlm::new(
+            Catalog::builtin(),
+            SimConfig::default(),
+            clock.clone(),
+            ledger.clone(),
+        );
+        let req = CompletionRequest::new("gpt-4o", filter_prompt("cancer", "a cancer study"));
+        let first = s.complete(&req).unwrap();
+        assert!(first.cost_usd > 0.0);
+        // Cap the budget exactly at what was spent: the next call must not fit.
+        ledger.set_quota(Quota::cost_limit(ledger.total_cost_usd()));
+        let (requests, now) = (ledger.total_requests(), clock.now_secs());
+        let err = s.complete(&req).unwrap_err();
+        assert!(matches!(err, LlmError::QuotaExhausted { .. }), "{err}");
+        assert!(!err.is_retryable());
+        assert!(!err.is_provider_fault());
+        assert_eq!(ledger.total_requests(), requests);
+        assert!((clock.now_secs() - now).abs() < 1e-9);
+        // Embeddings enforce the same budget.
+        let err = s
+            .embed(&EmbeddingRequest {
+                model: "text-embedding-3-small".into(),
+                inputs: vec!["doc".into()],
+            })
+            .unwrap_err();
+        assert!(matches!(err, LlmError::QuotaExhausted { .. }), "{err}");
     }
 
     #[test]

@@ -72,10 +72,87 @@ impl ModelUsage {
     }
 }
 
+/// Hard spending limits for a ledger — typically one tenant's budget in a
+/// multi-tenant serving deployment. All limits are optional; the default is
+/// unlimited, which keeps every existing single-run ledger byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Quota {
+    /// Maximum total dollar spend across all models.
+    pub max_cost_usd: Option<f64>,
+    /// Maximum request count across all models.
+    pub max_requests: Option<usize>,
+    /// Maximum total tokens (input + output) across all models.
+    pub max_tokens: Option<usize>,
+}
+
+impl Quota {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Dollar budget only.
+    pub fn cost_limit(max_cost_usd: f64) -> Self {
+        Self {
+            max_cost_usd: Some(max_cost_usd),
+            ..Self::default()
+        }
+    }
+
+    /// Request-count budget only.
+    pub fn request_limit(max_requests: usize) -> Self {
+        Self {
+            max_requests: Some(max_requests),
+            ..Self::default()
+        }
+    }
+
+    /// Whether any dimension is actually bounded.
+    pub fn is_limited(&self) -> bool {
+        self.max_cost_usd.is_some() || self.max_requests.is_some() || self.max_tokens.is_some()
+    }
+}
+
+/// A refused [`UsageLedger::try_charge`]: admitting the call would cross
+/// the ledger's quota. Charging is all-or-nothing — a refused call bills
+/// nothing (no request, no tokens, no dollars).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuotaExceeded {
+    /// Which dimension ran out, human-readable (e.g. `cost $0.0500 +
+    /// $0.0121 > budget $0.0600`).
+    pub reason: String,
+    /// Dollars left under the cost cap at refusal time, if one is set.
+    pub remaining_cost_usd: Option<f64>,
+    /// Requests left under the request cap at refusal time, if one is set.
+    pub remaining_requests: Option<usize>,
+}
+
+impl std::fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    models: BTreeMap<ModelId, ModelUsage>,
+    quota: Quota,
+}
+
+impl LedgerInner {
+    fn charge(&mut self, model: &ModelId, usage: Usage, cost_usd: f64, latency_secs: f64) {
+        let entry = self.models.entry(model.clone()).or_default();
+        entry.requests += 1;
+        entry.usage += usage;
+        entry.cost_usd += cost_usd;
+        entry.latency_secs += latency_secs;
+    }
+}
+
 /// Thread-safe ledger of all model usage. Clones share state.
 #[derive(Clone, Debug, Default)]
 pub struct UsageLedger {
-    inner: Arc<Mutex<BTreeMap<ModelId, ModelUsage>>>,
+    inner: Arc<Mutex<LedgerInner>>,
 }
 
 impl UsageLedger {
@@ -83,14 +160,80 @@ impl UsageLedger {
         Self::default()
     }
 
+    /// Ledger with a hard quota installed from the start.
+    pub fn with_quota(quota: Quota) -> Self {
+        let ledger = Self::new();
+        ledger.set_quota(quota);
+        ledger
+    }
+
+    /// Install (or replace) the quota. Applies to subsequent
+    /// [`Self::try_charge`] calls; already-recorded usage is kept.
+    pub fn set_quota(&self, quota: Quota) {
+        self.inner.lock().quota = quota;
+    }
+
+    /// The currently installed quota.
+    pub fn quota(&self) -> Quota {
+        self.inner.lock().quota
+    }
+
     /// Record one request against `model`.
     pub fn record(&self, model: &ModelId, usage: Usage, cost_usd: f64, latency_secs: f64) {
+        self.inner
+            .lock()
+            .charge(model, usage, cost_usd, latency_secs);
+    }
+
+    /// Atomically check the quota and bill one request against `model`.
+    ///
+    /// The check and the charge happen under one lock, so two sessions
+    /// racing the last unit of budget cannot both slip past it: exactly one
+    /// wins, the other is refused and bills *nothing*. With no quota
+    /// installed this is identical to [`Self::record`].
+    pub fn try_charge(
+        &self,
+        model: &ModelId,
+        usage: Usage,
+        cost_usd: f64,
+        latency_secs: f64,
+    ) -> Result<(), QuotaExceeded> {
         let mut inner = self.inner.lock();
-        let entry = inner.entry(model.clone()).or_default();
-        entry.requests += 1;
-        entry.usage += usage;
-        entry.cost_usd += cost_usd;
-        entry.latency_secs += latency_secs;
+        let quota = inner.quota;
+        if quota.is_limited() {
+            let spent_cost: f64 = inner.models.values().map(|m| m.cost_usd).sum();
+            let spent_requests: usize = inner.models.values().map(|m| m.requests).sum();
+            let spent_tokens: usize = inner.models.values().map(|m| m.usage.total_tokens()).sum();
+            let refuse = |reason: String| QuotaExceeded {
+                reason,
+                remaining_cost_usd: quota.max_cost_usd.map(|c| (c - spent_cost).max(0.0)),
+                remaining_requests: quota.max_requests.map(|r| r.saturating_sub(spent_requests)),
+            };
+            if let Some(cap) = quota.max_cost_usd {
+                if spent_cost + cost_usd > cap + 1e-12 {
+                    return Err(refuse(format!(
+                        "cost ${spent_cost:.4} + ${cost_usd:.4} > budget ${cap:.4}"
+                    )));
+                }
+            }
+            if let Some(cap) = quota.max_requests {
+                if spent_requests + 1 > cap {
+                    return Err(refuse(format!(
+                        "requests {spent_requests} + 1 > budget {cap}"
+                    )));
+                }
+            }
+            if let Some(cap) = quota.max_tokens {
+                if spent_tokens + usage.total_tokens() > cap {
+                    return Err(refuse(format!(
+                        "tokens {spent_tokens} + {} > budget {cap}",
+                        usage.total_tokens()
+                    )));
+                }
+            }
+        }
+        inner.charge(model, usage, cost_usd, latency_secs);
+        Ok(())
     }
 
     /// Record `n` cache hits against `model` (lookups served without a
@@ -99,6 +242,7 @@ impl UsageLedger {
         if n > 0 {
             self.inner
                 .lock()
+                .models
                 .entry(model.clone())
                 .or_default()
                 .cache_hits += n;
@@ -111,6 +255,7 @@ impl UsageLedger {
         if n > 0 {
             self.inner
                 .lock()
+                .models
                 .entry(model.clone())
                 .or_default()
                 .cache_misses += n;
@@ -119,28 +264,39 @@ impl UsageLedger {
 
     /// Total cache hits across all models.
     pub fn total_cache_hits(&self) -> usize {
-        self.inner.lock().values().map(|m| m.cache_hits).sum()
+        self.inner
+            .lock()
+            .models
+            .values()
+            .map(|m| m.cache_hits)
+            .sum()
     }
 
     /// Total cache misses across all models.
     pub fn total_cache_misses(&self) -> usize {
-        self.inner.lock().values().map(|m| m.cache_misses).sum()
+        self.inner
+            .lock()
+            .models
+            .values()
+            .map(|m| m.cache_misses)
+            .sum()
     }
 
     /// Total dollar cost across all models.
     pub fn total_cost_usd(&self) -> f64 {
-        self.inner.lock().values().map(|m| m.cost_usd).sum()
+        self.inner.lock().models.values().map(|m| m.cost_usd).sum()
     }
 
     /// Total request count across all models.
     pub fn total_requests(&self) -> usize {
-        self.inner.lock().values().map(|m| m.requests).sum()
+        self.inner.lock().models.values().map(|m| m.requests).sum()
     }
 
     /// Total token usage across all models.
     pub fn total_usage(&self) -> Usage {
         self.inner
             .lock()
+            .models
             .values()
             .fold(Usage::default(), |acc, m| acc + m.usage)
     }
@@ -148,21 +304,28 @@ impl UsageLedger {
     /// Sum of modelled latencies (i.e. total model-time; an upper bound on
     /// pipeline runtime when calls are sequential).
     pub fn total_latency_secs(&self) -> f64 {
-        self.inner.lock().values().map(|m| m.latency_secs).sum()
+        self.inner
+            .lock()
+            .models
+            .values()
+            .map(|m| m.latency_secs)
+            .sum()
     }
 
     /// Snapshot of the per-model breakdown (sorted by model id).
     pub fn by_model(&self) -> Vec<(ModelId, ModelUsage)> {
         self.inner
             .lock()
+            .models
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     }
 
-    /// Reset all counters. Used between experiments.
+    /// Reset all counters. The quota is kept: between-experiment resets
+    /// must not silently lift a tenant's budget.
     pub fn reset(&self) {
-        self.inner.lock().clear();
+        self.inner.lock().models.clear();
     }
 }
 
@@ -235,6 +398,102 @@ mod tests {
     fn usage_add() {
         assert_eq!(Usage::new(1, 2) + Usage::new(10, 20), Usage::new(11, 22));
         assert_eq!(Usage::new(3, 4).total_tokens(), 7);
+    }
+
+    #[test]
+    fn try_charge_without_quota_is_record() {
+        let l = UsageLedger::new();
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(1, 1), 0.1, 0.2)
+            .is_ok());
+        assert_eq!(l.total_requests(), 1);
+        assert!(!l.quota().is_limited());
+    }
+
+    #[test]
+    fn quota_refusal_bills_nothing() {
+        let l = UsageLedger::with_quota(Quota::cost_limit(0.05));
+        l.try_charge(&"m".into(), Usage::new(10, 5), 0.04, 1.0)
+            .unwrap();
+        let err = l
+            .try_charge(&"m".into(), Usage::new(10, 5), 0.04, 1.0)
+            .unwrap_err();
+        assert!(err.reason.contains("budget"), "{}", err.reason);
+        assert!((err.remaining_cost_usd.unwrap() - 0.01).abs() < 1e-9);
+        // The refused call left no trace: one request, $0.04, 15 tokens.
+        assert_eq!(l.total_requests(), 1);
+        assert!((l.total_cost_usd() - 0.04).abs() < 1e-12);
+        assert_eq!(l.total_usage().total_tokens(), 15);
+        // A smaller call that fits still goes through.
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(1, 0), 0.005, 0.1)
+            .is_ok());
+    }
+
+    #[test]
+    fn quota_dimensions_requests_and_tokens() {
+        let l = UsageLedger::with_quota(Quota::request_limit(1));
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(1, 1), 0.0, 0.0)
+            .is_ok());
+        let err = l
+            .try_charge(&"m".into(), Usage::new(1, 1), 0.0, 0.0)
+            .unwrap_err();
+        assert_eq!(err.remaining_requests, Some(0));
+
+        let l = UsageLedger::with_quota(Quota {
+            max_tokens: Some(10),
+            ..Default::default()
+        });
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(6, 2), 0.0, 0.0)
+            .is_ok());
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(2, 1), 0.0, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn reset_keeps_quota() {
+        let l = UsageLedger::with_quota(Quota::request_limit(1));
+        l.try_charge(&"m".into(), Usage::new(1, 1), 0.0, 0.0)
+            .unwrap();
+        l.reset();
+        assert_eq!(l.quota(), Quota::request_limit(1));
+        // Budget is re-usable after a reset (counters cleared)...
+        l.try_charge(&"m".into(), Usage::new(1, 1), 0.0, 0.0)
+            .unwrap();
+        // ...but still enforced.
+        assert!(l
+            .try_charge(&"m".into(), Usage::new(1, 1), 0.0, 0.0)
+            .is_err());
+    }
+
+    /// The satellite regression: two threads race a 1-call budget through
+    /// the atomic check-and-bill; exactly one may win. A check-then-record
+    /// API would let both observe "0 spent" and both bill.
+    #[test]
+    fn try_charge_race_exactly_one_wins() {
+        for _ in 0..64 {
+            let l = UsageLedger::with_quota(Quota::request_limit(1));
+            let barrier = std::sync::Barrier::new(2);
+            let wins: usize = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let l = l.clone();
+                    let barrier = &barrier;
+                    handles.push(s.spawn(move || {
+                        barrier.wait();
+                        l.try_charge(&"m".into(), Usage::new(1, 1), 0.01, 0.1)
+                            .is_ok() as usize
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(wins, 1, "exactly one racer may pass the 1-call budget");
+            assert_eq!(l.total_requests(), 1);
+            assert!((l.total_cost_usd() - 0.01).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # pz-serve — multi-tenant pipeline serving
+//!
+//! PalimpChat's interactive sessions don't run one at a time: a deployed
+//! host runs many concurrent chat/pipeline sessions for many tenants over
+//! one shared substrate. This crate is that host, built so that **no
+//! tenant can hurt another**:
+//!
+//! - **Budgets** — each tenant's [`pz_llm::UsageLedger`] carries a hard
+//!   [`pz_llm::Quota`] enforced atomically at the billing point: an
+//!   over-budget run is refused or truncated with a flagged partial
+//!   result ([`pz_core::exec::ExecutionStats::quota_exhausted`]), never
+//!   silently billed.
+//! - **Fair scheduling** — [`GlobalScheduler`] arbitrates each model's
+//!   `max_concurrency` *across* sessions with weighted fair queueing, so
+//!   a million-record batch job cannot starve interactive chat turns.
+//! - **Admission control** — [`AdmissionController`] bounds concurrent
+//!   runs and the wait queue, shedding overload with structured
+//!   [`pz_core::PzError::Overloaded`] errors (deadline-aware: a run whose
+//!   predicted queue wait blows its deadline is refused immediately).
+//! - **Fault isolation** — breakers, fault injectors, and tracers are
+//!   per-tenant: one tenant's outage storm trips only its own circuits.
+//! - **Shared caching, audited** — the exact-match response cache may be
+//!   shared cross-tenant because its keys are pure content hashes
+//!   (audited in `pz_llm::cache`); hits can only ever *reduce* a
+//!   tenant's cost, never shift it onto another tenant.
+
+pub mod admission;
+pub mod host;
+pub mod metrics;
+pub mod scheduler;
+pub mod tenant;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+pub use host::{is_shed, ServeConfig, ServeHost, ServeReport, SessionJob, SessionOutcome};
+pub use metrics::{jain_fairness, percentile, ServeMetrics, TenantMetrics};
+pub use scheduler::{GlobalScheduler, ScheduledClient, SchedulerStats, SlotGuard};
+pub use tenant::{Tenant, TenantSpec};
