@@ -33,5 +33,59 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// Chunked out-of-core scan vs the whole-corpus legacy drive over a streamed
+/// 10k-document corpus (E21 runs the full 10k/100k/1M curve; this keeps the
+/// chunked path honest at bench cadence).
+fn bench_chunked_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunked_scan");
+    group.sample_size(10);
+    const N: usize = 10_000;
+    let make_ctx = || {
+        let ctx = PzContext::simulated();
+        let cfg = pz_datagen::stream::StreamConfig::sized(N, 11);
+        ctx.registry
+            .register(std::sync::Arc::new(GeneratedSource::new(
+                "stream-corpus",
+                Schema::text_file(),
+                N,
+                move |i| {
+                    let d = pz_datagen::stream::doc_at(&cfg, i);
+                    (d.filename, d.content)
+                },
+            )));
+        ctx.udfs.register_filter("sparse", |r: &DataRecord| {
+            r.get("filename")
+                .map(|v| v.as_display().ends_with("0000.txt"))
+                .unwrap_or(false)
+        });
+        ctx
+    };
+    let plan = PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: "stream-corpus".into(),
+            },
+            PhysicalOp::UdfFilter {
+                udf: "sparse".into(),
+            },
+        ],
+    };
+    for (label, chunk) in [("whole", 0usize), ("chunk4096", 4096)] {
+        group.bench_with_input(BenchmarkId::new("scan10k", label), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let ctx = make_ctx();
+                let (records, _stats) = pz_core::exec::execute_plan(
+                    &ctx,
+                    &plan,
+                    ExecutionConfig::sequential().with_scan_chunk_size(chunk),
+                )
+                .expect("scan runs");
+                black_box(records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_chunked_scan);
 criterion_main!(benches);

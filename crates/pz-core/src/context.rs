@@ -69,6 +69,14 @@ pub struct PzContext {
     /// executor on its cloned context from `ExecutionConfig::deadline_secs`;
     /// retries and backoff refuse to sleep past it.
     pub deadline_at_secs: Option<f64>,
+    /// Memory budget (in records) for blocking operators. Set by the
+    /// executor on its cloned context from
+    /// `ExecutionConfig::spill_budget_records`; past it, `Sort` spills
+    /// sorted runs to temp files and merges them back, and `HashJoin`
+    /// streams its build side in budget-sized batches instead of
+    /// materializing it. `None` (the default) keeps every operator fully
+    /// in-memory and byte-identical to pre-spill builds.
+    pub spill_budget_records: Option<usize>,
     /// Default embedding model.
     pub embed_model: ModelId,
     /// How plans are driven by default (the REPL's `:exec` switch and the
@@ -143,6 +151,7 @@ impl PzContext {
             health: HealthTracker::default().with_tracer(tracer.clone()),
             faults,
             deadline_at_secs: None,
+            spill_budget_records: None,
             tracer,
             embed_model: "text-embedding-3-small".into(),
             exec_mode: crate::exec::ExecMode::Materializing,

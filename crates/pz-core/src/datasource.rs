@@ -22,6 +22,11 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+/// A stream of record batches from a source. Each item is one chunk of at
+/// most the requested size; errors surface per-batch so a failure halfway
+/// through an out-of-core scan doesn't silently truncate the corpus.
+pub type RecordBatchIter = Box<dyn Iterator<Item = PzResult<Vec<DataRecord>>> + Send>;
+
 /// A registered input dataset.
 pub trait DataSource: Send + Sync {
     /// Registry name.
@@ -31,6 +36,18 @@ pub trait DataSource: Send + Sync {
     /// Materialize all records. Record ids are assigned by the caller's
     /// id space via the `base_id` offset.
     fn records(&self, base_id: u64) -> PzResult<Vec<DataRecord>>;
+    /// Stream records in chunks of at most `chunk_size` (0 = one batch
+    /// holding everything). The default materializes [`records`] and then
+    /// chunks it — correct for every source, out-of-core for none; sources
+    /// that can generate records on demand (e.g. [`GeneratedSource`])
+    /// override this so at most O(chunk) records are ever resident.
+    ///
+    /// Contract: concatenating the batches in order must equal
+    /// `records(base_id)` byte-for-byte, at every chunk size — the chunked
+    /// differential suite holds every executor path to this.
+    fn batches(&self, base_id: u64, chunk_size: usize) -> PzResult<RecordBatchIter> {
+        Ok(chunk_records(self.records(base_id)?, chunk_size))
+    }
     /// Number of records, if cheaply known (used by the cost model).
     fn cardinality_hint(&self) -> Option<usize> {
         None
@@ -39,6 +56,119 @@ pub trait DataSource: Send + Sync {
     /// `:append` finds the change-stream interface through this).
     fn as_versioned(&self) -> Option<&VersionedSource> {
         None
+    }
+}
+
+/// Split an already-materialized record vector into a batch stream.
+pub fn chunk_records(all: Vec<DataRecord>, chunk_size: usize) -> RecordBatchIter {
+    if chunk_size == 0 || all.len() <= chunk_size {
+        return Box::new(std::iter::once(Ok(all)));
+    }
+    struct Chunks {
+        rest: std::vec::IntoIter<DataRecord>,
+        chunk: usize,
+    }
+    impl Iterator for Chunks {
+        type Item = PzResult<Vec<DataRecord>>;
+        fn next(&mut self) -> Option<Self::Item> {
+            let batch: Vec<DataRecord> = self.rest.by_ref().take(self.chunk).collect();
+            if batch.is_empty() {
+                None
+            } else {
+                Some(Ok(batch))
+            }
+        }
+    }
+    Box::new(Chunks {
+        rest: all.into_iter(),
+        chunk: chunk_size,
+    })
+}
+
+/// Generator signature for [`GeneratedSource`]: index → `(filename,
+/// content)`. Must be pure per index (same index, same output) — the
+/// executor may call it more than once for the same record (e.g. a legacy
+/// full materialization and a chunked re-scan must agree).
+pub type RecordGenerator = Arc<dyn Fn(usize) -> (String, String) + Send + Sync>;
+
+/// A source whose records are *computed*, not stored: each record is a
+/// pure function of its index. `records()` still materializes everything
+/// (legacy paths — mid-plan scans, join build sides — need that), but
+/// `batches()` generates each chunk on demand, so an out-of-core scan over
+/// a million-record corpus holds at most `chunk_size` records at a time.
+/// This is the registry-side mate of `pz-datagen`'s streamed corpora.
+pub struct GeneratedSource {
+    name: String,
+    schema: Schema,
+    len: usize,
+    generator: RecordGenerator,
+}
+
+impl GeneratedSource {
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        len: usize,
+        generator: impl Fn(usize) -> (String, String) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            len,
+            generator: Arc::new(generator),
+        }
+    }
+
+    fn record_at(&self, base_id: u64, index: usize) -> DataRecord {
+        let (filename, content) = (self.generator)(index);
+        DataRecord::new(base_id + index as u64)
+            .with_field("filename", filename.as_str())
+            .with_field("contents", parse_content(&filename, &content))
+    }
+}
+
+impl DataSource for GeneratedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn records(&self, base_id: u64) -> PzResult<Vec<DataRecord>> {
+        Ok((0..self.len).map(|i| self.record_at(base_id, i)).collect())
+    }
+
+    fn batches(&self, base_id: u64, chunk_size: usize) -> PzResult<RecordBatchIter> {
+        let chunk = if chunk_size == 0 {
+            self.len.max(1)
+        } else {
+            chunk_size
+        };
+        let generator = Arc::clone(&self.generator);
+        let len = self.len;
+        if len == 0 {
+            return Ok(Box::new(std::iter::once(Ok(Vec::new()))));
+        }
+        let iter = (0..len).step_by(chunk).map(move |start| {
+            let end = (start + chunk).min(len);
+            let mut out = Vec::with_capacity(end - start);
+            for i in start..end {
+                let (filename, content) = generator(i);
+                out.push(
+                    DataRecord::new(base_id + i as u64)
+                        .with_field("filename", filename.as_str())
+                        .with_field("contents", parse_content(&filename, &content)),
+                );
+            }
+            Ok(out)
+        });
+        Ok(Box::new(iter))
+    }
+
+    fn cardinality_hint(&self) -> Option<usize> {
+        Some(self.len)
     }
 }
 
@@ -505,6 +635,80 @@ mod tests {
             vec![],
         )));
         assert!(reg2.contains("a"));
+    }
+
+    fn collect_batches(src: &dyn DataSource, base: u64, chunk: usize) -> Vec<Vec<DataRecord>> {
+        src.batches(base, chunk)
+            .unwrap()
+            .map(|b| b.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn default_batches_concatenate_to_records() {
+        let src = MemorySource::from_texts(
+            "m",
+            Schema::text_file(),
+            (0..10).map(|i| format!("text {i}")).collect(),
+        );
+        let whole = src.records(100).unwrap();
+        for chunk in [0usize, 1, 3, 10, 99] {
+            let batches = collect_batches(&src, 100, chunk);
+            let flat: Vec<DataRecord> = batches.iter().flatten().cloned().collect();
+            assert_eq!(flat, whole, "chunk {chunk}");
+            if chunk > 0 {
+                assert!(
+                    batches.iter().all(|b| b.len() <= chunk),
+                    "chunk {chunk} produced an oversized batch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_source_batches_match_records() {
+        let src = GeneratedSource::new("g", Schema::text_file(), 25, |i| {
+            (format!("gen-{i:04}.txt"), format!("generated body {i}"))
+        });
+        assert_eq!(src.cardinality_hint(), Some(25));
+        let whole = src.records(7).unwrap();
+        assert_eq!(whole.len(), 25);
+        assert_eq!(whole[0].id, 7);
+        assert_eq!(
+            whole[24].get("contents").unwrap().as_text(),
+            Some("generated body 24")
+        );
+        for chunk in [0usize, 1, 4, 25, 1000] {
+            let flat: Vec<DataRecord> = collect_batches(&src, 7, chunk).concat();
+            assert_eq!(flat, whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn generated_source_empty_and_pdf_paths() {
+        let empty = GeneratedSource::new("e", Schema::text_file(), 0, |_| unreachable!());
+        assert!(empty.records(0).unwrap().is_empty());
+        let flat: Vec<DataRecord> = collect_batches(&empty, 0, 4).concat();
+        assert!(flat.is_empty());
+        let pdf = GeneratedSource::new("p", Schema::pdf_file(), 1, |i| {
+            (format!("doc-{i}.pdf"), wrap_pdf("inner"))
+        });
+        let recs = pdf.records(0).unwrap();
+        assert_eq!(recs[0].get("contents").unwrap().as_text(), Some("inner"));
+    }
+
+    #[test]
+    fn chunk_records_boundaries() {
+        let recs: Vec<DataRecord> = (0..5).map(DataRecord::new).collect();
+        let batches: Vec<Vec<DataRecord>> =
+            chunk_records(recs.clone(), 2).map(|b| b.unwrap()).collect();
+        assert_eq!(
+            batches.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        let whole: Vec<Vec<DataRecord>> = chunk_records(recs, 0).map(|b| b.unwrap()).collect();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 5);
     }
 
     #[test]

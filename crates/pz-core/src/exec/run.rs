@@ -169,6 +169,22 @@ pub struct ExecutionConfig {
     /// `PzContext::with_incremental`; off by default and byte-invisible
     /// while off (or while no snapshot is installed).
     pub incremental: bool,
+    /// Out-of-core scan: in materializing mode, pull the leading `Scan`
+    /// in chunks of this many records and push each chunk through the
+    /// maximal prefix of per-record operators before the next chunk is
+    /// generated, so at most O(chunk) leaf records are resident at once.
+    /// `0` (the default) keeps the legacy whole-corpus materialization and
+    /// is byte-identical to pre-chunking builds. Streaming mode already
+    /// pulls the source in `batch_size` chunks and ignores this knob.
+    /// Output, ledger cost, and per-operator stats are identical at every
+    /// chunk size; only peak memory changes.
+    pub scan_chunk_size: usize,
+    /// Memory budget (in records) for blocking operators, plumbed to
+    /// `PzContext::spill_budget_records` on the executor's cloned context.
+    /// Past it, `Sort` spills sorted runs to temp files and `HashJoin`
+    /// streams its build side in budget-sized batches. `None` (the
+    /// default) never spills.
+    pub spill_budget_records: Option<usize>,
 }
 
 impl Default for ExecutionConfig {
@@ -182,6 +198,8 @@ impl Default for ExecutionConfig {
             parallelism: ParallelismConfig::serial(),
             adaptive: AdaptiveConfig::default(),
             incremental: false,
+            scan_chunk_size: 0,
+            spill_budget_records: None,
         }
     }
 }
@@ -281,6 +299,21 @@ impl ExecutionConfig {
         self.incremental = true;
         self
     }
+
+    /// Pull the leading `Scan` in chunks of `records` and drive each chunk
+    /// through the per-record operator prefix before generating the next
+    /// (materializing mode; `0` restores the legacy whole-corpus scan).
+    pub fn with_scan_chunk_size(mut self, records: usize) -> Self {
+        self.scan_chunk_size = records;
+        self
+    }
+
+    /// Set the blocking-operator memory budget: past `records`, `Sort`
+    /// spills runs to temp files and `HashJoin` streams its build side.
+    pub fn with_spill_budget(mut self, records: usize) -> Self {
+        self.spill_budget_records = Some(records.max(1));
+        self
+    }
 }
 
 /// Holds an admission slot for the duration of one run; `end` fires on
@@ -335,6 +368,10 @@ pub fn execute_plan(
     let ctx = &{
         let mut c = ctx.clone();
         c.deadline_at_secs = deadline_at;
+        // Blocking operators consult the budget straight off the context,
+        // so it rides the same clone the deadline does (streaming stage
+        // contexts derive from this clone too).
+        c.spill_budget_records = config.spill_budget_records;
         if profiling {
             // Collect retry-backoff time; per-op deltas are attributed on
             // the op spans below. Off by default (no sink, no overhead).
@@ -399,6 +436,30 @@ pub fn execute_plan(
     // budget: unbudgeted runs skip the per-op input clone entirely and
     // stay byte-identical to pre-quota builds.
     let quota_armed = ctx.ledger.quota().is_limited();
+    // Out-of-core scan: pull the leading Scan in chunks and push each
+    // chunk through the longest prefix of chunk-safe (per-record)
+    // operators before the next chunk is generated, so at most
+    // O(chunk + carried output) leaf records are resident at once.
+    // Chunking commutes with these operators — output, ledger, and
+    // per-operator stats are identical at every chunk size — so the gate
+    // only excludes paths whose control flow depends on whole-input state
+    // (adaptive re-planning between ops, quota restore points).
+    if config.scan_chunk_size > 0
+        && !quota_armed
+        && adaptive.is_none()
+        && matches!(ops.first(), Some(PhysicalOp::Scan { .. }))
+    {
+        let prefix_len = 1 + ops[1..].iter().take_while(|op| chunk_safe(op)).count();
+        records = run_chunked_prefix(ctx, &ops[..prefix_len], &config, profiling, &mut stats)?;
+        // A deadline that tripped mid-drive already stopped the plan (the
+        // drive emitted the event); don't run the suffix on partial input.
+        op_index = if stats.deadline_exceeded {
+            ops.len()
+        } else {
+            prefix_len
+        };
+        stats.peak_resident_records = stats.peak_resident_records.max(records.len());
+    }
     while op_index < ops.len() {
         let op = &ops[op_index].clone();
         if let Some(d) = deadline_at {
@@ -478,6 +539,7 @@ pub fn execute_plan(
             }
         };
 
+        stats.peak_resident_records = stats.peak_resident_records.max(records.len());
         let ledger_after = snapshot(ctx);
         let raw_elapsed = ctx.clock.now_secs() - clock_before;
         let elapsed = if workers > 1 && op.is_parallelizable() {
@@ -553,6 +615,187 @@ pub fn execute_plan(
     plan_span.set_attr("llm_calls", stats.total_llm_calls.to_string());
     plan_span.set_attr("cost_usd", format!("{:.6}", stats.total_cost_usd));
     Ok((records, stats))
+}
+
+/// True when `op` commutes with input chunking: `op(a ++ b)` equals
+/// `op(a) ++ op(b)` bytewise, including ledger charges and derived-id
+/// assignment order. Mirrors the streaming executor's per-batch stage set,
+/// minus the joins (whose build side would re-materialize per chunk) and
+/// minus `Limit` (kept a barrier so chunked materializing bills exactly
+/// what the legacy path bills; early-stop economies are streaming mode's
+/// contract).
+fn chunk_safe(op: &PhysicalOp) -> bool {
+    matches!(
+        op,
+        PhysicalOp::LlmFilter { .. }
+            | PhysicalOp::EmbeddingFilter { .. }
+            | PhysicalOp::EnsembleFilter { .. }
+            | PhysicalOp::UdfFilter { .. }
+            | PhysicalOp::LlmConvert { .. }
+            | PhysicalOp::FieldwiseConvert { .. }
+            | PhysicalOp::Map { .. }
+            | PhysicalOp::Project { .. }
+            | PhysicalOp::LlmClassify { .. }
+    )
+}
+
+/// Per-operator accumulator for the chunked drive: the same ledger deltas
+/// the legacy loop takes per op, summed over chunks.
+#[derive(Clone, Copy, Default)]
+struct PrefixAcc {
+    input_records: usize,
+    output_records: usize,
+    llm_calls: usize,
+    input_tokens: usize,
+    output_tokens: usize,
+    cost_usd: f64,
+    raw_elapsed: f64,
+}
+
+/// Drive `prefix` (a leading `Scan` plus zero or more chunk-safe
+/// operators) chunk-at-a-time: each scan chunk flows through the whole
+/// prefix before the next chunk is generated, so resident records stay at
+/// O(chunk + carried output). Ids are reserved exactly as the legacy
+/// `Scan` reserves them, chunks are consecutive, and every operator runs
+/// through the same failover/memo machinery the legacy loop uses — output,
+/// ledger, and the accumulated per-operator stats rows are identical to
+/// the whole-corpus path at every chunk size. The deadline is checked at
+/// chunk boundaries (chunk-granular, vs. the legacy loop's op-granular
+/// check).
+fn run_chunked_prefix(
+    ctx: &PzContext,
+    prefix: &[PhysicalOp],
+    config: &ExecutionConfig,
+    profiling: bool,
+    stats: &mut ExecutionStats,
+) -> PzResult<Vec<DataRecord>> {
+    let PhysicalOp::Scan { dataset } = &prefix[0] else {
+        unreachable!("chunked drive requires a leading Scan");
+    };
+    let wrap = |op: &PhysicalOp, e: PzError| {
+        PzError::Execution(format!("operator {}: {e}", op.describe()))
+    };
+    let batches = (|| {
+        let src = ctx.registry.get(dataset)?;
+        let n = src.cardinality_hint().unwrap_or(0) as u64;
+        let base = ctx.next_ids(n.max(1));
+        src.batches(base, config.scan_chunk_size)
+    })()
+    .map_err(|e| wrap(&prefix[0], e))?;
+
+    let mut acc = vec![PrefixAcc::default(); prefix.len()];
+    let mut out: Vec<DataRecord> = Vec::new();
+    for batch in batches {
+        if let Some(d) = ctx.deadline_at_secs {
+            if ctx.clock.now_secs() >= d {
+                stats.deadline_exceeded = true;
+                ctx.tracer.event(
+                    pz_obs::Layer::Executor,
+                    "deadline_exceeded",
+                    &[
+                        ("at_op", prefix[0].describe()),
+                        ("at_secs", format!("{:.3}", ctx.clock.now_secs())),
+                    ],
+                );
+                break;
+            }
+        }
+        // The pull itself gets a (leaf-free) span so chunked traces still
+        // carry one `op:Scan[..]` span per unit of scan work.
+        let scan_span = ctx.tracer.span(
+            pz_obs::Layer::Executor,
+            &format!("op:{}", prefix[0].describe()),
+        );
+        let mut chunk = batch.map_err(|e| wrap(&prefix[0], e))?;
+        acc[0].output_records += chunk.len();
+        scan_span.set_attr("out", chunk.len().to_string());
+        scan_span.finish();
+        stats.peak_resident_records = stats.peak_resident_records.max(out.len() + chunk.len());
+        for (i, op) in prefix.iter().enumerate().skip(1) {
+            let in_len = chunk.len();
+            let ledger_before = snapshot(ctx);
+            let clock_before = ctx.clock.now_secs();
+            let latency_before = ctx.ledger.total_latency_secs();
+            let retry_before = ctx
+                .retry_wait_us
+                .as_ref()
+                .map_or(0, |s| s.load(std::sync::atomic::Ordering::Relaxed));
+            let op_span = ctx
+                .tracer
+                .span(pz_obs::Layer::Executor, &format!("op:{}", op.describe()));
+            let workers = config.workers.min(in_len.max(1));
+            chunk = execute_op_with_failover(
+                ctx,
+                op,
+                i,
+                std::mem::take(&mut chunk),
+                workers,
+                config,
+                &mut stats.degraded,
+            )
+            .map_err(|e| wrap(op, e))?;
+            let ledger_after = snapshot(ctx);
+            let raw = ctx.clock.now_secs() - clock_before;
+            acc[i].input_records += in_len;
+            acc[i].output_records += chunk.len();
+            acc[i].llm_calls += ledger_after.0 - ledger_before.0;
+            acc[i].input_tokens += ledger_after.1 - ledger_before.1;
+            acc[i].output_tokens += ledger_after.2 - ledger_before.2;
+            acc[i].cost_usd += ledger_after.3 - ledger_before.3;
+            acc[i].raw_elapsed += raw;
+            op_span.set_attr("in", in_len.to_string());
+            op_span.set_attr("out", chunk.len().to_string());
+            op_span.set_attr("llm_calls", (ledger_after.0 - ledger_before.0).to_string());
+            op_span.set_attr(
+                "cost_usd",
+                format!("{:.6}", ledger_after.3 - ledger_before.3),
+            );
+            op_span.set_attr("time_secs", format!("{:.6}", raw));
+            if profiling {
+                let window_us = (raw * 1e6).round() as u64;
+                let provider_us =
+                    ((ctx.ledger.total_latency_secs() - latency_before) * 1e6).round() as u64;
+                let retry_after = ctx
+                    .retry_wait_us
+                    .as_ref()
+                    .map_or(0, |s| s.load(std::sync::atomic::Ordering::Relaxed));
+                op_span.set_attr("prof_window_us", window_us.to_string());
+                op_span.set_attr("prof_provider_wait_us", provider_us.to_string());
+                op_span.set_attr(
+                    "prof_retry_backoff_us",
+                    retry_after.saturating_sub(retry_before).to_string(),
+                );
+            }
+            op_span.finish();
+            stats.peak_resident_records = stats.peak_resident_records.max(out.len() + chunk.len());
+        }
+        out.extend(chunk);
+    }
+    // One stats row per prefix operator, in the legacy row shape: the
+    // parallel-time divisor uses the op's *total* input so `time_secs`
+    // matches the whole-corpus run bit-for-bit.
+    for (i, op) in prefix.iter().enumerate() {
+        let a = acc[i];
+        let workers = config.workers.min(a.input_records.max(1));
+        let elapsed = if workers > 1 && op.is_parallelizable() {
+            a.raw_elapsed / workers as f64
+        } else {
+            a.raw_elapsed
+        };
+        stats.operators.push(OperatorStats {
+            logical: op.logical_kind().to_string(),
+            physical: op.describe(),
+            model: op.model().map(|m| m.to_string()),
+            input_records: if i == 0 { 0 } else { a.input_records },
+            output_records: a.output_records,
+            llm_calls: a.llm_calls,
+            input_tokens: a.input_tokens,
+            output_tokens: a.output_tokens,
+            cost_usd: a.cost_usd,
+            time_secs: elapsed,
+        });
+    }
+    Ok(out)
 }
 
 /// Run one operator, splitting off memoized records first when incremental
@@ -1137,5 +1380,170 @@ mod tests {
             }],
         };
         assert!(execute_plan(&ctx, &plan, ExecutionConfig::sequential()).is_err());
+    }
+
+    /// Equality the chunked drive guarantees against the legacy path:
+    /// records bytewise, and every per-operator stats row field-for-field
+    /// (peak_resident_records is a memory *measurement* and differs by
+    /// design).
+    fn assert_drive_equal(
+        (lr, ls): &(Vec<DataRecord>, ExecutionStats),
+        (cr, cs): &(Vec<DataRecord>, ExecutionStats),
+        label: &str,
+    ) {
+        assert_eq!(lr, cr, "{label}: records diverge");
+        assert_eq!(
+            ls.operators.len(),
+            cs.operators.len(),
+            "{label}: operator row count"
+        );
+        for (a, b) in ls.operators.iter().zip(&cs.operators) {
+            // Money and time accumulate per chunk, so they can differ by
+            // f64 summation order (~1e-17); every counted field is exact.
+            assert_eq!(a.physical, b.physical, "{label}: operator row diverges");
+            assert_eq!(
+                a.input_records, b.input_records,
+                "{label}: {}: in",
+                a.physical
+            );
+            assert_eq!(
+                a.output_records, b.output_records,
+                "{label}: {}: out",
+                a.physical
+            );
+            assert_eq!(a.llm_calls, b.llm_calls, "{label}: {}: calls", a.physical);
+            assert_eq!(
+                a.input_tokens, b.input_tokens,
+                "{label}: {}: in toks",
+                a.physical
+            );
+            assert_eq!(
+                a.output_tokens, b.output_tokens,
+                "{label}: {}: out toks",
+                a.physical
+            );
+            assert!(
+                (a.cost_usd - b.cost_usd).abs() < 1e-12,
+                "{label}: {}: cost {} vs {}",
+                a.physical,
+                a.cost_usd,
+                b.cost_usd
+            );
+            assert!(
+                (a.time_secs - b.time_secs).abs() < 1e-9,
+                "{label}: {}: time {} vs {}",
+                a.physical,
+                a.time_secs,
+                b.time_secs
+            );
+        }
+        assert_eq!(ls.total_llm_calls, cs.total_llm_calls, "{label}: calls");
+        assert!(
+            (ls.total_cost_usd - cs.total_cost_usd).abs() < 1e-12,
+            "{label}: cost"
+        );
+        assert!(
+            (ls.total_time_secs - cs.total_time_secs).abs() < 1e-9,
+            "{label}: time"
+        );
+        assert_eq!(ls.output_records, cs.output_records, "{label}: outputs");
+    }
+
+    #[test]
+    fn chunked_scan_identical_at_every_chunk_size() {
+        // Fresh contexts per run so id counters, ledgers, and clocks all
+        // start from the same state; the simulator keys responses on
+        // request content, so equal inputs mean equal outputs.
+        let legacy =
+            execute_plan(&science_ctx(), &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        for chunk in [1, 3, 7, 64] {
+            let chunked = execute_plan(
+                &science_ctx(),
+                &demo_plan(),
+                ExecutionConfig::sequential().with_scan_chunk_size(chunk),
+            )
+            .unwrap();
+            assert_drive_equal(&legacy, &chunked, &format!("chunk={chunk}"));
+        }
+    }
+
+    #[test]
+    fn chunked_scan_bounds_resident_records() {
+        let (_, legacy) =
+            execute_plan(&science_ctx(), &demo_plan(), ExecutionConfig::sequential()).unwrap();
+        // Legacy materializes the whole 11-paper corpus at once.
+        assert_eq!(legacy.peak_resident_records, 11);
+        let (_, chunked) = execute_plan(
+            &science_ctx(),
+            &demo_plan(),
+            ExecutionConfig::sequential().with_scan_chunk_size(2),
+        )
+        .unwrap();
+        // Chunked holds one 2-record chunk plus the filtered survivors.
+        assert!(
+            chunked.peak_resident_records < legacy.peak_resident_records,
+            "chunked peak {} not below legacy {}",
+            chunked.peak_resident_records,
+            legacy.peak_resident_records
+        );
+    }
+
+    #[test]
+    fn chunked_scan_blocking_suffix_runs_on_accumulated_records() {
+        // Sort is not chunk-safe: the drive must stop at it and hand the
+        // accumulated records to the legacy loop.
+        let mut plan = demo_plan();
+        plan.ops.push(PhysicalOp::Sort {
+            field: "name".into(),
+            descending: false,
+        });
+        plan.ops.push(PhysicalOp::Limit { n: 3 });
+        let legacy = execute_plan(&science_ctx(), &plan, ExecutionConfig::sequential()).unwrap();
+        for chunk in [1, 4] {
+            let chunked = execute_plan(
+                &science_ctx(),
+                &plan,
+                ExecutionConfig::sequential().with_scan_chunk_size(chunk),
+            )
+            .unwrap();
+            assert_drive_equal(&legacy, &chunked, &format!("suffix chunk={chunk}"));
+        }
+    }
+
+    #[test]
+    fn chunked_scan_parallel_same_multiset_and_cost() {
+        // With worker pools the thread interleaving may reassign derived
+        // ids, so compare the field multiset plus the accounted totals
+        // (time uses the same total-input divisor, so it matches exactly).
+        let multiset = |records: &[DataRecord]| {
+            let mut keys: Vec<String> = records.iter().map(|r| format!("{:?}", r.fields)).collect();
+            keys.sort();
+            keys
+        };
+        let (lr, ls) =
+            execute_plan(&science_ctx(), &demo_plan(), ExecutionConfig::parallel(4)).unwrap();
+        let (cr, cs) = execute_plan(
+            &science_ctx(),
+            &demo_plan(),
+            ExecutionConfig::parallel(4).with_scan_chunk_size(3),
+        )
+        .unwrap();
+        assert_eq!(multiset(&lr), multiset(&cr));
+        assert_eq!(ls.total_llm_calls, cs.total_llm_calls);
+        assert!((ls.total_cost_usd - cs.total_cost_usd).abs() < 1e-12);
+        assert!((ls.total_time_secs - cs.total_time_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_size_zero_is_legacy_path() {
+        // The default config never enters the drive: stats carry the
+        // legacy whole-corpus peak.
+        let (_, stats) = execute_plan(
+            &science_ctx(),
+            &demo_plan(),
+            ExecutionConfig::sequential().with_scan_chunk_size(0),
+        )
+        .unwrap();
+        assert_eq!(stats.peak_resident_records, 11);
     }
 }

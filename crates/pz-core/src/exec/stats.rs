@@ -103,6 +103,14 @@ pub struct ExecutionStats {
     /// pre-incremental runs.
     #[serde(default, skip_serializing_if = "zero_hits")]
     pub memo_hits: usize,
+    /// High-water mark of leaf records resident in the materializing
+    /// executor at once (carried output plus the in-flight scan chunk).
+    /// The out-of-core scan keeps this at O(chunk + output) however large
+    /// the corpus; the scaling gate asserts exactly that. `0` (streaming
+    /// mode, which bounds memory by channel capacity instead and does not
+    /// track this) omits the field so serialized stats stay comparable.
+    #[serde(default, skip_serializing_if = "zero_hits")]
+    pub peak_resident_records: usize,
 }
 
 /// Serialization predicate: a run without memo replays carries no field.

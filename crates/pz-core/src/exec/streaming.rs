@@ -864,8 +864,50 @@ fn run_stage(
     let prof_t0 = meter.prof.as_ref().map(|p| p.now());
 
     match input {
-        // Source stage: materialize once, then stream out in batches. A
-        // failed emit means downstream cancelled — stop scanning early.
+        // Source stage: a leading Scan pulls its source chunk-at-a-time
+        // (`DataSource::batches`), so at most one batch of leaf records is
+        // resident here however large the corpus. Batch boundaries equal
+        // the old materialize-then-`chunks(batch_size)` split, ids are
+        // reserved identically up front, and a Scan never swaps models or
+        // memoizes — output and ledger are byte-identical to the old
+        // path. A failed emit means downstream cancelled — stop early.
+        None if matches!(op, PhysicalOp::Scan { .. }) => {
+            let pulled = (|| {
+                let PhysicalOp::Scan { dataset } = op else {
+                    unreachable!()
+                };
+                let src = ctx.registry.get(dataset)?;
+                let n = src.cardinality_hint().unwrap_or(0) as u64;
+                let base = ctx.next_ids(n.max(1));
+                src.batches(base, batch_size)
+            })();
+            match pulled {
+                Ok(batches) => {
+                    for batch in batches {
+                        if shared.aborted() || shared.past_deadline(ctx.clock.now_secs()) {
+                            break;
+                        }
+                        match batch {
+                            // The old path emitted nothing for an empty
+                            // corpus (`chunks` of an empty vec); keep that.
+                            Ok(b) if b.is_empty() => continue,
+                            Ok(b) => {
+                                report.output_records += b.len();
+                                if !emitter.emit(meter, b) {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                shared.fail(op, e);
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) => shared.fail(op, e),
+            }
+        }
+        // Non-Scan sources (none today) keep the materialize-once path.
         None => match fo.execute(ctx, Vec::new(), &mut report.degraded, meter) {
             Ok(out) => {
                 for chunk in out.chunks(batch_size) {

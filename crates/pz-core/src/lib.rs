@@ -171,8 +171,8 @@ pub mod prelude {
     pub use crate::context::{AdmissionGate, PzContext};
     pub use crate::dataset::Dataset;
     pub use crate::datasource::{
-        DataRegistry, DatasetChange, DatasetVersion, DirectorySource, MemorySource, UdfRegistry,
-        VersionedSource,
+        DataRegistry, DatasetChange, DatasetVersion, DirectorySource, GeneratedSource,
+        MemorySource, RecordBatchIter, RecordGenerator, UdfRegistry, VersionedSource,
     };
     pub use crate::error::{PzError, PzResult};
     pub use crate::exec::{

@@ -311,7 +311,7 @@ impl PhysicalOp {
             PhysicalOp::Project { fields } => Ok(crate::ops::relational::project(input, fields)),
             PhysicalOp::Limit { n } => Ok(crate::ops::relational::limit(input, *n)),
             PhysicalOp::Sort { field, descending } => {
-                Ok(crate::ops::relational::sort(input, field, *descending))
+                crate::ops::relational::sort_budgeted(ctx, input, field, *descending)
             }
             PhysicalOp::Distinct { fields } => Ok(crate::ops::relational::distinct(input, fields)),
             PhysicalOp::Aggregate { group_by, aggs } => {

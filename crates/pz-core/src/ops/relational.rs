@@ -58,6 +58,131 @@ pub fn sort(mut input: Vec<DataRecord>, field: &str, descending: bool) -> Vec<Da
     input
 }
 
+/// Sort under the context's spill budget: inputs past
+/// `PzContext::spill_budget_records` go through an external merge sort
+/// ([`sort_external`]); everything else takes the in-memory path. Output
+/// is byte-identical either way.
+pub fn sort_budgeted(
+    ctx: &PzContext,
+    input: Vec<DataRecord>,
+    field: &str,
+    descending: bool,
+) -> PzResult<Vec<DataRecord>> {
+    match ctx.spill_budget_records {
+        Some(b) if input.len() > b => sort_external(input, field, descending, b.max(1)),
+        _ => Ok(sort(input, field, descending)),
+    }
+}
+
+/// Monotone temp-dir suffix so concurrent spills in one process never
+/// collide.
+static SPILL_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// External merge sort: sort runs of at most `budget` records, spill each
+/// to a temp file as JSON lines, then k-way merge the runs back. The
+/// merge resolves ties by run index, and runs are consecutive input
+/// segments each sorted stably — so equal-key records come back in input
+/// order, exactly like the in-memory `sort_by`. The effective comparator
+/// (including the descending reversal and nulls-last placement) is shared
+/// with [`sort`], so the merged output is byte-identical to the in-memory
+/// path at every budget.
+pub fn sort_external(
+    input: Vec<DataRecord>,
+    field: &str,
+    descending: bool,
+    budget: usize,
+) -> PzResult<Vec<DataRecord>> {
+    let spill_err = |e: std::io::Error| PzError::Execution(format!("sort spill: {e}"));
+    let eff = |a: &DataRecord, b: &DataRecord| {
+        let ord = compare_values(a.get(field), b.get(field));
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "pz-spill-{}-{}",
+        std::process::id(),
+        SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(spill_err)?;
+    // Phase 1: drain the input into sorted runs on disk, freeing each
+    // run's records before the next is cut.
+    let total = input.len();
+    let mut run_paths = Vec::new();
+    let mut iter = input.into_iter();
+    loop {
+        let mut run: Vec<DataRecord> = iter.by_ref().take(budget).collect();
+        if run.is_empty() {
+            break;
+        }
+        run.sort_by(eff);
+        let mut lines = String::new();
+        for r in &run {
+            lines.push_str(
+                &serde_json::to_string(r)
+                    .map_err(|e| PzError::Execution(format!("sort spill: {e}")))?,
+            );
+            lines.push('\n');
+        }
+        let path = dir.join(format!("run-{:05}.jsonl", run_paths.len()));
+        std::fs::write(&path, lines).map_err(spill_err)?;
+        run_paths.push(path);
+    }
+    // Phase 2: k-way merge. Heads are one record per run; ties keep the
+    // lowest run index (stability). Linear head scan per pop — run counts
+    // are total/budget, small against record work.
+    let mut readers = Vec::new();
+    for p in &run_paths {
+        let f = std::fs::File::open(p).map_err(spill_err)?;
+        readers.push(std::io::BufRead::lines(std::io::BufReader::new(f)));
+    }
+    let mut heads: Vec<Option<DataRecord>> = Vec::with_capacity(readers.len());
+    for r in readers.iter_mut() {
+        heads.push(next_spilled(r)?);
+    }
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, h) in heads.iter().enumerate() {
+            if let Some(rec) = h {
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let keep = heads[j].as_ref().expect("best head present");
+                        if eff(rec, keep) == std::cmp::Ordering::Less {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+        }
+        let Some(i) = best else { break };
+        out.push(heads[i].take().expect("best head present"));
+        heads[i] = next_spilled(&mut readers[i])?;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(out)
+}
+
+/// Read the next spilled record off a run file, `None` at end of run.
+fn next_spilled(
+    lines: &mut std::io::Lines<std::io::BufReader<std::fs::File>>,
+) -> PzResult<Option<DataRecord>> {
+    match lines.next() {
+        None => Ok(None),
+        Some(line) => {
+            let line = line.map_err(|e| PzError::Execution(format!("sort spill: {e}")))?;
+            serde_json::from_str(&line)
+                .map(Some)
+                .map_err(|e| PzError::Execution(format!("sort spill: {e}")))
+        }
+    }
+}
+
 fn compare_values(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (value_key(a), value_key(b)) {
@@ -395,5 +520,62 @@ mod tests {
         let out = map(&ctx, vec![rec(0, &[])], "tag").unwrap();
         assert_eq!(out[0].get("tagged").unwrap().as_bool(), Some(true));
         assert!(map(&ctx, vec![], "missing").is_err());
+    }
+
+    /// A mixed-type, tie-heavy, null-bearing input that exercises every
+    /// branch of the comparator, including float round-tripping through
+    /// the spill files.
+    fn spill_fixture() -> Vec<DataRecord> {
+        let mut input = Vec::new();
+        for i in 0..40u64 {
+            let v = match i % 5 {
+                0 => Value::Int((i as i64 * 7) % 13),
+                1 => Value::Float((i as f64) * 0.37 - 3.21),
+                2 => Value::Text(format!("s{}", i % 4)),
+                3 => Value::Null,
+                _ => Value::Int((i as i64) % 3),
+            };
+            input.push(rec(i, &[("k", v), ("seq", Value::Int(i as i64))]));
+        }
+        input
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory_at_every_budget() {
+        for descending in [false, true] {
+            let expected = sort(spill_fixture(), "k", descending);
+            for budget in [1, 3, 7, 64] {
+                let got = sort_external(spill_fixture(), "k", descending, budget).unwrap();
+                assert_eq!(
+                    expected, got,
+                    "external sort diverged at budget {budget}, descending {descending}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn external_sort_preserves_stability() {
+        // All keys equal across three runs: merged order must be input
+        // order (lowest run wins ties, sequential reads within a run).
+        let input: Vec<DataRecord> = (0..9).map(|i| rec(i, &[("x", Value::Int(1))])).collect();
+        let out = sort_external(input, "x", false, 3).unwrap();
+        assert_eq!(
+            out.iter().map(|r| r.id).collect::<Vec<_>>(),
+            (0..9).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sort_budgeted_spills_only_past_budget() {
+        let mut ctx = PzContext::simulated();
+        ctx.spill_budget_records = Some(8);
+        let in_memory = sort(spill_fixture(), "k", false);
+        // 40 records > budget 8: the spilling path runs and must agree.
+        let spilled = sort_budgeted(&ctx, spill_fixture(), "k", false).unwrap();
+        assert_eq!(in_memory, spilled);
+        // Under the budget nothing spills (same result either way).
+        let small = sort_budgeted(&ctx, spill_fixture().split_off(35), "k", false).unwrap();
+        assert_eq!(sort(spill_fixture().split_off(35), "k", false), small);
     }
 }

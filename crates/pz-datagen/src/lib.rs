@@ -21,11 +21,15 @@
 //!   million dollars".
 //!
 //! All generation is a pure function of the config (including its seed).
+//! [`stream`] additionally makes each document a pure function of
+//! `(seed, index)` so million-record corpora can be yielded lazily with no
+//! giant allocation — the substrate for the out-of-core `Scan`.
 
 pub mod edits;
 pub mod legal;
 pub mod realestate;
 pub mod science;
+pub mod stream;
 pub mod text;
 pub mod traffic;
 pub mod truth;

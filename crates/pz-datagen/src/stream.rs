@@ -1,0 +1,299 @@
+//! Streaming corpus generation: documents as a pure function of
+//! `(seed, index)`.
+//!
+//! [`science::generate`](crate::science::generate) draws every paper from
+//! one sequential PRNG stream, so producing paper *i* requires producing
+//! papers `0..i` first and holding the whole corpus in memory. That is fine
+//! at demo scale (11–400 papers) and hopeless at 1M. This module re-derives
+//! the same template discipline with a *per-index* seed: document `i` under
+//! `(workspace seed, i)` is rendered from `Prng::new(mix(seed, i))`, so any
+//! document — and its ground truth — can be materialized in O(1) without
+//! touching its neighbours. [`stream`] then yields the corpus lazily; the
+//! iterator holds no documents at all, which is what lets the out-of-core
+//! `Scan` keep at most O(chunk) records resident (DESIGN.md §5j).
+//!
+//! Bodies are deliberately shorter than [`science`](crate::science)'s ~4k
+//! token papers ([`StreamConfig::body_paragraphs`]): at 1M records the
+//! corpus is a memory/throughput stress test, not an LLM-token benchmark.
+//! The shape invariants still hold — relevant papers say "colorectal",
+//! irrelevant ones never do, dataset mentions use the same
+//! `Dataset:/Description:/URL:` envelope the extraction pipeline parses.
+
+use crate::science::{PaperTruth, BREAST_CANCER_TOPIC, CRC_DATASETS, CRC_TOPIC, OFF_TOPICS};
+use crate::text::{Prng, Topic};
+use crate::truth::DatasetMention;
+use crate::Document;
+
+/// Parameters for a streamed corpus. Copy, like `ScienceConfig`, so the
+/// iterator can own it.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    pub n_docs: usize,
+    /// Fraction of papers about colorectal cancer.
+    pub relevant_fraction: f64,
+    /// Probability a relevant paper carries a Data Availability section.
+    pub with_data_fraction: f64,
+    pub seed: u64,
+    /// Body paragraphs per document. 2 keeps a 1M-record corpus in the
+    /// hundreds-of-MB-streamed regime; raise it to approximate the full
+    /// `science` papers.
+    pub body_paragraphs: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            n_docs: 10_000,
+            relevant_fraction: 0.4,
+            with_data_fraction: 0.8,
+            seed: 11,
+            body_paragraphs: 2,
+        }
+    }
+}
+
+impl StreamConfig {
+    pub fn sized(n_docs: usize, seed: u64) -> Self {
+        Self {
+            n_docs,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// splitmix64-style finalizer over `(seed, index)`. Avalanches both inputs
+/// so adjacent indices land in unrelated PRNG streams; uses the same
+/// constants as [`Prng`] so the derivation stays in one idiom.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Everything decided about a document *before* rendering its body: topic,
+/// title, mentions, relevance. Cheap enough to compute for truth-only
+/// passes over millions of indices.
+struct DocPlan {
+    rng: Prng,
+    topic: &'static Topic,
+    title: String,
+    relevant: bool,
+    mentions: Vec<DatasetMention>,
+}
+
+fn plan_at(cfg: &StreamConfig, index: usize) -> DocPlan {
+    let mut rng = Prng::new(mix(cfg.seed, index as u64));
+    let relevant = rng.unit() < cfg.relevant_fraction;
+    let (topic, title, mentions): (&'static Topic, String, Vec<DatasetMention>) = if relevant {
+        let n_mentions = if rng.unit() < cfg.with_data_fraction {
+            rng.range(1, 3)
+        } else {
+            0
+        };
+        let start = rng.below(CRC_DATASETS.len());
+        let mentions: Vec<DatasetMention> = (0..n_mentions)
+            .map(|k| {
+                let (name, desc, url) = CRC_DATASETS[(start + k) % CRC_DATASETS.len()];
+                DatasetMention {
+                    name: name.into(),
+                    description: desc.into(),
+                    url: url.into(),
+                }
+            })
+            .collect();
+        let title = format!(
+            "Colorectal cancer study {index}: {}",
+            CRC_TOPIC.sentence(&mut rng).trim_end_matches('.')
+        );
+        (&CRC_TOPIC, title, mentions)
+    } else if rng.unit() < 0.15 {
+        let title = format!(
+            "Breast cancer study {index}: {}",
+            BREAST_CANCER_TOPIC.sentence(&mut rng).trim_end_matches('.')
+        );
+        (&BREAST_CANCER_TOPIC, title, Vec::new())
+    } else {
+        let topic = &OFF_TOPICS[rng.below(OFF_TOPICS.len())];
+        let title = format!(
+            "{} study {index}: {}",
+            topic.name,
+            topic.sentence(&mut rng).trim_end_matches('.')
+        );
+        (topic, title, Vec::new())
+    };
+    DocPlan {
+        rng,
+        topic,
+        title,
+        relevant,
+        mentions,
+    }
+}
+
+/// Stable id for document `index`: zero-padded wide enough for 1M+ corpora
+/// to sort lexicographically in index order.
+pub fn doc_id(index: usize) -> String {
+    format!("doc-{index:07}")
+}
+
+/// Materialize document `index` in O(1): no other index is touched.
+pub fn doc_at(cfg: &StreamConfig, index: usize) -> Document {
+    let mut plan = plan_at(cfg, index);
+    let id = doc_id(index);
+    let mut s = String::new();
+    s.push_str(&format!("Title: {}\n", plan.title));
+    s.push_str(&format!(
+        "Authors: {} et al.\n",
+        ["Chen", "Okafor", "Martinez", "Novak", "Singh", "Dubois"][plan.rng.below(6)]
+    ));
+    s.push_str(&format!(
+        "Abstract: {}\n\n",
+        plan.topic.paragraph(&mut plan.rng, 3)
+    ));
+    for _ in 0..cfg.body_paragraphs {
+        s.push_str(&plan.topic.paragraph(&mut plan.rng, 5));
+        s.push('\n');
+    }
+    if !plan.mentions.is_empty() {
+        s.push_str("\nData Availability. The following public datasets support this study.\n");
+        for m in &plan.mentions {
+            s.push_str(&format!("Dataset: {}\n", m.name));
+            s.push_str(&format!("Description: {}\n", m.description));
+            s.push_str(&format!("URL: {}\n", m.url));
+        }
+    }
+    s.push_str(&format!(
+        "\nConclusion. {}\n",
+        plan.topic.paragraph(&mut plan.rng, 2)
+    ));
+    Document::new(id.clone(), format!("{id}.txt"), s)
+}
+
+/// Ground truth for document `index` without rendering its body.
+pub fn truth_at(cfg: &StreamConfig, index: usize) -> PaperTruth {
+    let plan = plan_at(cfg, index);
+    PaperTruth {
+        id: doc_id(index),
+        relevant: plan.relevant,
+        mentions: plan.mentions,
+    }
+}
+
+/// Lazily yield the whole corpus in index order. Holds only the config;
+/// each `next()` materializes exactly one document.
+pub fn stream(cfg: StreamConfig) -> CorpusStream {
+    CorpusStream { cfg, next: 0 }
+}
+
+/// Iterator over a streamed corpus. `ExactSizeIterator` so sources can
+/// report cardinality without generating anything.
+#[derive(Clone, Debug)]
+pub struct CorpusStream {
+    cfg: StreamConfig,
+    next: usize,
+}
+
+impl CorpusStream {
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = Document;
+
+    fn next(&mut self) -> Option<Document> {
+        if self.next >= self.cfg.n_docs {
+            return None;
+        }
+        let doc = doc_at(&self.cfg, self.next);
+        self.next += 1;
+        Some(doc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.n_docs - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CorpusStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_at_is_pure_per_index() {
+        let cfg = StreamConfig::sized(100, 42);
+        for i in [0usize, 1, 37, 99] {
+            assert_eq!(doc_at(&cfg, i), doc_at(&cfg, i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_random_access() {
+        let cfg = StreamConfig::sized(64, 7);
+        let streamed: Vec<Document> = stream(cfg).collect();
+        assert_eq!(streamed.len(), 64);
+        for (i, doc) in streamed.iter().enumerate() {
+            assert_eq!(doc, &doc_at(&cfg, i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn seeds_and_indices_decorrelate() {
+        let cfg = StreamConfig::sized(10, 1);
+        let other = StreamConfig::sized(10, 2);
+        assert_ne!(doc_at(&cfg, 0), doc_at(&other, 0));
+        assert_ne!(doc_at(&cfg, 0).content, doc_at(&cfg, 1).content);
+    }
+
+    #[test]
+    fn truth_agrees_with_content() {
+        let cfg = StreamConfig::sized(200, 11);
+        for i in 0..200 {
+            let t = truth_at(&cfg, i);
+            let d = doc_at(&cfg, i);
+            assert_eq!(t.id, d.id);
+            let lower = d.content.to_lowercase();
+            if t.relevant {
+                assert!(lower.contains("colorectal"), "{}", d.id);
+            } else {
+                assert!(!lower.contains("colorectal"), "{}", d.id);
+                assert!(t.mentions.is_empty());
+            }
+            for m in &t.mentions {
+                assert!(d.content.contains(&m.name), "{} missing {}", d.id, m.name);
+                assert!(d.content.contains(&m.url));
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_fraction_approximate() {
+        let cfg = StreamConfig::sized(2000, 5);
+        let relevant = (0..2000).filter(|&i| truth_at(&cfg, i).relevant).count();
+        let frac = relevant as f64 / 2000.0;
+        assert!((0.3..0.5).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn exact_size_iterator_counts_down() {
+        let mut it = stream(StreamConfig::sized(3, 9));
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.count(), 2);
+    }
+
+    #[test]
+    fn ids_sort_in_index_order() {
+        assert!(doc_id(999_999) > doc_id(100_000));
+        assert!(doc_id(10) > doc_id(9));
+    }
+}

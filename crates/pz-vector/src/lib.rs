@@ -5,19 +5,24 @@
 //! databases, relational operators, and novel programming practices". This
 //! crate is the vector-database leg of that stack for the reproduction: an
 //! in-process store with exact ([`FlatIndex`]) and approximate
-//! ([`IvfIndex`], inverted-file with k-means centroids) top-k search, used
-//! by Palimpzest's `Retrieve` operator and by embedding-based physical
-//! filter implementations.
+//! ([`IvfIndex`], inverted-file with k-means centroids; [`HnswIndex`],
+//! layered navigable-small-world graph) top-k search, used by Palimpzest's
+//! `Retrieve` operator and by embedding-based physical filter
+//! implementations. [`Collection`] routes queries flat → IVF → HNSW as a
+//! collection grows, keeping search sub-linear at a million vectors.
 //!
-//! Everything is deterministic: k-means uses a caller-supplied seed and the
-//! tie-breaking rules are fixed, so index builds are reproducible.
+//! Everything is deterministic: k-means and HNSW level assignment use
+//! caller-supplied seeds and the tie-breaking rules are fixed, so index
+//! builds are reproducible.
 
 pub mod flat;
+pub mod hnsw;
 pub mod ivf;
 pub mod metric;
 pub mod store;
 
 pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use metric::Metric;
 pub use store::{Collection, SearchHit, VectorStore, VectorStoreError};

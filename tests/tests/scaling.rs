@@ -1,0 +1,375 @@
+//! Integration: the out-of-core data plane (`exec/run.rs` chunked drive,
+//! `ops/relational.rs` spill sort, `ops/join.rs` batched build side,
+//! `pz-vector` HNSW tier).
+//!
+//! The headline guarantee, test-enforced: chunking is a memory knob, not a
+//! semantics knob. For any plan and any chunk size, the chunked drive must
+//! produce the same records, the same ledger bill, and the same stats as
+//! the whole-corpus drive — and the spill operators must produce
+//! byte-identical output at any memory budget. The HNSW tier must stay
+//! deterministic under a fixed seed and keep recall >= 0.9 against an
+//! exact flat scan.
+
+mod common;
+
+use common::{arb_corpus, arb_steps, assert_reconciled, build_plan, multiset};
+use proptest::prelude::*;
+use pz_core::exec::execute_plan;
+use pz_core::prelude::*;
+use pz_vector::{FlatIndex, HnswConfig, HnswIndex, Metric, VectorStore};
+
+const DATASET: &str = "scale";
+
+/// The fixed chunk-size matrix from the differential plan: degenerate
+/// (1), prime and non-divisor of typical corpus sizes (7), larger than
+/// small corpora (64), and whole-corpus (0 = chunking off).
+const CHUNK_SIZES: [usize; 4] = [1, 7, 64, 0];
+
+fn record_keys(records: &[DataRecord]) -> Vec<String> {
+    records.iter().map(|r| format!("{r:?}")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Differential: chunked materializing vs whole-corpus materializing.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// For any corpus, any plan tail, and any chunk size, the chunked
+    /// drive is bytewise-invisible at parallelism 1: identical records
+    /// (ids included), identical output multiset, identical ledger bill.
+    #[test]
+    fn chunked_scan_equals_whole_corpus(
+        corpus in arb_corpus(),
+        steps in arb_steps(),
+        chunk in 1usize..12,
+    ) {
+        let plan = build_plan(DATASET, &steps);
+        let ctx_whole = common::fresh_ctx(DATASET, &corpus);
+        let (whole, stats_whole) =
+            execute_plan(&ctx_whole, &plan, ExecutionConfig::sequential()).unwrap();
+        let ctx_chunked = common::fresh_ctx(DATASET, &corpus);
+        let (chunked, stats_chunked) = execute_plan(
+            &ctx_chunked,
+            &plan,
+            ExecutionConfig::sequential().with_scan_chunk_size(chunk),
+        )
+        .unwrap();
+        prop_assert_eq!(record_keys(&whole), record_keys(&chunked));
+        let (whole_cost, chunked_cost) = (
+            ctx_whole.ledger.total_cost_usd(),
+            ctx_chunked.ledger.total_cost_usd(),
+        );
+        prop_assert!(
+            (whole_cost - chunked_cost).abs() < 1e-9,
+            "whole ${} vs chunked ${}", whole_cost, chunked_cost
+        );
+        prop_assert_eq!(stats_whole.total_llm_calls, stats_chunked.total_llm_calls);
+        assert_reconciled(&ctx_chunked, &stats_chunked);
+    }
+
+    /// Spilling the sort to temp-file runs at any budget is bytewise
+    /// invisible: same records (stability included) as the in-memory sort.
+    #[test]
+    fn spill_sort_equals_in_memory(
+        corpus in arb_corpus(),
+        budget in 1usize..10,
+        descending in any::<bool>(),
+    ) {
+        let plan = PhysicalPlan {
+            ops: vec![
+                PhysicalOp::Scan { dataset: DATASET.into() },
+                PhysicalOp::Sort { field: "filename".into(), descending },
+            ],
+        };
+        let ctx_mem = common::fresh_ctx(DATASET, &corpus);
+        let (in_memory, _) =
+            execute_plan(&ctx_mem, &plan, ExecutionConfig::sequential()).unwrap();
+        let ctx_spill = common::fresh_ctx(DATASET, &corpus);
+        let (spilled, _) = execute_plan(
+            &ctx_spill,
+            &plan,
+            ExecutionConfig::sequential().with_spill_budget(budget),
+        )
+        .unwrap();
+        prop_assert_eq!(record_keys(&in_memory), record_keys(&spilled));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed matrix: chunk sizes x execution modes x parallelism.
+// ---------------------------------------------------------------------------
+
+/// ~40-document corpus: bigger than every finite chunk size in the matrix
+/// so each run crosses several chunk boundaries.
+fn matrix_corpus() -> Vec<(String, String)> {
+    (0..40)
+        .map(|i| {
+            (
+                format!("doc-{i:03}.pdf"),
+                format!(
+                    "Document {i}. {}",
+                    if i % 3 == 0 {
+                        "cancer cohort"
+                    } else {
+                        "modern home"
+                    }
+                ),
+            )
+        })
+        .collect()
+}
+
+fn matrix_plan() -> PhysicalPlan {
+    PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: DATASET.into(),
+            },
+            PhysicalOp::LlmFilter {
+                predicate: "the document discusses cancer".into(),
+                model: "gpt-4o-mini".into(),
+                effort: pz_llm::protocol::Effort::Standard,
+            },
+            PhysicalOp::LlmClassify {
+                labels: vec!["cancer".into(), "dataset".into(), "other".into()],
+                output_field: "label".into(),
+                model: "gpt-4o-mini".into(),
+                effort: pz_llm::protocol::Effort::Standard,
+            },
+        ],
+    }
+}
+
+/// Chunk sizes {1, 7, 64, whole} x parallelism {1, 4}, materializing:
+/// every cell agrees with the whole-corpus sequential baseline on the
+/// output multiset and the ledger bill. (Parallel workers race derived-id
+/// assignment, so the comparison is content, not ids.)
+#[test]
+fn chunk_matrix_materializing() {
+    let corpus = matrix_corpus();
+    let plan = matrix_plan();
+    let ctx = common::fresh_ctx(DATASET, &corpus);
+    let (baseline, _) = execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap();
+    let (base_keys, base_cost) = (multiset(&baseline), ctx.ledger.total_cost_usd());
+    for chunk in CHUNK_SIZES {
+        for workers in [1usize, 4] {
+            let ctx = common::fresh_ctx(DATASET, &corpus);
+            let config = ExecutionConfig::parallel(workers).with_scan_chunk_size(chunk);
+            let (records, stats) = execute_plan(&ctx, &plan, config).unwrap();
+            assert_eq!(
+                multiset(&records),
+                base_keys,
+                "multiset diverged at chunk={chunk} workers={workers}"
+            );
+            let cost = ctx.ledger.total_cost_usd();
+            assert!(
+                (cost - base_cost).abs() < 1e-9,
+                "cost diverged at chunk={chunk} workers={workers}: ${base_cost} vs ${cost}"
+            );
+            assert_reconciled(&ctx, &stats);
+        }
+    }
+}
+
+/// The same matrix against the streaming executor: chunked materializing
+/// and streaming must agree on the output multiset and the bill (the plan
+/// has no early-exit operator, so exact cost equality binds).
+#[test]
+fn chunk_matrix_agrees_with_streaming() {
+    let corpus = matrix_corpus();
+    let plan = matrix_plan();
+    let ctx = common::fresh_ctx(DATASET, &corpus);
+    let (baseline, _) = execute_plan(
+        &ctx,
+        &plan,
+        ExecutionConfig::sequential().with_scan_chunk_size(7),
+    )
+    .unwrap();
+    let (base_keys, base_cost) = (multiset(&baseline), ctx.ledger.total_cost_usd());
+    for batch in [1usize, 7, 64] {
+        for workers in [1usize, 4] {
+            let ctx = common::fresh_ctx(DATASET, &corpus);
+            let config = ExecutionConfig::streaming_with(2, batch).with_parallelism(workers);
+            let (records, _) = execute_plan(&ctx, &plan, config).unwrap();
+            assert_eq!(
+                multiset(&records),
+                base_keys,
+                "streaming multiset diverged at batch={batch} workers={workers}"
+            );
+            let cost = ctx.ledger.total_cost_usd();
+            assert!(
+                (cost - base_cost).abs() < 1e-9,
+                "streaming cost diverged at batch={batch} workers={workers}"
+            );
+        }
+    }
+}
+
+/// Chunking composes with spilling: a chunked scan into a budgeted sort
+/// and a tail limit still matches the all-in-memory whole-corpus run
+/// bytewise (sequential, so ids line up too).
+#[test]
+fn chunked_scan_with_spill_sort_is_bytewise_identical() {
+    let corpus = matrix_corpus();
+    let plan = PhysicalPlan {
+        ops: vec![
+            PhysicalOp::Scan {
+                dataset: DATASET.into(),
+            },
+            PhysicalOp::Sort {
+                field: "filename".into(),
+                descending: true,
+            },
+            PhysicalOp::Limit { n: 5 },
+        ],
+    };
+    let ctx = common::fresh_ctx(DATASET, &corpus);
+    let (baseline, _) = execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap();
+    for chunk in [1usize, 7, 64] {
+        for budget in [1usize, 3, 8] {
+            let ctx = common::fresh_ctx(DATASET, &corpus);
+            let config = ExecutionConfig::sequential()
+                .with_scan_chunk_size(chunk)
+                .with_spill_budget(budget);
+            let (records, _) = execute_plan(&ctx, &plan, config).unwrap();
+            assert_eq!(
+                record_keys(&baseline),
+                record_keys(&records),
+                "diverged at chunk={chunk} budget={budget}"
+            );
+        }
+    }
+}
+
+/// The chunked drive keeps O(chunk + output) records resident while the
+/// whole-corpus drive holds the full corpus; the stats gauge must show it.
+#[test]
+fn chunked_scan_caps_resident_records() {
+    let corpus = matrix_corpus();
+    let plan = matrix_plan();
+    let ctx = common::fresh_ctx(DATASET, &corpus);
+    let (_, whole) = execute_plan(&ctx, &plan, ExecutionConfig::sequential()).unwrap();
+    assert_eq!(whole.peak_resident_records, corpus.len());
+    let ctx = common::fresh_ctx(DATASET, &corpus);
+    let (records, chunked) = execute_plan(
+        &ctx,
+        &plan,
+        ExecutionConfig::sequential().with_scan_chunk_size(4),
+    )
+    .unwrap();
+    assert!(
+        chunked.peak_resident_records <= records.len() + 2 * 4,
+        "chunked drive held {} records resident (output {}, chunk 4)",
+        chunked.peak_resident_records,
+        records.len()
+    );
+    assert!(chunked.peak_resident_records < whole.peak_resident_records);
+}
+
+// ---------------------------------------------------------------------------
+// HNSW: recall, determinism, and size-based routing.
+// ---------------------------------------------------------------------------
+
+/// Seeded pseudo-random unit-cube vector; pure function of (stream, i).
+fn vec_at(stream: u64, i: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|d| {
+            let mut z =
+                stream.wrapping_add(((i * dim + d) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z >> 11) as f64 / (1u64 << 53) as f64) as f32
+        })
+        .collect()
+}
+
+/// HNSW recall@10 vs an exact flat scan stays >= 0.9 on a 4k corpus.
+#[test]
+fn hnsw_recall_against_flat_ground_truth() {
+    const N: usize = 4096;
+    const DIM: usize = 16;
+    const K: usize = 10;
+    let mut hnsw = HnswIndex::new(DIM, Metric::Cosine, HnswConfig::default());
+    let mut flat = FlatIndex::new(DIM, Metric::Cosine);
+    for i in 0..N {
+        let v = vec_at(3, i, DIM);
+        hnsw.add(&v);
+        flat.add(&v);
+    }
+    let mut overlap = 0usize;
+    let queries = 64;
+    for q in 0..queries {
+        let query = vec_at(99, q, DIM);
+        let truth: std::collections::HashSet<_> =
+            flat.search(&query, K).into_iter().map(|s| s.id).collect();
+        overlap += hnsw
+            .search(&query, K)
+            .iter()
+            .filter(|s| truth.contains(&s.id))
+            .count();
+    }
+    let recall = overlap as f64 / (queries * K) as f64;
+    assert!(recall >= 0.9, "hnsw recall@{K} = {recall:.3} < 0.9");
+}
+
+/// Same seed, same insert order => the graph is identical and so is every
+/// search result, ids and ranks included.
+#[test]
+fn hnsw_is_deterministic_under_fixed_seed() {
+    const N: usize = 2000;
+    const DIM: usize = 12;
+    let build = || {
+        let mut idx = HnswIndex::new(DIM, Metric::Euclidean, HnswConfig::default());
+        for i in 0..N {
+            idx.add(&vec_at(5, i, DIM));
+        }
+        idx
+    };
+    let (a, b) = (build(), build());
+    for q in 0..32 {
+        let query = vec_at(77, q, DIM);
+        let (ra, rb) = (a.search(&query, 10), b.search(&query, 10));
+        let key = |r: &[pz_vector::flat::Scored]| -> Vec<(pz_vector::VecId, String)> {
+            r.iter()
+                .map(|s| (s.id, format!("{:.6}", s.score)))
+                .collect()
+        };
+        assert_eq!(key(&ra), key(&rb), "query {q} diverged between twin builds");
+    }
+}
+
+/// Past `Collection::HNSW_THRESHOLD` the store answers from the HNSW
+/// graph; results must still agree with an exact scan at recall >= 0.9.
+#[test]
+fn vector_store_routes_large_collections_to_hnsw() {
+    const DIM: usize = 8;
+    const K: usize = 10;
+    let n = pz_vector::Collection::HNSW_THRESHOLD + 64;
+    let store = VectorStore::new();
+    store.ensure_collection("big", DIM, Metric::Cosine);
+    let mut flat = FlatIndex::new(DIM, Metric::Cosine);
+    for i in 0..n {
+        let v = vec_at(11, i, DIM);
+        store.add("big", &v, format!("p{i}")).unwrap();
+        flat.add(&v);
+    }
+    let mut overlap = 0usize;
+    let queries = 32;
+    for q in 0..queries {
+        let query = vec_at(13, q, DIM);
+        let truth: std::collections::HashSet<_> =
+            flat.search(&query, K).into_iter().map(|s| s.id).collect();
+        overlap += store
+            .search("big", &query, K)
+            .unwrap()
+            .iter()
+            .filter(|h| truth.contains(&h.id))
+            .count();
+    }
+    let recall = overlap as f64 / (queries * K) as f64;
+    assert!(
+        recall >= 0.9,
+        "store recall@{K} past HNSW threshold = {recall:.3} < 0.9"
+    );
+}
